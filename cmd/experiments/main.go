@@ -1,0 +1,58 @@
+// Command experiments regenerates the paper's evaluation artifacts: every
+// figure of Section 5 and the Table I configuration, printed as text tables
+// in the same rows/series the paper reports.
+//
+// Usage:
+//
+//	experiments [-run all|table1|fig2|fig3|fig7|fig8|fig9|fig10] [-quick]
+//	            [-warmup N] [-measure N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	pif "repro"
+)
+
+func main() {
+	runID := flag.String("run", "all", "artifact to regenerate: all, or one of "+strings.Join(pif.ExperimentIDs(), ", "))
+	quick := flag.Bool("quick", false, "reduced-scale run (shorter warmup and measurement)")
+	warmup := flag.Uint64("warmup", 0, "override warmup instructions (0 = default)")
+	measure := flag.Uint64("measure", 0, "override measured instructions (0 = default)")
+	flag.Parse()
+
+	opts := pif.DefaultExperimentOptions()
+	if *quick {
+		opts = pif.QuickExperimentOptions()
+	}
+	if *warmup > 0 {
+		opts.WarmupInstrs = *warmup
+	}
+	if *measure > 0 {
+		opts.MeasureInstrs = *measure
+	}
+
+	start := time.Now()
+	var reports []pif.ExperimentReport
+	var err error
+	if *runID == "all" {
+		reports, err = pif.RunAllExperiments(opts)
+	} else {
+		var rep pif.ExperimentReport
+		rep, err = pif.RunExperiment(opts, *runID)
+		reports = []pif.ExperimentReport{rep}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	for _, rep := range reports {
+		fmt.Printf("== %s: %s ==\n%s\n", rep.ID, rep.Title, rep.Text)
+	}
+	fmt.Printf("(%d artifact(s) in %s; warmup=%d measure=%d instructions per workload)\n",
+		len(reports), time.Since(start).Round(time.Millisecond), opts.WarmupInstrs, opts.MeasureInstrs)
+}

@@ -1,0 +1,94 @@
+// Command pifsim runs a single workload/prefetcher simulation and prints
+// the measured coverage, miss ratio, and UIPC — the unit of work every
+// figure of the evaluation is built from.
+//
+// Usage:
+//
+//	pifsim [-workload "OLTP DB2"] [-prefetcher pif|tifs|nextline|none]
+//	       [-perfect] [-warmup N] [-measure N] [-history N] [-sabs N]
+//	       [-window N] [-degree N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	pif "repro"
+)
+
+func main() {
+	wlName := flag.String("workload", "OLTP DB2", "workload name (see -list)")
+	list := flag.Bool("list", false, "list workloads and exit")
+	pfName := flag.String("prefetcher", "pif", "prefetcher: pif, tifs, nextline, none")
+	perfect := flag.Bool("perfect", false, "simulate the perfect-latency L1 bound")
+	warmup := flag.Uint64("warmup", 8_000_000, "warmup instructions")
+	measure := flag.Uint64("measure", 2_000_000, "measured instructions")
+	history := flag.Int("history", 0, "PIF history buffer regions (0 = paper default 32K)")
+	sabs := flag.Int("sabs", 0, "PIF stream address buffers (0 = paper default 4)")
+	window := flag.Int("window", 0, "PIF SAB window regions (0 = paper default 7)")
+	degree := flag.Int("degree", 4, "next-line prefetch degree")
+	verbose := flag.Bool("v", false, "print full result struct")
+	flag.Parse()
+
+	if *list {
+		for _, w := range pif.Workloads() {
+			fmt.Println(w.Name)
+		}
+		return
+	}
+
+	wl, err := pif.WorkloadByName(*wlName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pifsim:", err)
+		os.Exit(1)
+	}
+
+	var pf pif.Prefetcher
+	switch *pfName {
+	case "pif":
+		cfg := pif.DefaultPIFConfig()
+		if *history > 0 {
+			cfg.HistoryRegions = *history
+		}
+		if *sabs > 0 {
+			cfg.NumSABs = *sabs
+		}
+		if *window > 0 {
+			cfg.SABWindow = *window
+		}
+		pf = pif.NewPIF(cfg)
+	case "tifs":
+		pf = pif.NewTIFS()
+	case "nextline":
+		pf = pif.NewNextLine(*degree)
+	case "none":
+		pf = pif.NoPrefetch()
+	default:
+		fmt.Fprintf(os.Stderr, "pifsim: unknown prefetcher %q\n", *pfName)
+		os.Exit(1)
+	}
+
+	cfg := pif.DefaultSimConfig()
+	cfg.WarmupInstrs = *warmup
+	cfg.MeasureInstrs = *measure
+	cfg.PerfectL1 = *perfect
+
+	res, err := pif.Simulate(cfg, wl, pf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pifsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload    %s\n", res.Workload)
+	fmt.Printf("prefetcher  %s (perfect L1: %v)\n", res.Prefetcher, *perfect)
+	fmt.Printf("instructions %d  cycles %d  UIPC %.4f\n", res.Instructions, res.Cycles, res.UIPC)
+	fmt.Printf("fetch: %d correct-path accesses, %d misses (ratio %.4f)\n",
+		res.CorrectAccesses, res.CorrectMisses, res.MissRatio())
+	fmt.Printf("prefetch: %d issued, %d useful (coverage %.1f%%)\n",
+		res.PrefetchesIssued, res.CoveredMisses, res.Coverage()*100)
+	fmt.Printf("stall cycles %d\n", res.StallCycles)
+	if *verbose {
+		fmt.Printf("\nL1: %+v\nfront-end: %+v\n", res.L1, res.FE)
+	}
+}

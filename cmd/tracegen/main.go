@@ -1,0 +1,115 @@
+// Command tracegen generates a workload's retire-order instruction trace
+// and writes it in the repository's compact binary format, so analyses can
+// replay a trace many times without regenerating it (the paper's
+// methodology collects traces once and studies them offline).
+//
+// Usage:
+//
+//	tracegen -workload "Web Apache" -n 10000000 -o apache.pift
+//	tracegen -dump -i apache.pift | head
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	pif "repro"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	wlName := flag.String("workload", "OLTP DB2", "workload name")
+	n := flag.Uint64("n", 10_000_000, "instructions to generate")
+	out := flag.String("o", "", "output trace file (required unless -dump)")
+	dump := flag.Bool("dump", false, "read a trace and print records as text")
+	in := flag.String("i", "", "input trace file for -dump")
+	limit := flag.Uint64("limit", 20, "records to print with -dump (0 = all)")
+	flag.Parse()
+
+	if *dump {
+		if err := dumpTrace(*in, *limit); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -o is required")
+		os.Exit(1)
+	}
+	if err := generate(*wlName, *n, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func generate(wlName string, n uint64, out string) error {
+	wl, err := pif.WorkloadByName(wlName)
+	if err != nil {
+		return err
+	}
+	prog, err := workload.BuildProgram(wl)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f, wl.Name)
+	if err != nil {
+		return err
+	}
+	ex := workload.NewExecutor(prog)
+	var writeErr error
+	ex.Run(n, func(r trace.Record) {
+		if writeErr == nil {
+			writeErr = w.Write(r)
+		}
+	})
+	if writeErr != nil {
+		return writeErr
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d records for %q to %s\n", w.Count(), wl.Name, out)
+	return f.Close()
+}
+
+func dumpTrace(in string, limit uint64) error {
+	if in == "" {
+		return errors.New("-i is required with -dump")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# workload: %s\n", r.Workload())
+	var count uint64
+	for {
+		rec, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		count++
+		if limit == 0 || count <= limit {
+			fmt.Printf("%d %v %v flags=%#x\n", count, rec.PC, rec.TL, rec.Flags)
+		}
+	}
+	fmt.Printf("# %d records\n", count)
+	return nil
+}

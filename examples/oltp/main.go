@@ -1,0 +1,52 @@
+// OLTP: dissect where PIF's benefit comes from on a transaction-processing
+// workload by toggling the design's pieces — trap-level separation and the
+// temporal compactor — the ablations DESIGN.md §5 calls out.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pif "repro"
+)
+
+func run(cfg pif.SimConfig, wl pif.Workload, label string, pcfg pif.PIFConfig) pif.SimResult {
+	res, err := pif.Simulate(cfg, wl, pif.NewPIF(pcfg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-28s coverage %5.1f%%  UIPC %.3f\n", label, res.Coverage()*100, res.UIPC)
+	return res
+}
+
+func main() {
+	cfg := pif.DefaultSimConfig()
+	cfg.WarmupInstrs = 6_000_000
+	cfg.MeasureInstrs = 1_500_000
+
+	for _, wl := range []pif.Workload{pif.OLTPDB2(), pif.OLTPOracle()} {
+		base, err := pif.Simulate(cfg, wl, pif.NoPrefetch())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (baseline UIPC %.3f, miss ratio %.2f%%)\n",
+			wl.Name, base.UIPC, base.MissRatio()*100)
+
+		full := pif.DefaultPIFConfig()
+		run(cfg, wl, "PIF (paper config)", full)
+
+		merged := full
+		merged.SeparateTrapLevels = false
+		run(cfg, wl, "PIF w/o trap-level split", merged)
+
+		noTemporal := full
+		noTemporal.TemporalDepth = 0
+		noTemporal.TemporalDepthTL1 = 0
+		run(cfg, wl, "PIF w/o temporal compactor", noTemporal)
+
+		smallHistory := full
+		smallHistory.HistoryRegions = 2 << 10
+		run(cfg, wl, "PIF with 2K-region history", smallHistory)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,34 @@
+// Quickstart: simulate one server workload with and without Proactive
+// Instruction Fetch and print the headline numbers — the minimal use of
+// the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pif "repro"
+)
+
+func main() {
+	cfg := pif.DefaultSimConfig()
+	cfg.WarmupInstrs = 4_000_000
+	cfg.MeasureInstrs = 1_000_000
+	wl := pif.OLTPDB2()
+
+	base, err := pif.Simulate(cfg, wl, pif.NoPrefetch())
+	if err != nil {
+		log.Fatal(err)
+	}
+	withPIF, err := pif.Simulate(cfg, wl, pif.NewPIF(pif.DefaultPIFConfig()))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s\n", wl.Name)
+	fmt.Printf("baseline:  UIPC %.3f, L1-I miss ratio %.2f%%\n",
+		base.UIPC, base.MissRatio()*100)
+	fmt.Printf("with PIF:  UIPC %.3f, miss coverage %.1f%%\n",
+		withPIF.UIPC, withPIF.Coverage()*100)
+	fmt.Printf("speedup:   %.2fx\n", withPIF.UIPC/base.UIPC)
+}

@@ -1,0 +1,42 @@
+// Sensitivity: sweep the stream-address-buffer count and window depth (the
+// paper settles on 4 SABs × 7 regions, footnote 2 of Section 4.3) on one
+// workload and print the coverage surface.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pif "repro"
+)
+
+func main() {
+	cfg := pif.DefaultSimConfig()
+	cfg.WarmupInstrs = 5_000_000
+	cfg.MeasureInstrs = 1_000_000
+	wl := pif.WebZeus()
+
+	sabCounts := []int{1, 2, 4, 8}
+	windows := []int{2, 4, 7, 10, 16}
+
+	fmt.Printf("PIF coverage on %s: SAB count (rows) x window regions (cols)\n      ", wl.Name)
+	for _, w := range windows {
+		fmt.Printf("%8d", w)
+	}
+	fmt.Println()
+	for _, n := range sabCounts {
+		fmt.Printf("%4d  ", n)
+		for _, w := range windows {
+			pcfg := pif.DefaultPIFConfig()
+			pcfg.NumSABs = n
+			pcfg.SABWindow = w
+			res, err := pif.Simulate(cfg, wl, pif.NewPIF(pcfg))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%7.1f%%", res.Coverage()*100)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(paper configuration: 4 SABs, 7-region window)")
+}

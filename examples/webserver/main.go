@@ -1,0 +1,51 @@
+// Webserver: the paper's motivating scenario — web serving workloads whose
+// multi-megabyte instruction footprints thrash the L1-I. This example runs
+// both web workloads (Apache and Zeus stand-ins) across the full
+// prefetcher lineup and prints a Figure-10-style comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pif "repro"
+)
+
+func main() {
+	cfg := pif.DefaultSimConfig()
+	cfg.WarmupInstrs = 6_000_000
+	cfg.MeasureInstrs = 1_500_000
+
+	fmt.Println("web serving under instruction-fetch pressure")
+	fmt.Printf("%-12s %-10s %10s %10s %10s\n", "workload", "prefetcher", "missratio", "coverage", "speedup")
+
+	for _, wl := range []pif.Workload{pif.WebApache(), pif.WebZeus()} {
+		base, err := pif.Simulate(cfg, wl, pif.NoPrefetch())
+		if err != nil {
+			log.Fatal(err)
+		}
+		engines := []pif.Prefetcher{
+			pif.NoPrefetch(),
+			pif.NewNextLine(4),
+			pif.NewTIFS(),
+			pif.NewPIF(pif.DefaultPIFConfig()),
+		}
+		for _, engine := range engines {
+			res, err := pif.Simulate(cfg, wl, engine)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-12s %-10s %9.2f%% %9.1f%% %9.2fx\n",
+				wl.Name, res.Prefetcher, res.MissRatio()*100,
+				res.Coverage()*100, res.UIPC/base.UIPC)
+		}
+		perfect := cfg
+		perfect.PerfectL1 = true
+		res, err := pif.Simulate(perfect, wl, pif.NoPrefetch())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %-10s %10s %10s %9.2fx\n",
+			wl.Name, "Perfect", "-", "-", res.UIPC/base.UIPC)
+	}
+}

@@ -1,0 +1,78 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestTableIValues(t *testing.T) {
+	s := Default()
+	if s.Cores != 16 || s.FetchWidth != 3 || s.ROBEntries != 96 {
+		t.Errorf("core parameters drifted from Table I: %+v", s)
+	}
+	if s.L1ISizeBytes != 64<<10 || s.L1IAssoc != 2 || s.BlockBytes != 64 {
+		t.Errorf("L1-I parameters drifted from Table I")
+	}
+	if s.L2HitCycles != 15 {
+		t.Errorf("L2 latency = %d, want 15", s.L2HitCycles)
+	}
+	if s.MemCycles() != 90 {
+		t.Errorf("memory latency = %d cycles, want 90 (45ns at 2GHz)", s.MemCycles())
+	}
+}
+
+func TestL1IGeometry(t *testing.T) {
+	l1 := Default().L1I()
+	if err := l1.Validate(); err != nil {
+		t.Fatalf("L1I geometry invalid: %v", err)
+	}
+	if l1.Sets() != 512 {
+		t.Errorf("L1I sets = %d, want 512", l1.Sets())
+	}
+}
+
+func TestFrontendConfig(t *testing.T) {
+	fc := Default().Frontend(7)
+	if fc.Seed != 7 {
+		t.Errorf("seed = %d", fc.Seed)
+	}
+	if fc.MaxWrongPathBlocks != 6 {
+		t.Errorf("MaxWrongPathBlocks = %d", fc.MaxWrongPathBlocks)
+	}
+	if err := fc.Predictor.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	s := Default()
+	s.FetchWidth = 0
+	if s.Validate() == nil {
+		t.Error("zero fetch width accepted")
+	}
+	s = Default()
+	s.L2HitCycles = 200 // slower than memory
+	if s.Validate() == nil {
+		t.Error("inverted latencies accepted")
+	}
+	s = Default()
+	s.L1ISizeBytes = 100
+	if s.Validate() == nil {
+		t.Error("bad L1 geometry accepted")
+	}
+}
+
+func TestTableIRendering(t *testing.T) {
+	out := Default().TableI()
+	for _, want := range []string{"64KB 2-way", "16K gShare", "512KB per core", "45 ns"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I rendering missing %q:\n%s", want, out)
+		}
+	}
+}

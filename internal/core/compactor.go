@@ -1,0 +1,99 @@
+package core
+
+import "repro/internal/isa"
+
+// SpatialCompactor groups the block-grain retire stream into spatial
+// region records (Section 4.1, Figure 5 left). It holds one open region;
+// retired blocks inside the region set bits, and the first block outside
+// it closes the region and opens a new one anchored there.
+type SpatialCompactor struct {
+	geom  Geometry
+	cur   Region
+	valid bool
+}
+
+// NewSpatialCompactor builds a compactor; it panics on invalid geometry.
+func NewSpatialCompactor(g Geometry) *SpatialCompactor {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	return &SpatialCompactor{geom: g}
+}
+
+// Geometry returns the compactor's region geometry.
+func (sc *SpatialCompactor) Geometry() Geometry { return sc.geom }
+
+// Observe consumes the next retired instruction block. tagged reports
+// whether the instruction's fetch was not served by a prefetch (carried to
+// the region record if this block becomes a trigger). When the block falls
+// outside the open region, the closed region is returned with emitted=true.
+func (sc *SpatialCompactor) Observe(b isa.Block, tl isa.TrapLevel, tagged bool) (out Region, emitted bool) {
+	if sc.valid && sc.cur.TL == tl && sc.cur.Set(sc.geom, b) {
+		return Region{}, false
+	}
+	out, emitted = sc.cur, sc.valid
+	sc.cur = NewRegion(sc.geom, b, tl, tagged)
+	sc.valid = true
+	return out, emitted
+}
+
+// Flush closes and returns the open region, if any.
+func (sc *SpatialCompactor) Flush() (Region, bool) {
+	if !sc.valid {
+		return Region{}, false
+	}
+	out := sc.cur
+	sc.valid = false
+	return out, true
+}
+
+// TemporalCompactor filters spatial region records that repeat while a
+// loop's footprint is still cache resident (Section 4.1, Figure 5 right).
+// It keeps the most recently observed records in MRU order; an incoming
+// record whose trigger matches an entry and whose bit vector is a subset
+// of the entry's is discarded (the entry is promoted), otherwise the
+// record is admitted for history insertion and stored as MRU.
+type TemporalCompactor struct {
+	depth   int
+	entries []Region // MRU first
+}
+
+// NewTemporalCompactor builds a compactor tracking depth records; depth 0
+// disables temporal compaction (every record is admitted).
+func NewTemporalCompactor(depth int) *TemporalCompactor {
+	if depth < 0 {
+		depth = 0
+	}
+	return &TemporalCompactor{depth: depth}
+}
+
+// Depth returns the configured MRU depth.
+func (tc *TemporalCompactor) Depth() int { return tc.depth }
+
+// Filter decides the fate of an incoming region record: admit=true means
+// the caller should append it to the history buffer.
+func (tc *TemporalCompactor) Filter(r Region) (admit bool) {
+	if tc.depth == 0 {
+		return true
+	}
+	for i := range tc.entries {
+		if r.SubsetOf(tc.entries[i]) {
+			// Promote the matching entry to MRU and discard the incoming
+			// record: this loop iteration is already recorded.
+			e := tc.entries[i]
+			copy(tc.entries[1:i+1], tc.entries[:i])
+			tc.entries[0] = e
+			return false
+		}
+	}
+	// Admit: store as MRU, evicting the LRU entry if full.
+	if len(tc.entries) < tc.depth {
+		tc.entries = append(tc.entries, Region{})
+	}
+	copy(tc.entries[1:], tc.entries[:len(tc.entries)-1])
+	tc.entries[0] = r
+	return true
+}
+
+// Reset clears the MRU contents.
+func (tc *TemporalCompactor) Reset() { tc.entries = tc.entries[:0] }

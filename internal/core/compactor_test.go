@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestSpatialCompactorGroupsAdjacent(t *testing.T) {
+	sc := NewSpatialCompactor(DefaultGeometry())
+	// Blocks 100,101,102 are one region; 200 closes it.
+	if _, emitted := sc.Observe(100, isa.TL0, true); emitted {
+		t.Fatal("first block should not emit")
+	}
+	if _, emitted := sc.Observe(101, isa.TL0, false); emitted {
+		t.Fatal("in-region block should not emit")
+	}
+	if _, emitted := sc.Observe(102, isa.TL0, false); emitted {
+		t.Fatal("in-region block should not emit")
+	}
+	region, emitted := sc.Observe(200, isa.TL0, false)
+	if !emitted {
+		t.Fatal("out-of-region block should close the region")
+	}
+	if region.Trigger != 100 || !region.TriggerTagged {
+		t.Errorf("region = %+v", region)
+	}
+	g := DefaultGeometry()
+	for _, b := range []isa.Block{100, 101, 102} {
+		if !region.Has(g, b) {
+			t.Errorf("block %v missing from region", b)
+		}
+	}
+	if region.PopCount() != 3 {
+		t.Errorf("popcount = %d, want 3", region.PopCount())
+	}
+}
+
+func TestSpatialCompactorBackwardBlock(t *testing.T) {
+	// The example of Figure 5: trigger A, then A+2, then A-1 — all within
+	// one region with Prec>=1.
+	sc := NewSpatialCompactor(DefaultGeometry())
+	sc.Observe(100, isa.TL0, false)
+	sc.Observe(102, isa.TL0, false)
+	if _, emitted := sc.Observe(99, isa.TL0, false); emitted {
+		t.Fatal("backward in-region block should not close the region")
+	}
+	region, ok := sc.Flush()
+	if !ok {
+		t.Fatal("flush should return the open region")
+	}
+	g := DefaultGeometry()
+	if !region.Has(g, 99) || !region.Has(g, 100) || !region.Has(g, 102) {
+		t.Errorf("region misses blocks: %v", region)
+	}
+}
+
+func TestSpatialCompactorTrapLevelSplit(t *testing.T) {
+	// A block at a different trap level must close the region even if
+	// spatially adjacent (handlers record into separate streams).
+	sc := NewSpatialCompactor(DefaultGeometry())
+	sc.Observe(100, isa.TL0, false)
+	region, emitted := sc.Observe(101, isa.TL1, false)
+	if !emitted {
+		t.Fatal("trap-level change should close region")
+	}
+	if region.TL != isa.TL0 {
+		t.Errorf("closed region TL = %v", region.TL)
+	}
+}
+
+func TestSpatialCompactorDistantJumpBeyondPrec(t *testing.T) {
+	// A backward jump beyond Prec must start a new region.
+	sc := NewSpatialCompactor(DefaultGeometry())
+	sc.Observe(100, isa.TL0, false)
+	region, emitted := sc.Observe(97, isa.TL0, false) // prec is 2: 97 < 98
+	if !emitted {
+		t.Fatal("far backward block should close region")
+	}
+	if region.Trigger != 100 {
+		t.Errorf("trigger = %v", region.Trigger)
+	}
+}
+
+func TestSpatialCompactorFlushEmpty(t *testing.T) {
+	sc := NewSpatialCompactor(DefaultGeometry())
+	if _, ok := sc.Flush(); ok {
+		t.Error("flush of empty compactor should report nothing")
+	}
+}
+
+func TestTemporalCompactorDropsLoopRepeats(t *testing.T) {
+	tc := NewTemporalCompactor(4)
+	g := DefaultGeometry()
+	r := NewRegion(g, 100, isa.TL0, false)
+	r.Set(g, 101)
+	if !tc.Filter(r) {
+		t.Fatal("first occurrence must be admitted")
+	}
+	// Identical record (loop iteration): dropped.
+	if tc.Filter(r) {
+		t.Error("repeat should be filtered")
+	}
+	// Subset record: also dropped.
+	sub := NewRegion(g, 100, isa.TL0, false)
+	if tc.Filter(sub) {
+		t.Error("subset repeat should be filtered")
+	}
+	// Superset record (new blocks touched): admitted.
+	super := r
+	super.Set(g, 104)
+	if !tc.Filter(super) {
+		t.Error("superset is new information and must be admitted")
+	}
+}
+
+func TestTemporalCompactorLRUEviction(t *testing.T) {
+	tc := NewTemporalCompactor(2)
+	g := DefaultGeometry()
+	mk := func(trig isa.Block) Region { return NewRegion(g, trig, isa.TL0, false) }
+	tc.Filter(mk(10)) // MRU: 10
+	tc.Filter(mk(20)) // MRU: 20,10
+	tc.Filter(mk(30)) // evicts 10 → 30,20
+	if tc.Filter(mk(20)) {
+		t.Error("20 should still match")
+	}
+	if !tc.Filter(mk(10)) {
+		t.Error("10 was evicted and must be admitted again")
+	}
+}
+
+func TestTemporalCompactorPromotion(t *testing.T) {
+	tc := NewTemporalCompactor(2)
+	g := DefaultGeometry()
+	mk := func(trig isa.Block) Region { return NewRegion(g, trig, isa.TL0, false) }
+	tc.Filter(mk(10)) // [10]
+	tc.Filter(mk(20)) // [20,10]
+	// Touch 10: promotes it to MRU → [10,20].
+	if tc.Filter(mk(10)) {
+		t.Fatal("10 should match")
+	}
+	// Insert 30: evicts LRU=20 → [30,10].
+	tc.Filter(mk(30))
+	if tc.Filter(mk(10)) {
+		t.Error("10 should have been protected by promotion")
+	}
+	if !tc.Filter(mk(20)) {
+		t.Error("20 should have been evicted")
+	}
+}
+
+func TestTemporalCompactorDisabled(t *testing.T) {
+	tc := NewTemporalCompactor(0)
+	g := DefaultGeometry()
+	r := NewRegion(g, 100, isa.TL0, false)
+	for i := 0; i < 3; i++ {
+		if !tc.Filter(r) {
+			t.Fatal("disabled compactor must admit everything")
+		}
+	}
+}
+
+func TestTemporalCompactorReset(t *testing.T) {
+	tc := NewTemporalCompactor(4)
+	g := DefaultGeometry()
+	r := NewRegion(g, 100, isa.TL0, false)
+	tc.Filter(r)
+	tc.Reset()
+	if !tc.Filter(r) {
+		t.Error("after Reset the record must be admitted again")
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import "repro/internal/isa"
+
+// HistoryBuffer is the circular FIFO of spatial region records
+// (Section 4.2). Positions are absolute (monotonically increasing), so a
+// stale index entry whose record has been overwritten is detectable.
+type HistoryBuffer struct {
+	buf  []Region
+	tail uint64 // absolute position of the next append
+}
+
+// NewHistoryBuffer builds a buffer holding capacity regions. A capacity of
+// 0 is normalized to 1.
+func NewHistoryBuffer(capacity int) *HistoryBuffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &HistoryBuffer{buf: make([]Region, capacity)}
+}
+
+// Cap returns the buffer capacity in regions.
+func (h *HistoryBuffer) Cap() int { return len(h.buf) }
+
+// Tail returns the absolute position of the next append.
+func (h *HistoryBuffer) Tail() uint64 { return h.tail }
+
+// Append stores a region and returns its absolute position.
+func (h *HistoryBuffer) Append(r Region) uint64 {
+	pos := h.tail
+	h.buf[pos%uint64(len(h.buf))] = r
+	h.tail++
+	return pos
+}
+
+// At returns the region at absolute position pos; ok is false when the
+// position has been overwritten (older than capacity) or not yet written.
+func (h *HistoryBuffer) At(pos uint64) (Region, bool) {
+	if pos >= h.tail || h.tail-pos > uint64(len(h.buf)) {
+		return Region{}, false
+	}
+	return h.buf[pos%uint64(len(h.buf))], true
+}
+
+// indexEntry is one index-table mapping.
+type indexEntry struct {
+	trigger isa.Block
+	pos     uint64
+	prev    int
+	next    int
+	valid   bool
+}
+
+// IndexTable maps a trigger block to the history position of its most
+// recent record (Section 4.2). It is a bounded cache-like structure with
+// LRU replacement, implemented as a map plus an intrusive doubly-linked
+// LRU list over a fixed entry pool.
+type IndexTable struct {
+	entries []indexEntry
+	lookup  map[isa.Block]int
+	head    int // MRU
+	tailIdx int // LRU
+	used    int
+}
+
+// NewIndexTable builds an index with the given entry capacity (minimum 1).
+func NewIndexTable(capacity int) *IndexTable {
+	if capacity < 1 {
+		capacity = 1
+	}
+	t := &IndexTable{
+		entries: make([]indexEntry, capacity),
+		lookup:  make(map[isa.Block]int, capacity),
+		head:    -1,
+		tailIdx: -1,
+	}
+	return t
+}
+
+// Cap returns the entry capacity.
+func (t *IndexTable) Cap() int { return len(t.entries) }
+
+// Len returns the number of live entries.
+func (t *IndexTable) Len() int { return t.used }
+
+// unlink removes entry i from the LRU list.
+func (t *IndexTable) unlink(i int) {
+	e := &t.entries[i]
+	if e.prev >= 0 {
+		t.entries[e.prev].next = e.next
+	} else {
+		t.head = e.next
+	}
+	if e.next >= 0 {
+		t.entries[e.next].prev = e.prev
+	} else {
+		t.tailIdx = e.prev
+	}
+	e.prev, e.next = -1, -1
+}
+
+// pushFront inserts entry i at the MRU position.
+func (t *IndexTable) pushFront(i int) {
+	e := &t.entries[i]
+	e.prev = -1
+	e.next = t.head
+	if t.head >= 0 {
+		t.entries[t.head].prev = i
+	}
+	t.head = i
+	if t.tailIdx < 0 {
+		t.tailIdx = i
+	}
+}
+
+// Put maps trigger to pos, updating an existing entry or evicting the LRU.
+func (t *IndexTable) Put(trigger isa.Block, pos uint64) {
+	if i, ok := t.lookup[trigger]; ok {
+		t.entries[i].pos = pos
+		t.unlink(i)
+		t.pushFront(i)
+		return
+	}
+	var i int
+	if t.used < len(t.entries) {
+		i = t.used
+		t.used++
+	} else {
+		i = t.tailIdx
+		delete(t.lookup, t.entries[i].trigger)
+		t.unlink(i)
+	}
+	t.entries[i] = indexEntry{trigger: trigger, pos: pos, prev: -1, next: -1, valid: true}
+	t.lookup[trigger] = i
+	t.pushFront(i)
+}
+
+// Get returns the most recent history position recorded for trigger and
+// promotes the entry to MRU.
+func (t *IndexTable) Get(trigger isa.Block) (uint64, bool) {
+	i, ok := t.lookup[trigger]
+	if !ok {
+		return 0, false
+	}
+	t.unlink(i)
+	t.pushFront(i)
+	return t.entries[i].pos, true
+}

@@ -1,0 +1,185 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Each driver regenerates the corresponding artifact —
+// the same rows and series the paper reports — against the synthetic
+// workload suite, and returns both structured data (for tests and
+// downstream tooling) and rendered text (for the cmd/experiments CLI).
+//
+// See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for the
+// paper-vs-measured record produced by these drivers.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Options control the scale and system configuration of every experiment.
+type Options struct {
+	// Workloads is the evaluated suite (defaults to the six standard
+	// workloads in the paper's order).
+	Workloads []workload.Profile
+	// System is the simulated machine (Table I).
+	System config.System
+	// WarmupInstrs executes before measurement in simulation-based
+	// experiments (and before trace analysis windows in trace-based ones)
+	// so results reflect steady state, per the paper's methodology.
+	WarmupInstrs uint64
+	// MeasureInstrs is the measured interval length.
+	MeasureInstrs uint64
+}
+
+// DefaultOptions is the full-scale configuration used by cmd/experiments.
+func DefaultOptions() Options {
+	return Options{
+		Workloads:     workload.StandardSuite(),
+		System:        config.Default(),
+		WarmupInstrs:  8_000_000,
+		MeasureInstrs: 2_000_000,
+	}
+}
+
+// QuickOptions is a reduced-scale configuration for tests and benchmarks.
+// Coverage numbers are slightly depressed (less warmup) but every shape
+// assertion in the test suite holds at this scale.
+func QuickOptions() Options {
+	return Options{
+		Workloads:     workload.StandardSuite(),
+		System:        config.Default(),
+		WarmupInstrs:  4_000_000,
+		MeasureInstrs: 1_000_000,
+	}
+}
+
+// Validate rejects unusable options.
+func (o Options) Validate() error {
+	if len(o.Workloads) == 0 {
+		return fmt.Errorf("experiments: no workloads")
+	}
+	if o.MeasureInstrs == 0 {
+		return fmt.Errorf("experiments: zero measurement interval")
+	}
+	return o.System.Validate()
+}
+
+// Env caches per-workload artifacts (programs, retire-order streams) so
+// that the trace-based experiments do not regenerate them repeatedly.
+type Env struct {
+	opts Options
+
+	mu       sync.Mutex
+	programs map[string]*workload.Program
+	streams  map[string]trace.Stream
+}
+
+// NewEnv builds an environment; it panics on invalid options (experiment
+// configuration is programmer input).
+func NewEnv(opts Options) *Env {
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
+	return &Env{
+		opts:     opts,
+		programs: make(map[string]*workload.Program),
+		streams:  make(map[string]trace.Stream),
+	}
+}
+
+// Options returns the environment's options.
+func (e *Env) Options() Options { return e.opts }
+
+// Program returns the (cached) program image for a workload.
+func (e *Env) Program(p workload.Profile) (*workload.Program, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if prog, ok := e.programs[p.Name]; ok {
+		return prog, nil
+	}
+	prog, err := workload.BuildProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	e.programs[p.Name] = prog
+	return prog, nil
+}
+
+// Stream returns the (cached) retire-order stream covering warmup plus
+// measurement for a workload.
+func (e *Env) Stream(p workload.Profile) (trace.Stream, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s, ok := e.streams[p.Name]; ok {
+		return s, nil
+	}
+	prog, ok := e.programs[p.Name]
+	if !ok {
+		var err error
+		prog, err = workload.BuildProgram(p)
+		if err != nil {
+			return nil, err
+		}
+		e.programs[p.Name] = prog
+	}
+	total := e.opts.WarmupInstrs + e.opts.MeasureInstrs
+	s := make(trace.Stream, 0, total+1024)
+	ex := workload.NewExecutor(prog)
+	ex.Run(total, func(r trace.Record) { s = append(s, r) })
+	e.streams[p.Name] = s
+	return s, nil
+}
+
+// Report is a rendered experiment artifact.
+type Report struct {
+	// ID is the artifact identifier ("fig2", "table1", ...).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Text is the rendered result.
+	Text string
+}
+
+// Runner regenerates one artifact.
+type Runner func(e *Env) (Report, error)
+
+// registry maps artifact IDs to runners, populated by init functions in
+// the per-figure files.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) { registry[id] = r }
+
+// IDs returns the registered artifact identifiers in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run regenerates one artifact by ID.
+func Run(e *Env, id string) (Report, error) {
+	r, ok := registry[id]
+	if !ok {
+		return Report{}, fmt.Errorf("experiments: unknown artifact %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r(e)
+}
+
+// RunAll regenerates every registered artifact in ID order.
+func RunAll(e *Env) ([]Report, error) {
+	var out []Report
+	for _, id := range IDs() {
+		rep, err := Run(e, id)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// sharedEnv caches generated streams across the test file (QuickOptions
+// scale); building it once keeps the suite fast.
+var (
+	envOnce sync.Once
+	env     *Env
+)
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment tests are skipped in -short mode")
+	}
+	envOnce.Do(func() { env = NewEnv(QuickOptions()) })
+	return env
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatalf("default options invalid: %v", err)
+	}
+	bad := DefaultOptions()
+	bad.Workloads = nil
+	if bad.Validate() == nil {
+		t.Error("empty workloads accepted")
+	}
+	bad = DefaultOptions()
+	bad.MeasureInstrs = 0
+	if bad.Validate() == nil {
+		t.Error("zero measurement accepted")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig10", "fig2", "fig3", "fig7", "fig8", "fig9", "table1"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("IDs[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	e := NewEnv(QuickOptions())
+	if _, err := Run(e, "fig99"); err == nil {
+		t.Error("unknown artifact accepted")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	e := testEnv(t)
+	r, err := Fig2(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Workloads) != 6 {
+		t.Fatalf("workloads = %v", r.Workloads)
+	}
+	for i, w := range r.Workloads {
+		// Robust shape assertions (see EXPERIMENTS.md for the Fig 2
+		// deviation note: our single-core substrate fragments the miss
+		// stream less than the paper's 16-core full-system traces, so
+		// Miss does not fall far below Retire; the remaining ordering
+		// and the near-perfect RetireSep level do reproduce).
+		if r.Access[i] > r.Retire[i]+0.03 {
+			t.Errorf("%s: Access %.3f above Retire %.3f (wrong-path noise should hurt)", w, r.Access[i], r.Retire[i])
+		}
+		if r.RetireSep[i]+0.03 < r.Retire[i] {
+			t.Errorf("%s: RetireSep %.3f well below Retire %.3f", w, r.RetireSep[i], r.RetireSep[i])
+		}
+		if r.RetireSep[i] < 0.80 {
+			t.Errorf("%s: RetireSep coverage %.3f, want >= 0.80 at quick scale", w, r.RetireSep[i])
+		}
+		for _, v := range [][2]interface{}{{r.Miss[i], "Miss"}, {r.Access[i], "Access"}, {r.Retire[i], "Retire"}} {
+			if v[0].(float64) < 0.5 || v[0].(float64) > 1.0 {
+				t.Errorf("%s: %s coverage %.3f out of range", w, v[1], v[0].(float64))
+			}
+		}
+	}
+	if !strings.Contains(r.Render(), "Figure 2") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	e := testEnv(t)
+	r, err := Fig3(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range r.Workloads {
+		multi := r.MultiBlockFraction(i)
+		if multi < 0.40 {
+			t.Errorf("%s: multi-block region fraction %.3f, want > 0.40 (paper: >50%%)", w, multi)
+		}
+		disc := r.DiscontinuousFraction(i)
+		if disc < 0.01 || disc > 0.60 {
+			t.Errorf("%s: discontinuous fraction %.3f out of plausible range (paper: ~20%%)", w, disc)
+		}
+		// Distributions sum to 1.
+		var dsum float64
+		for _, v := range r.Density[i] {
+			dsum += v
+		}
+		if dsum < 0.999 || dsum > 1.001 {
+			t.Errorf("%s: density distribution sums to %.4f", w, dsum)
+		}
+	}
+	if !strings.Contains(r.Render(), "Figure 3") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	e := testEnv(t)
+	r, err := Fig7(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range r.Workloads {
+		// CDF must be monotone and end at ~1.
+		cdf := r.CDF[i]
+		for k := 1; k < len(cdf); k++ {
+			if cdf[k] < cdf[k-1] {
+				t.Fatalf("%s: CDF not monotone at %d", w, k)
+			}
+		}
+		if cdf[len(cdf)-1] < 0.999 {
+			t.Errorf("%s: CDF ends at %.4f", w, cdf[len(cdf)-1])
+		}
+		// The paper's claim: old streams contribute substantially — a
+		// meaningful fraction of predictions come from jumps beyond 2^10.
+		if old := r.FractionBeyond(i, 10); old < 0.05 {
+			t.Errorf("%s: only %.3f of predictions from jumps beyond 2^10 (deep history unnecessary?)", w, old)
+		}
+	}
+}
+
+func TestFig8LeftShape(t *testing.T) {
+	e := testEnv(t)
+	r, err := Fig8Left(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Suites) != 3 {
+		t.Fatalf("suites = %v", r.Suites)
+	}
+	for i, s := range r.Suites {
+		frac := func(d int) float64 {
+			for j, off := range r.Offsets {
+				if off == d {
+					return r.Frac[i][j]
+				}
+			}
+			t.Fatalf("offset %d missing", d)
+			return 0
+		}
+		// Immediately succeeding block dominates; far blocks decay.
+		if frac(1) < frac(8) {
+			t.Errorf("%s: +1 (%.3f) should dominate +8 (%.3f)", s, frac(1), frac(8))
+		}
+		if frac(1) < frac(-4) {
+			t.Errorf("%s: +1 (%.3f) should dominate -4 (%.3f)", s, frac(1), frac(-4))
+		}
+		// Preceding blocks occur with significant frequency (the paper's
+		// argument for keeping two blocks before the trigger).
+		if frac(-1)+frac(-2) < 0.01 {
+			t.Errorf("%s: backward accesses too rare (%.4f)", s, frac(-1)+frac(-2))
+		}
+	}
+}
+
+func TestFig8RightShape(t *testing.T) {
+	e := testEnv(t)
+	r, err := Fig8Right(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tl1First, tl1Last float64
+	for i, w := range r.Workloads {
+		last := len(r.Sizes) - 1
+		// Region size 8 must beat size 1 on TL0 coverage.
+		if r.TL0[i][last] <= r.TL0[i][0] {
+			t.Errorf("%s: TL0 coverage did not improve with region size (%.3f -> %.3f)",
+				w, r.TL0[i][0], r.TL0[i][last])
+		}
+		// TL1 coverage must not regress badly per workload (small
+		// ceiling-effect wiggles allowed) and must improve on average.
+		if r.TL1[i][last] < r.TL1[i][0]-0.15 {
+			t.Errorf("%s: TL1 coverage regressed with region size (%.3f -> %.3f)",
+				w, r.TL1[i][0], r.TL1[i][last])
+		}
+		tl1First += r.TL1[i][0]
+		tl1Last += r.TL1[i][last]
+	}
+	if tl1Last < tl1First {
+		t.Errorf("mean TL1 coverage regressed with region size (%.3f -> %.3f)",
+			tl1First/float64(len(r.Workloads)), tl1Last/float64(len(r.Workloads)))
+	}
+}
+
+func TestFig9LeftShape(t *testing.T) {
+	e := testEnv(t)
+	r, err := Fig9Left(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range r.Workloads {
+		cdf := r.CDF[i]
+		for k := 1; k < len(cdf); k++ {
+			if cdf[k] < cdf[k-1] {
+				t.Fatalf("%s: CDF not monotone", w)
+			}
+		}
+		// Medium/long streams dominate: streams of >= 2^4 regions should
+		// contribute the majority of correct predictions.
+		if frac := r.FractionFromStreamsAtLeast(i, 4); frac < 0.5 {
+			t.Errorf("%s: streams >= 16 regions contribute only %.3f of predictions", w, frac)
+		}
+	}
+}
+
+func TestFig9RightShape(t *testing.T) {
+	e := testEnv(t)
+	r, err := Fig9Right(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range r.Workloads {
+		row := r.Coverage[i]
+		last := len(row) - 1
+		// More history must not hurt substantially, and the largest size
+		// must beat the smallest.
+		if row[last] <= row[0] {
+			t.Errorf("%s: coverage did not grow with history (%.3f -> %.3f)", w, row[0], row[last])
+		}
+		// Saturation: 128K should not be dramatically better than 32K
+		// (the paper's engineering knee).
+		i32 := indexOf(r.Sizes, 32<<10)
+		if row[last]-row[i32] > 0.05 {
+			t.Errorf("%s: coverage still rising sharply past 32K (%.3f -> %.3f)", w, row[i32], row[last])
+		}
+	}
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestFig10Shape(t *testing.T) {
+	e := testEnv(t)
+	r, err := Fig10(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range r.Workloads {
+		if r.PIFCov[i] <= r.NextLineCov[i] {
+			t.Errorf("%s: PIF coverage %.3f <= next-line %.3f", w, r.PIFCov[i], r.NextLineCov[i])
+		}
+		if r.PIFCov[i] < r.TIFSCov[i] {
+			t.Errorf("%s: PIF coverage %.3f < TIFS %.3f", w, r.PIFCov[i], r.TIFSCov[i])
+		}
+		if r.PIFCov[i] < 0.85 {
+			t.Errorf("%s: PIF coverage %.3f, want >= 0.85 (paper: ~99%%)", w, r.PIFCov[i])
+		}
+		if r.TIFSCov[i] < 0.3 || r.TIFSCov[i] > 0.97 {
+			t.Errorf("%s: TIFS coverage %.3f outside the paper's 65-90%% band (loosely)", w, r.TIFSCov[i])
+		}
+		// Speedups ordered; PIF converges to perfect.
+		if r.PIFSpeedup[i] < r.TIFSSpeedup[i] || r.TIFSSpeedup[i] < r.NextLineSpeedup[i]-0.02 {
+			t.Errorf("%s: speedup ordering broken: NL %.3f TIFS %.3f PIF %.3f",
+				w, r.NextLineSpeedup[i], r.TIFSSpeedup[i], r.PIFSpeedup[i])
+		}
+		if r.PIFSpeedup[i] > r.PerfectSpeedup[i]*1.02 {
+			t.Errorf("%s: PIF speedup %.3f exceeds perfect %.3f", w, r.PIFSpeedup[i], r.PerfectSpeedup[i])
+		}
+		if r.PIFSpeedup[i] < 1.0 {
+			t.Errorf("%s: PIF slows down the machine (%.3f)", w, r.PIFSpeedup[i])
+		}
+	}
+	// Headline: PIF mean speedup close to perfect's.
+	if gap := r.MeanPerfectSpeedup() - r.MeanPIFSpeedup(); gap > 0.06 {
+		t.Errorf("PIF mean %.3f too far from perfect mean %.3f",
+			r.MeanPIFSpeedup(), r.MeanPerfectSpeedup())
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	e := NewEnv(QuickOptions())
+	text, err := Table1(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table I", "OLTP DB2", "Web Zeus", "footprint"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+}
+
+func TestRunAllProducesReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll is slow")
+	}
+	// A tiny suite keeps this integration test fast while exercising the
+	// registry end to end.
+	opts := QuickOptions()
+	opts.Workloads = []workload.Profile{workload.DSSQry2()}
+	opts.WarmupInstrs = 1_000_000
+	opts.MeasureInstrs = 500_000
+	e := NewEnv(opts)
+	reports, err := RunAll(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(IDs()) {
+		t.Fatalf("got %d reports, want %d", len(reports), len(IDs()))
+	}
+	for _, rep := range reports {
+		if rep.Text == "" {
+			t.Errorf("%s: empty report", rep.ID)
+		}
+	}
+}

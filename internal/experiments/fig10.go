@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Fig10Result holds the competitive comparison: L1 miss coverage and
+// speedup (UIPC normalized to the no-prefetch baseline) per workload for
+// the next-line prefetcher, TIFS, PIF, and the perfect-latency L1.
+type Fig10Result struct {
+	Workloads []string
+
+	// Miss coverage relative to the no-prefetch baseline miss count.
+	NextLineCov []float64
+	TIFSCov     []float64
+	PIFCov      []float64
+
+	// Speedups over the no-prefetch baseline.
+	NextLineSpeedup []float64
+	TIFSSpeedup     []float64
+	PIFSpeedup      []float64
+	PerfectSpeedup  []float64
+}
+
+// NextLineDegree is the aggressive next-line configuration compared
+// against (degree-4 sequential prefetch).
+const NextLineDegree = 4
+
+// Fig10 reproduces Figure 10: the left panel's miss coverage (fraction of
+// the baseline's correct-path misses eliminated) and the right panel's
+// speedup, for Next-Line, TIFS, PIF, and the perfect-latency L1 bound.
+// TIFS and PIF run with unlimited history, matching the paper's
+// competitive comparison "without history storage limitations".
+func Fig10(e *Env) (Fig10Result, error) {
+	opts := e.Options()
+	res := Fig10Result{}
+
+	scfg := sim.Config{
+		System:        opts.System,
+		WarmupInstrs:  opts.WarmupInstrs,
+		MeasureInstrs: opts.MeasureInstrs,
+	}
+	perfCfg := scfg
+	perfCfg.PerfectL1 = true
+
+	pifCfg := core.DefaultConfig()
+	pifCfg.HistoryRegions = 1 << 22 // effectively unlimited
+	pifCfg.IndexEntries = 1 << 22
+	tifsCfg := prefetch.DefaultTIFSConfig() // HistoryBlocks 0 = unlimited
+
+	for _, wl := range opts.Workloads {
+		base, err := sim.Run(scfg, wl, prefetch.None{})
+		if err != nil {
+			return res, err
+		}
+		nl, err := sim.Run(scfg, wl, prefetch.NewNextLine(NextLineDegree))
+		if err != nil {
+			return res, err
+		}
+		tifs, err := sim.Run(scfg, wl, prefetch.NewTIFS(tifsCfg))
+		if err != nil {
+			return res, err
+		}
+		pif, err := sim.Run(scfg, wl, core.New(pifCfg))
+		if err != nil {
+			return res, err
+		}
+		perf, err := sim.Run(perfCfg, wl, prefetch.None{})
+		if err != nil {
+			return res, err
+		}
+
+		cov := func(r sim.Result) float64 {
+			if base.CorrectMisses == 0 {
+				return 0
+			}
+			c := 1 - float64(r.CorrectMisses)/float64(base.CorrectMisses)
+			if c < 0 {
+				c = 0
+			}
+			return c
+		}
+		spd := func(r sim.Result) float64 {
+			if base.UIPC == 0 {
+				return 0
+			}
+			return r.UIPC / base.UIPC
+		}
+
+		res.Workloads = append(res.Workloads, wl.Name)
+		res.NextLineCov = append(res.NextLineCov, cov(nl))
+		res.TIFSCov = append(res.TIFSCov, cov(tifs))
+		res.PIFCov = append(res.PIFCov, cov(pif))
+		res.NextLineSpeedup = append(res.NextLineSpeedup, spd(nl))
+		res.TIFSSpeedup = append(res.TIFSSpeedup, spd(tifs))
+		res.PIFSpeedup = append(res.PIFSpeedup, spd(pif))
+		res.PerfectSpeedup = append(res.PerfectSpeedup, spd(perf))
+	}
+	return res, nil
+}
+
+// MeanPIFSpeedup returns the average PIF speedup (the paper's headline
+// "27% on average").
+func (r Fig10Result) MeanPIFSpeedup() float64 { return stats.Mean(r.PIFSpeedup) }
+
+// MeanPerfectSpeedup returns the average perfect-L1 speedup (paper: 29%).
+func (r Fig10Result) MeanPerfectSpeedup() float64 { return stats.Mean(r.PerfectSpeedup) }
+
+// Render formats both panels.
+func (r Fig10Result) Render() string {
+	left := &stats.Table{
+		Title:   "Figure 10 (left): L1 miss coverage",
+		ColName: []string{"Next-Line", "TIFS", "PIF"},
+	}
+	right := &stats.Table{
+		Title:   "Figure 10 (right): speedup over no-prefetch baseline",
+		ColName: []string{"Next-Line", "TIFS", "PIF", "Perfect"},
+	}
+	for i, w := range r.Workloads {
+		left.AddRow(w, r.NextLineCov[i], r.TIFSCov[i], r.PIFCov[i])
+		right.AddRow(w, r.NextLineSpeedup[i], r.TIFSSpeedup[i], r.PIFSpeedup[i], r.PerfectSpeedup[i])
+	}
+	right.AddRow("average",
+		stats.Mean(r.NextLineSpeedup), stats.Mean(r.TIFSSpeedup),
+		stats.Mean(r.PIFSpeedup), stats.Mean(r.PerfectSpeedup))
+	return left.Render(true) + "\n" + right.Render(false)
+}
+
+func init() {
+	register("fig10", func(e *Env) (Report, error) {
+		r, err := Fig10(e)
+		if err != nil {
+			return Report{}, err
+		}
+		return Report{ID: "fig10", Title: "Competitive coverage and performance comparison", Text: r.Render()}, nil
+	})
+}

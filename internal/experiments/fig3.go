@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/stats"
+)
+
+// fig3Geometry is the wide region used for the density study: Figure 3
+// buckets region populations up to 17-32 blocks, so regions are measured
+// with a 32-block window skewed after the trigger.
+var fig3Geometry = core.Geometry{Prec: 8, Succ: 23}
+
+// Fig3Result holds the Figure 3 data.
+type Fig3Result struct {
+	Workloads []string
+	// Density[workload][bucket]: fraction of spatial regions with
+	// 1 / 2 / 3-4 / 5-8 / 9-16 / 17-32 accessed blocks.
+	Density [][]float64
+	// Discontinuity[workload][bucket]: fraction of spatial regions with
+	// 1 / 2 / 3-4 / 5-8 / 9-16 discontinuous groups of sequential blocks.
+	Discontinuity [][]float64
+}
+
+// DensityBuckets labels the Figure 3 (left) x-axis.
+var DensityBuckets = []string{"1", "2", "3-4", "5-8", "9-16", "17-32"}
+
+// DiscontinuityBuckets labels the Figure 3 (right) x-axis.
+var DiscontinuityBuckets = []string{"1", "2", "3-4", "5-8", "9-16"}
+
+// bucketIndex maps a count into the 1/2/3-4/5-8/9-16/17-32 bucketing.
+func bucketIndex(n int) int {
+	switch {
+	case n <= 1:
+		return 0
+	case n == 2:
+		return 1
+	case n <= 4:
+		return 2
+	case n <= 8:
+		return 3
+	case n <= 16:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// Fig3 reproduces Figure 3: the spatial-region density distribution (left)
+// and the distribution of discontinuous access groups within regions
+// (right), measured by running the spatial compactor over the retire-order
+// block stream. Only unique accesses per region are counted (the bit
+// vector), avoiding over-counting from small loops, as in the paper.
+func Fig3(e *Env) (Fig3Result, error) {
+	opts := e.Options()
+	res := Fig3Result{}
+	for _, wl := range opts.Workloads {
+		stream, err := e.Stream(wl)
+		if err != nil {
+			return res, err
+		}
+		density := stats.NewHistogram()
+		disc := stats.NewHistogram()
+		sc := core.NewSpatialCompactor(fig3Geometry)
+		var (
+			lastBlk isa.Block
+			have    bool
+			instrs  uint64
+		)
+		observe := func(r core.Region, ok bool) {
+			if !ok {
+				return
+			}
+			density.Observe(bucketIndex(r.PopCount()))
+			disc.Observe(bucketIndex(r.SeqGroups()))
+		}
+		for _, rec := range stream {
+			instrs++
+			if instrs < opts.WarmupInstrs {
+				continue
+			}
+			b := rec.Block()
+			if have && b == lastBlk {
+				continue
+			}
+			lastBlk, have = b, true
+			r, ok := sc.Observe(b, rec.TL, false)
+			observe(r, ok)
+		}
+		observe(sc.Flush())
+
+		dRow := make([]float64, len(DensityBuckets))
+		for i := range dRow {
+			dRow[i] = density.Fraction(i)
+		}
+		gRow := make([]float64, len(DiscontinuityBuckets))
+		for i := range gRow {
+			gRow[i] = disc.Fraction(i)
+		}
+		res.Workloads = append(res.Workloads, wl.Name)
+		res.Density = append(res.Density, dRow)
+		res.Discontinuity = append(res.Discontinuity, gRow)
+	}
+	return res, nil
+}
+
+// MultiBlockFraction returns the fraction of regions with more than one
+// accessed block for workload index i (the paper's ">50%" observation).
+func (r Fig3Result) MultiBlockFraction(i int) float64 {
+	return 1 - r.Density[i][0]
+}
+
+// DiscontinuousFraction returns the fraction of regions with discontinuous
+// accesses for workload index i (the paper's "approximately one fifth").
+func (r Fig3Result) DiscontinuousFraction(i int) float64 {
+	return 1 - r.Discontinuity[i][0]
+}
+
+// Render formats both panels of Figure 3.
+func (r Fig3Result) Render() string {
+	left := &stats.Table{
+		Title:   "Figure 3 (left): density of spatial regions (accessed blocks per region)",
+		ColName: DensityBuckets,
+	}
+	right := &stats.Table{
+		Title:   "Figure 3 (right): discontinuous access groups within spatial regions",
+		ColName: DiscontinuityBuckets,
+	}
+	for i, w := range r.Workloads {
+		left.AddRow(w, r.Density[i]...)
+		right.AddRow(w, r.Discontinuity[i]...)
+	}
+	return left.Render(true) + "\n" + right.Render(true)
+}
+
+func init() {
+	register("fig3", func(e *Env) (Report, error) {
+		r, err := Fig3(e)
+		if err != nil {
+			return Report{}, err
+		}
+		return Report{ID: "fig3", Title: "Spatial region density and discontinuity", Text: r.Render()}, nil
+	})
+}

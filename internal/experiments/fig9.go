@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Fig9MaxLog2 is the largest stream-length bucket rendered (the paper's
+// x-axis runs to log2 = 21 in 8-block regions).
+const Fig9MaxLog2 = 21
+
+// Fig9LeftResult holds the stream-length contribution CDF per workload.
+type Fig9LeftResult struct {
+	Workloads []string
+	// CDF[workload][log2 bucket]: cumulative fraction of correct
+	// predictions contributed by streams of at most 2^bucket regions.
+	CDF [][]float64
+}
+
+// Fig9Left reproduces Figure 9 (left): the distribution of correct
+// predictions over temporal stream lengths. Every stream (one SAB
+// lifetime) contributes its advance count at the log2 bucket of its
+// length, so long streams' larger contribution is visible directly.
+func Fig9Left(e *Env) (Fig9LeftResult, error) {
+	opts := e.Options()
+	res := Fig9LeftResult{}
+	for _, wl := range opts.Workloads {
+		hist := stats.NewHistogram()
+		pif := core.New(core.DefaultConfig())
+		pif.SetStreamEndHook(func(advances uint64) {
+			if advances > 0 {
+				hist.ObserveN(stats.Log2Bucket(advances), advances)
+			}
+		})
+		scfg := sim.Config{
+			System:        opts.System,
+			WarmupInstrs:  opts.WarmupInstrs,
+			MeasureInstrs: opts.MeasureInstrs,
+		}
+		if _, err := sim.Run(scfg, wl, pif); err != nil {
+			return res, err
+		}
+		cdf := make([]float64, Fig9MaxLog2+1)
+		var cum uint64
+		for k := 0; k <= Fig9MaxLog2; k++ {
+			cum += hist.Count(k)
+			if hist.Total() > 0 {
+				cdf[k] = float64(cum) / float64(hist.Total())
+			}
+		}
+		res.Workloads = append(res.Workloads, wl.Name)
+		res.CDF = append(res.CDF, cdf)
+	}
+	return res, nil
+}
+
+// FractionFromStreamsAtLeast returns, for workload i, the fraction of
+// correct predictions contributed by streams of at least 2^log2Len regions.
+func (r Fig9LeftResult) FractionFromStreamsAtLeast(i, log2Len int) float64 {
+	if log2Len <= 0 {
+		return 1
+	}
+	return 1 - r.CDF[i][log2Len-1]
+}
+
+// Render formats the CDF at the odd log2 points the paper labels.
+func (r Fig9LeftResult) Render() string {
+	var cols []string
+	for k := 1; k <= Fig9MaxLog2; k += 2 {
+		cols = append(cols, fmt.Sprintf("2^%d", k))
+	}
+	tab := &stats.Table{
+		Title:   "Figure 9 (left): correct predictions by temporal stream length (CDF, regions)",
+		ColName: cols,
+	}
+	for i, w := range r.Workloads {
+		var vals []float64
+		for k := 1; k <= Fig9MaxLog2; k += 2 {
+			vals = append(vals, r.CDF[i][k])
+		}
+		tab.AddRow(w, vals...)
+	}
+	return tab.Render(true)
+}
+
+// Fig9HistorySizes is the swept history buffer capacity in regions.
+var Fig9HistorySizes = []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10}
+
+// Fig9RightResult holds coverage vs history size.
+type Fig9RightResult struct {
+	Workloads []string
+	Sizes     []int
+	// Coverage[workload][size index].
+	Coverage [][]float64
+}
+
+// Fig9Right reproduces Figure 9 (right): predictor coverage as the history
+// buffer capacity varies. Coverage rises monotonically with storage and
+// saturates — the paper's engineering argument for a 32K-region buffer.
+func Fig9Right(e *Env) (Fig9RightResult, error) {
+	opts := e.Options()
+	res := Fig9RightResult{Sizes: Fig9HistorySizes}
+	for _, wl := range opts.Workloads {
+		row := make([]float64, len(Fig9HistorySizes))
+		for si, size := range Fig9HistorySizes {
+			cfg := core.DefaultConfig()
+			cfg.HistoryRegions = size
+			scfg := sim.Config{
+				System:        opts.System,
+				WarmupInstrs:  opts.WarmupInstrs,
+				MeasureInstrs: opts.MeasureInstrs,
+			}
+			r, err := sim.Run(scfg, wl, core.New(cfg))
+			if err != nil {
+				return res, err
+			}
+			row[si] = r.Coverage()
+		}
+		res.Workloads = append(res.Workloads, wl.Name)
+		res.Coverage = append(res.Coverage, row)
+	}
+	return res, nil
+}
+
+// Render formats the history sweep.
+func (r Fig9RightResult) Render() string {
+	cols := make([]string, len(r.Sizes))
+	for i, s := range r.Sizes {
+		cols[i] = fmt.Sprintf("%dK", s>>10)
+	}
+	tab := &stats.Table{
+		Title:   "Figure 9 (right): coverage vs history buffer size (regions)",
+		ColName: cols,
+	}
+	for i, w := range r.Workloads {
+		tab.AddRow(w, r.Coverage[i]...)
+	}
+	return tab.Render(true)
+}
+
+func init() {
+	register("fig9", func(e *Env) (Report, error) {
+		left, err := Fig9Left(e)
+		if err != nil {
+			return Report{}, err
+		}
+		right, err := Fig9Right(e)
+		if err != nil {
+			return Report{}, err
+		}
+		return Report{
+			ID:    "fig9",
+			Title: "Stream length contribution and history size sensitivity",
+			Text:  left.Render() + "\n" + right.Render(),
+		}, nil
+	})
+}

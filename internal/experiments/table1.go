@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table1 renders the system configuration (Table I left) and the workload
+// suite (Table I right) actually used by this reproduction, including the
+// synthetic-substitution parameters, so every experiment's machine and
+// workloads are auditable in one place.
+func Table1(e *Env) (string, error) {
+	opts := e.Options()
+	var b strings.Builder
+	b.WriteString(opts.System.TableI())
+	b.WriteString("\nTable I (right): workload suite (synthetic stand-ins; see DESIGN.md §4)\n")
+	for _, wl := range opts.Workloads {
+		prog, err := e.Program(wl)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  %-12s %-5s funcs=%d shared=%d handlers=%d footprint=%dKB tx=%d/%d variants, intr every %d\n",
+			wl.Name, wl.Suite,
+			wl.Funcs, wl.SharedFuncs, wl.HandlerFuncs,
+			prog.FootprintBlks*64/1024,
+			wl.TxTypes, wl.TxVariants, wl.InterruptEvery)
+	}
+	return b.String(), nil
+}
+
+func init() {
+	register("table1", func(e *Env) (Report, error) {
+		text, err := Table1(e)
+		if err != nil {
+			return Report{}, err
+		}
+		return Report{ID: "table1", Title: "System and application parameters", Text: text}, nil
+	})
+}

@@ -1,0 +1,92 @@
+// Package isa defines the address arithmetic shared by every component of
+// the simulator: instruction addresses, instruction-block addresses, and
+// spatial-region offset computations.
+//
+// The model follows the paper's SPARC-v9-like configuration: fixed 4-byte
+// instructions packed into 64-byte instruction cache blocks. All other
+// packages operate on these types rather than raw integers so that the
+// block geometry is defined exactly once.
+package isa
+
+import "fmt"
+
+// Geometry of the instruction stream. These mirror Table I of the paper
+// (64 B cache blocks) and the SPARC fixed 4 B instruction encoding.
+const (
+	// InstrBytes is the size of one instruction in bytes.
+	InstrBytes = 4
+	// BlockBytes is the size of one instruction cache block in bytes.
+	BlockBytes = 64
+	// InstrsPerBlock is the number of instructions in one cache block.
+	InstrsPerBlock = BlockBytes / InstrBytes
+	// BlockShift is log2(BlockBytes), used to convert PCs to block numbers.
+	BlockShift = 6
+)
+
+// Addr is a virtual instruction address (a PC).
+type Addr uint64
+
+// Block is an instruction-block number: the PC right-shifted by BlockShift.
+// Two PCs in the same 64-byte block map to the same Block.
+type Block uint64
+
+// BlockOf returns the instruction block containing the address.
+func BlockOf(pc Addr) Block { return Block(pc >> BlockShift) }
+
+// BlockBase returns the lowest PC inside the block.
+func (b Block) BlockBase() Addr { return Addr(b) << BlockShift }
+
+// Addr returns the base address of the block (alias of BlockBase for
+// call sites that read better with a short name).
+func (b Block) Addr() Addr { return b.BlockBase() }
+
+// Add returns the block delta positions after b (delta may be negative).
+func (b Block) Add(delta int) Block { return Block(int64(b) + int64(delta)) }
+
+// Distance returns the signed distance in blocks from b to other.
+func (b Block) Distance(other Block) int { return int(int64(other) - int64(b)) }
+
+// Next returns the block immediately following b.
+func (b Block) Next() Block { return b + 1 }
+
+// String renders the block as a hex block number.
+func (b Block) String() string { return fmt.Sprintf("blk:%#x", uint64(b)) }
+
+// String renders the address in hex.
+func (a Addr) String() string { return fmt.Sprintf("%#x", uint64(a)) }
+
+// Plus returns the address n instructions after a.
+func (a Addr) Plus(n int) Addr { return Addr(int64(a) + int64(n*InstrBytes)) }
+
+// AlignToInstr clears the low bits so the address is instruction aligned.
+func (a Addr) AlignToInstr() Addr { return a &^ (InstrBytes - 1) }
+
+// SameBlock reports whether two addresses fall in the same instruction block.
+func SameBlock(a, b Addr) bool { return BlockOf(a) == BlockOf(b) }
+
+// TrapLevel identifies the processor trap level of an instruction.
+// TL0 is ordinary application/OS execution; TL1 is hardware trap/interrupt
+// handler execution. The paper records separate temporal streams per level
+// (the "RetireSep" configuration).
+type TrapLevel uint8
+
+const (
+	// TL0 is normal execution.
+	TL0 TrapLevel = 0
+	// TL1 is hardware interrupt / trap handler execution.
+	TL1 TrapLevel = 1
+	// NumTrapLevels is the number of modeled trap levels.
+	NumTrapLevels = 2
+)
+
+// String names the trap level like the paper's figures ("TL0", "TL1").
+func (t TrapLevel) String() string {
+	switch t {
+	case TL0:
+		return "TL0"
+	case TL1:
+		return "TL1"
+	default:
+		return fmt.Sprintf("TL%d", uint8(t))
+	}
+}

@@ -1,0 +1,137 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockOf(t *testing.T) {
+	cases := []struct {
+		pc   Addr
+		want Block
+	}{
+		{0x0, 0},
+		{0x3c, 0},
+		{0x40, 1},
+		{0x7f, 1},
+		{0x80, 2},
+		{0x10000, 0x400},
+		{0xffffffffffffffc0, 0x3ffffffffffffff},
+	}
+	for _, c := range cases {
+		if got := BlockOf(c.pc); got != c.want {
+			t.Errorf("BlockOf(%v) = %v, want %v", c.pc, got, c.want)
+		}
+	}
+}
+
+func TestBlockBaseRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		b := Block(raw & 0x3ffffffffffffff)
+		return BlockOf(b.BlockBase()) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockBaseIsLowestAddrInBlock(t *testing.T) {
+	f := func(raw uint64) bool {
+		pc := Addr(raw)
+		base := BlockOf(pc).BlockBase()
+		return base <= pc && pc < base+BlockBytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockAddDistance(t *testing.T) {
+	b := Block(100)
+	if got := b.Add(5); got != Block(105) {
+		t.Errorf("Add(5) = %v", got)
+	}
+	if got := b.Add(-3); got != Block(97) {
+		t.Errorf("Add(-3) = %v", got)
+	}
+	if got := b.Distance(Block(110)); got != 10 {
+		t.Errorf("Distance = %d", got)
+	}
+	if got := b.Distance(Block(90)); got != -10 {
+		t.Errorf("Distance = %d", got)
+	}
+	if got := b.Next(); got != Block(101) {
+		t.Errorf("Next = %v", got)
+	}
+}
+
+func TestAddDistanceInverse(t *testing.T) {
+	f := func(raw uint64, delta int16) bool {
+		b := Block(raw & 0xffffffff)
+		return b.Distance(b.Add(int(delta))) == int(delta)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrPlus(t *testing.T) {
+	a := Addr(0x1000)
+	if got := a.Plus(1); got != 0x1004 {
+		t.Errorf("Plus(1) = %v", got)
+	}
+	if got := a.Plus(16); got != 0x1040 {
+		t.Errorf("Plus(16) = %v", got)
+	}
+	if BlockOf(a.Plus(16)) != BlockOf(a)+1 {
+		t.Error("16 instructions should advance exactly one block")
+	}
+}
+
+func TestAlignToInstr(t *testing.T) {
+	for raw := Addr(0x1000); raw < 0x1008; raw++ {
+		got := raw.AlignToInstr()
+		if got%InstrBytes != 0 {
+			t.Errorf("AlignToInstr(%v) = %v not aligned", raw, got)
+		}
+		if got > raw || raw-got >= InstrBytes {
+			t.Errorf("AlignToInstr(%v) = %v out of range", raw, got)
+		}
+	}
+}
+
+func TestSameBlock(t *testing.T) {
+	if !SameBlock(0x40, 0x7c) {
+		t.Error("0x40 and 0x7c share a block")
+	}
+	if SameBlock(0x3c, 0x40) {
+		t.Error("0x3c and 0x40 are in different blocks")
+	}
+}
+
+func TestGeometryConstants(t *testing.T) {
+	if InstrsPerBlock != 16 {
+		t.Errorf("InstrsPerBlock = %d, want 16", InstrsPerBlock)
+	}
+	if 1<<BlockShift != BlockBytes {
+		t.Errorf("BlockShift inconsistent with BlockBytes")
+	}
+}
+
+func TestTrapLevelString(t *testing.T) {
+	if TL0.String() != "TL0" || TL1.String() != "TL1" {
+		t.Errorf("unexpected trap level names: %s %s", TL0, TL1)
+	}
+	if TrapLevel(3).String() != "TL3" {
+		t.Errorf("unexpected name for TL3: %s", TrapLevel(3))
+	}
+}
+
+func TestBlockString(t *testing.T) {
+	if Block(0x10).String() != "blk:0x10" {
+		t.Errorf("Block.String = %s", Block(0x10))
+	}
+	if Addr(0x40).String() != "0x40" {
+		t.Errorf("Addr.String = %s", Addr(0x40))
+	}
+}

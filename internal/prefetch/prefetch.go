@@ -1,0 +1,99 @@
+// Package prefetch defines the prefetcher interface shared by all engines
+// in the repository and implements the paper's comparison baselines: the
+// aggressive next-line prefetcher and TIFS (Temporal Instruction Fetch
+// Streaming), which records and replays the L1-I *miss* stream.
+//
+// Proactive Instruction Fetch itself lives in internal/core and implements
+// the same interface; the perfect-L1 upper bound is handled by the timing
+// simulator (it is a property of the cache, not a prefetch engine).
+package prefetch
+
+import (
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// AccessEvent describes one L1-I demand probe observed by a prefetcher.
+type AccessEvent struct {
+	// Block is the probed instruction block.
+	Block isa.Block
+	// TL is the trap level of the fetch.
+	TL isa.TrapLevel
+	// WrongPath marks accesses later squashed by misprediction recovery.
+	WrongPath bool
+	// Hit reports whether the probe hit in the L1-I.
+	Hit bool
+	// WasPrefetched reports whether the hit line had been brought in by a
+	// prefetch and not yet demanded.
+	WasPrefetched bool
+}
+
+// Prefetched reports whether the fetch was served by a prefetch — the
+// complement of the paper's "tagged" (not explicitly prefetched) property.
+func (e AccessEvent) Prefetched() bool { return e.Hit && e.WasPrefetched }
+
+// Issuer is the channel through which prefetchers inject blocks into the
+// L1-I. Implementations (the simulator) model fill latency and pollution.
+type Issuer interface {
+	// Contains probes the cache tags without disturbing LRU state.
+	Contains(b isa.Block) bool
+	// Prefetch queues a prefetch fill for b. Issuing for a resident block
+	// is a harmless no-op (implementations probe first).
+	Prefetch(b isa.Block)
+}
+
+// Prefetcher is a pluggable instruction prefetch engine.
+type Prefetcher interface {
+	// Name labels the engine in result tables.
+	Name() string
+	// OnAccess observes a front-end demand probe and may issue prefetches.
+	OnAccess(ev AccessEvent, iss Issuer)
+	// OnRetire observes a retired instruction. tagged reports that the
+	// instruction's fetch was not served by a prefetch (the paper's tag
+	// bit carried down the pipeline).
+	OnRetire(r trace.Record, tagged bool, iss Issuer)
+}
+
+// None is the no-prefetch baseline.
+type None struct{}
+
+// Name implements Prefetcher.
+func (None) Name() string { return "None" }
+
+// OnAccess implements Prefetcher.
+func (None) OnAccess(AccessEvent, Issuer) {}
+
+// OnRetire implements Prefetcher.
+func (None) OnRetire(trace.Record, bool, Issuer) {}
+
+// NextLine is the aggressive next-line prefetcher [Smith 1978; Jouppi 1990]:
+// on every demand access it prefetches the next Degree sequential blocks.
+type NextLine struct {
+	// Degree is the number of sequential successors fetched per access.
+	Degree int
+}
+
+// NewNextLine returns a next-line prefetcher with the given degree
+// (degree 4 matches the "aggressive" configuration of the evaluation).
+func NewNextLine(degree int) *NextLine {
+	if degree <= 0 {
+		degree = 1
+	}
+	return &NextLine{Degree: degree}
+}
+
+// Name implements Prefetcher.
+func (n *NextLine) Name() string { return "Next-Line" }
+
+// OnAccess implements Prefetcher.
+func (n *NextLine) OnAccess(ev AccessEvent, iss Issuer) {
+	for i := 1; i <= n.Degree; i++ {
+		b := ev.Block.Add(i)
+		if !iss.Contains(b) {
+			iss.Prefetch(b)
+		}
+	}
+}
+
+// OnRetire implements Prefetcher.
+func (n *NextLine) OnRetire(trace.Record, bool, Issuer) {}

@@ -1,0 +1,299 @@
+// Package sim is the trace-driven timing and coverage simulator: it drives
+// a workload's retire-order stream through the front-end model, the L1-I
+// cache, and a pluggable prefetcher, and accounts fetch-stall cycles to
+// produce the UIPC-proportional throughput metric of the paper's
+// performance comparison (Figure 10 right) and the miss-coverage metric of
+// the competitive comparison (Figure 10 left).
+//
+// The timing model charges each retired instruction 1/width cycles plus the
+// exposed latency of correct-path instruction fetch misses (L2 hit or
+// memory fill, reduced by prefetch timeliness), which is the first-order
+// bottleneck the paper attacks; see DESIGN.md §4 for the substitution
+// rationale.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/frontend"
+	"repro/internal/isa"
+	"repro/internal/prefetch"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// System is the Table I machine description.
+	System config.System
+	// PerfectL1 makes every fetch complete with hit latency (the paper's
+	// perfect-latency cache upper bound); the cache and prefetcher still
+	// operate normally so externally observable behavior matches.
+	PerfectL1 bool
+	// WarmupInstrs executes before statistics are reset (checkpoint
+	// warming in the paper's methodology).
+	WarmupInstrs uint64
+	// MeasureInstrs is the measured instruction count.
+	MeasureInstrs uint64
+}
+
+// DefaultConfig returns a laptop-scale analog of the paper's methodology:
+// warmed structures, then a measured interval.
+func DefaultConfig() Config {
+	return Config{
+		System:        config.Default(),
+		WarmupInstrs:  2_000_000,
+		MeasureInstrs: 2_000_000,
+	}
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Workload   string
+	Prefetcher string
+
+	Instructions uint64
+	Cycles       uint64
+	// UIPC is user instructions committed per cycle (the paper's
+	// throughput metric).
+	UIPC float64
+
+	L1 cache.Stats
+	FE frontend.Stats
+
+	// Correct-path demand fetch accounting (wrong-path excluded).
+	CorrectAccesses uint64
+	CorrectMisses   uint64
+	CoveredMisses   uint64 // demand hits on prefetched lines
+	// StallCycles is the exposed fetch latency.
+	StallCycles uint64
+	// PrefetchesIssued counts issuer fills.
+	PrefetchesIssued uint64
+}
+
+// Coverage returns the fraction of would-be misses eliminated by
+// prefetching: covered / (covered + residual misses).
+func (r Result) Coverage() float64 {
+	denom := r.CoveredMisses + r.CorrectMisses
+	if denom == 0 {
+		return 0
+	}
+	return float64(r.CoveredMisses) / float64(denom)
+}
+
+// MissRatio returns correct-path misses per correct-path access.
+func (r Result) MissRatio() float64 {
+	if r.CorrectAccesses == 0 {
+		return 0
+	}
+	return float64(r.CorrectMisses) / float64(r.CorrectAccesses)
+}
+
+// Simulator couples the models for one run.
+type Simulator struct {
+	cfg Config
+	l1  *cache.Cache
+	fe  *frontend.Frontend
+	pf  prefetch.Prefetcher
+
+	instrs     uint64
+	stall      uint64
+	everFilled map[isa.Block]struct{} // L2-resident approximation
+	readyAt    map[isa.Block]uint64   // in-flight prefetch completion times
+	polluter   *cache.Polluter
+
+	correctAccesses uint64
+	correctMisses   uint64
+	coveredMisses   uint64
+	prefIssued      uint64
+
+	lastTagged bool
+	obs        Observer
+}
+
+// Observer receives per-event callbacks from the measured interval of a
+// run; experiments use it to slice statistics (e.g. per trap level).
+type Observer interface {
+	// OnCorrectFetch is called for every correct-path demand fetch.
+	OnCorrectFetch(tl isa.TrapLevel, hit, wasPrefetched bool)
+}
+
+// New builds a simulator; it panics on invalid system configuration.
+func New(cfg Config, pf prefetch.Prefetcher, feSeed int64) *Simulator {
+	if err := cfg.System.Validate(); err != nil {
+		panic(err)
+	}
+	return &Simulator{
+		cfg:        cfg,
+		l1:         cache.New(cfg.System.L1I()),
+		fe:         frontend.New(cfg.System.Frontend(feSeed)),
+		pf:         pf,
+		everFilled: make(map[isa.Block]struct{}, 1<<16),
+		readyAt:    make(map[isa.Block]uint64, 1<<10),
+		lastTagged: true,
+		polluter: cache.NewPolluter(
+			cfg.System.CtxSwitchEveryInstrs, cfg.System.CtxSwitchBlocks, feSeed^0x706f6c),
+	}
+}
+
+// now returns the current cycle count: issue cycles at the machine width,
+// plus modeled data-side stalls, plus exposed instruction-fetch stalls.
+func (s *Simulator) now() uint64 {
+	base := s.instrs / uint64(s.cfg.System.FetchWidth)
+	data := uint64(float64(s.instrs) * s.cfg.System.DataStallCPI)
+	return base + data + s.stall
+}
+
+// fillLatency returns the fill time for block b: L2 hit for previously
+// touched blocks (the multi-megabyte working set is L2 resident), memory
+// for cold blocks.
+func (s *Simulator) fillLatency(b isa.Block) uint64 {
+	if _, ok := s.everFilled[b]; ok {
+		return uint64(s.cfg.System.L2HitCycles)
+	}
+	return uint64(s.cfg.System.MemCycles())
+}
+
+// issuer is the prefetch.Issuer the simulator hands to prefetchers.
+type issuer struct{ s *Simulator }
+
+// Contains implements prefetch.Issuer.
+func (i issuer) Contains(b isa.Block) bool { return i.s.l1.Contains(b) }
+
+// Prefetch implements prefetch.Issuer: the block is installed immediately
+// (behavioral) with a completion time used to charge partial stalls when
+// demand arrives before the fill.
+func (i issuer) Prefetch(b isa.Block) {
+	s := i.s
+	if s.l1.Contains(b) {
+		return
+	}
+	lat := s.fillLatency(b)
+	s.l1.Fill(b, true)
+	s.everFilled[b] = struct{}{}
+	s.readyAt[b] = s.now() + lat
+	s.prefIssued++
+}
+
+// access processes one front-end access.
+func (s *Simulator) access(a frontend.Access) {
+	hit, wasPrefetched := s.l1.Access(a.Block)
+
+	if !a.WrongPath {
+		s.correctAccesses++
+		if hit && wasPrefetched {
+			s.coveredMisses++
+		}
+		if !hit {
+			s.correctMisses++
+		}
+		s.lastTagged = !(hit && wasPrefetched)
+		if s.obs != nil {
+			s.obs.OnCorrectFetch(a.TL, hit, wasPrefetched)
+		}
+	}
+
+	// Timing: exposed latency on correct-path fetches only (wrong-path
+	// fills overlap with recovery).
+	if !s.cfg.PerfectL1 && !a.WrongPath {
+		if !hit {
+			s.stall += s.fillLatency(a.Block)
+		} else if wasPrefetched {
+			if ready, ok := s.readyAt[a.Block]; ok {
+				if now := s.now(); ready > now {
+					s.stall += ready - now // prefetch in flight: partial stall
+				}
+			}
+		}
+	}
+	if hit {
+		delete(s.readyAt, a.Block)
+	}
+
+	if !hit {
+		s.l1.Fill(a.Block, false)
+		s.everFilled[a.Block] = struct{}{}
+		delete(s.readyAt, a.Block)
+	}
+
+	s.pf.OnAccess(prefetch.AccessEvent{
+		Block:         a.Block,
+		TL:            a.TL,
+		WrongPath:     a.WrongPath,
+		Hit:           hit,
+		WasPrefetched: wasPrefetched,
+	}, issuer{s})
+}
+
+// Step consumes one retired instruction.
+func (s *Simulator) Step(r trace.Record) {
+	s.fe.Feed(r, s.access)
+	s.pf.OnRetire(r, s.lastTagged, issuer{s})
+	s.instrs++
+	s.polluter.Tick(s.l1)
+}
+
+// resetStats clears measurement state after warmup. The prefetch
+// completion times are keyed to the cycle counter, so in-flight prefetches
+// are considered complete at the measurement boundary.
+func (s *Simulator) resetStats() {
+	s.l1.ResetStats()
+	clear(s.readyAt)
+	s.instrs = 0
+	s.stall = 0
+	s.correctAccesses = 0
+	s.correctMisses = 0
+	s.coveredMisses = 0
+	s.prefIssued = 0
+}
+
+// result snapshots the measured interval.
+func (s *Simulator) result(workload string) Result {
+	r := Result{
+		Workload:         workload,
+		Prefetcher:       s.pf.Name(),
+		Instructions:     s.instrs,
+		Cycles:           s.now(),
+		L1:               s.l1.Stats(),
+		FE:               s.fe.Stats(),
+		CorrectAccesses:  s.correctAccesses,
+		CorrectMisses:    s.correctMisses,
+		CoveredMisses:    s.coveredMisses,
+		StallCycles:      s.stall,
+		PrefetchesIssued: s.prefIssued,
+	}
+	if r.Cycles > 0 {
+		r.UIPC = float64(r.Instructions) / float64(r.Cycles)
+	}
+	return r
+}
+
+// Run executes the full methodology for one workload/prefetcher pair:
+// build program, warm up, measure.
+func Run(cfg Config, wl workload.Profile, pf prefetch.Prefetcher) (Result, error) {
+	return RunWithObserver(cfg, wl, pf, nil)
+}
+
+// RunWithObserver is Run with an Observer attached for the measured
+// interval (warmup events are not observed).
+func RunWithObserver(cfg Config, wl workload.Profile, pf prefetch.Prefetcher, obs Observer) (Result, error) {
+	if cfg.MeasureInstrs == 0 {
+		return Result{}, fmt.Errorf("sim: zero measurement interval")
+	}
+	prog, err := workload.BuildProgram(wl)
+	if err != nil {
+		return Result{}, err
+	}
+	ex := workload.NewExecutor(prog)
+	s := New(cfg, pf, wl.Seed)
+
+	if cfg.WarmupInstrs > 0 {
+		ex.Run(cfg.WarmupInstrs, s.Step)
+		s.resetStats()
+	}
+	s.obs = obs
+	ex.Run(cfg.MeasureInstrs, s.Step)
+	return s.result(wl.Name), nil
+}

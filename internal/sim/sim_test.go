@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/prefetch"
+	"repro/internal/workload"
+)
+
+// quickConfig keeps unit-test runtimes low while warming long enough that
+// the measured interval is past the footprint-discovery phase (compulsory
+// misses depress every prefetcher's coverage identically).
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.WarmupInstrs = 3_000_000
+	cfg.MeasureInstrs = 1_000_000
+	return cfg
+}
+
+func TestRunBaseline(t *testing.T) {
+	r, err := Run(quickConfig(), workload.OLTPDB2(), prefetch.None{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Instructions == 0 || r.Cycles == 0 {
+		t.Fatalf("empty result: %+v", r)
+	}
+	if r.UIPC <= 0 || r.UIPC > 3 {
+		t.Errorf("UIPC = %f out of range (width 3)", r.UIPC)
+	}
+	if r.CorrectMisses == 0 {
+		t.Error("server workload on 64KB L1-I should miss")
+	}
+	if r.MissRatio() < 0.005 {
+		t.Errorf("miss ratio %f suspiciously low for a multi-MB footprint", r.MissRatio())
+	}
+	if r.Coverage() != 0 {
+		t.Errorf("None prefetcher coverage = %f, want 0", r.Coverage())
+	}
+}
+
+func TestPerfectL1NoStalls(t *testing.T) {
+	cfg := quickConfig()
+	cfg.PerfectL1 = true
+	r, err := Run(cfg, workload.OLTPDB2(), prefetch.None{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StallCycles != 0 {
+		t.Errorf("perfect L1 has %d stall cycles", r.StallCycles)
+	}
+	base, err := Run(quickConfig(), workload.OLTPDB2(), prefetch.None{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.UIPC <= base.UIPC {
+		t.Errorf("perfect UIPC %f not above baseline %f", r.UIPC, base.UIPC)
+	}
+}
+
+func TestNextLineImproves(t *testing.T) {
+	base, err := Run(quickConfig(), workload.OLTPDB2(), prefetch.None{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := Run(quickConfig(), workload.OLTPDB2(), prefetch.NewNextLine(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Coverage() <= 0.2 {
+		t.Errorf("next-line coverage = %f, want > 0.2 (sequential code)", nl.Coverage())
+	}
+	if nl.UIPC <= base.UIPC {
+		t.Errorf("next-line UIPC %f not above baseline %f", nl.UIPC, base.UIPC)
+	}
+}
+
+func TestPIFBeatsBaselines(t *testing.T) {
+	wl := workload.OLTPDB2()
+	base, err := Run(quickConfig(), wl, prefetch.None{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := Run(quickConfig(), wl, prefetch.NewNextLine(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pifRes, err := Run(quickConfig(), wl, core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfCfg := quickConfig()
+	perfCfg.PerfectL1 = true
+	perf, err := Run(perfCfg, wl, prefetch.None{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if pifRes.Coverage() <= nl.Coverage() {
+		t.Errorf("PIF coverage %f <= next-line %f", pifRes.Coverage(), nl.Coverage())
+	}
+	if pifRes.Coverage() < 0.8 {
+		t.Errorf("PIF coverage = %f, want >= 0.8", pifRes.Coverage())
+	}
+	if pifRes.UIPC <= base.UIPC {
+		t.Errorf("PIF UIPC %f <= baseline %f", pifRes.UIPC, base.UIPC)
+	}
+	if pifRes.UIPC > perf.UIPC*1.02 {
+		t.Errorf("PIF UIPC %f exceeds perfect %f by >2%%", pifRes.UIPC, perf.UIPC)
+	}
+}
+
+func TestTIFSBetweenNextLineAndPIF(t *testing.T) {
+	wl := workload.WebApache()
+	nl, err := Run(quickConfig(), wl, prefetch.NewNextLine(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tifs, err := Run(quickConfig(), wl, prefetch.NewTIFS(prefetch.DefaultTIFSConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pifRes, err := Run(quickConfig(), wl, core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tifs.Coverage() <= nl.Coverage() {
+		t.Errorf("TIFS coverage %f <= next-line %f", tifs.Coverage(), nl.Coverage())
+	}
+	if pifRes.Coverage() <= tifs.Coverage() {
+		t.Errorf("PIF coverage %f <= TIFS %f", pifRes.Coverage(), tifs.Coverage())
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	a, err := Run(quickConfig(), workload.DSSQry2(), prefetch.NewNextLine(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quickConfig(), workload.DSSQry2(), prefetch.NewNextLine(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("repeated runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestZeroMeasureRejected(t *testing.T) {
+	cfg := quickConfig()
+	cfg.MeasureInstrs = 0
+	if _, err := Run(cfg, workload.OLTPDB2(), prefetch.None{}); err == nil {
+		t.Error("zero measurement interval accepted")
+	}
+}
+
+func TestCoverageAndMissRatioBounds(t *testing.T) {
+	r := Result{CorrectAccesses: 100, CorrectMisses: 10, CoveredMisses: 30}
+	if got := r.Coverage(); got != 0.75 {
+		t.Errorf("Coverage = %f, want 0.75", got)
+	}
+	if got := r.MissRatio(); got != 0.1 {
+		t.Errorf("MissRatio = %f, want 0.1", got)
+	}
+	var zero Result
+	if zero.Coverage() != 0 || zero.MissRatio() != 0 {
+		t.Error("zero result should report zero ratios")
+	}
+}

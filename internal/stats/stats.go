@@ -1,0 +1,255 @@
+// Package stats provides the counters, histograms, and series containers
+// used by the experiment drivers to accumulate and render results in the
+// same shape as the paper's tables and figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a simple named event counter.
+type Counter struct {
+	Name  string
+	Count uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.Count++ }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n uint64) { c.Count += n }
+
+// Ratio returns c.Count / d.Count as a float, or 0 if d is zero.
+func (c *Counter) Ratio(d *Counter) float64 {
+	if d.Count == 0 {
+		return 0
+	}
+	return float64(c.Count) / float64(d.Count)
+}
+
+// Histogram is a dense linear histogram over int keys. Keys may be
+// negative (e.g., block offsets before a trigger access).
+type Histogram struct {
+	buckets map[int]uint64
+	total   uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make(map[int]uint64)}
+}
+
+// Observe adds one sample at key.
+func (h *Histogram) Observe(key int) { h.ObserveN(key, 1) }
+
+// ObserveN adds n samples at key.
+func (h *Histogram) ObserveN(key int, n uint64) {
+	h.buckets[key] += n
+	h.total += n
+}
+
+// Total returns the number of samples observed.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Count returns the number of samples at key.
+func (h *Histogram) Count(key int) uint64 { return h.buckets[key] }
+
+// Fraction returns the fraction of all samples at key.
+func (h *Histogram) Fraction(key int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.buckets[key]) / float64(h.total)
+}
+
+// Keys returns the observed keys in ascending order.
+func (h *Histogram) Keys() []int {
+	keys := make([]int, 0, len(h.buckets))
+	for k := range h.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// CumulativeAt returns the fraction of samples with key <= k.
+func (h *Histogram) CumulativeAt(k int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum uint64
+	for key, n := range h.buckets {
+		if key <= k {
+			sum += n
+		}
+	}
+	return float64(sum) / float64(h.total)
+}
+
+// BucketRange aggregates counts for keys in [lo, hi].
+func (h *Histogram) BucketRange(lo, hi int) uint64 {
+	var sum uint64
+	for key, n := range h.buckets {
+		if key >= lo && key <= hi {
+			sum += n
+		}
+	}
+	return sum
+}
+
+// Log2Bucket returns the log2 bucket index for a positive value:
+// values 1 → 0, 2..3 → 1, 4..7 → 2, etc. Zero and negatives map to 0.
+func Log2Bucket(v uint64) int {
+	if v <= 1 {
+		return 0
+	}
+	return int(math.Floor(math.Log2(float64(v))))
+}
+
+// Series is a named sequence of (label, value) points, the unit in which
+// experiments hand results to the renderer — one Series per line/bar group
+// of a paper figure.
+type Series struct {
+	Name   string
+	Labels []string
+	Values []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(label string, value float64) {
+	s.Labels = append(s.Labels, label)
+	s.Values = append(s.Values, value)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Table is a rectangular result: one row per workload (or config), one
+// column per measured quantity. It renders as aligned text, the textual
+// equivalent of a paper figure.
+type Table struct {
+	Title   string
+	ColName []string
+	Rows    []TableRow
+}
+
+// TableRow is one row of a Table.
+type TableRow struct {
+	Label  string
+	Values []float64
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(label string, values ...float64) {
+	t.Rows = append(t.Rows, TableRow{Label: label, Values: values})
+}
+
+// Render formats the table as aligned text with values printed as
+// percentages when pct is true.
+func (t *Table) Render(pct bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	width := 12
+	for _, r := range t.Rows {
+		if len(r.Label) > width {
+			width = len(r.Label)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width+2, "")
+	for _, c := range t.ColName {
+		fmt.Fprintf(&b, "%12s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", width+2, r.Label)
+		for _, v := range r.Values {
+			if pct {
+				fmt.Fprintf(&b, "%11.1f%%", v*100)
+			} else {
+				fmt.Fprintf(&b, "%12.3f", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderSeries formats a set of series as a labeled grid (labels of the
+// first series define the x axis).
+func RenderSeries(title string, pct bool, series ...*Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(series) == 0 {
+		return b.String()
+	}
+	width := 12
+	for _, s := range series {
+		if len(s.Name) > width {
+			width = len(s.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width+2, "")
+	for _, l := range series[0].Labels {
+		fmt.Fprintf(&b, "%10s", l)
+	}
+	b.WriteByte('\n')
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-*s", width+2, s.Name)
+		for _, v := range s.Values {
+			if pct {
+				fmt.Fprintf(&b, "%9.1f%%", v*100)
+			} else {
+				fmt.Fprintf(&b, "%10.3f", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WeightedCDF converts a histogram into a cumulative Series over its keys,
+// labelling keys with the given printf format.
+func WeightedCDF(name, labelFmt string, h *Histogram) *Series {
+	s := &Series{Name: name}
+	var cum uint64
+	for _, k := range h.Keys() {
+		cum += h.Count(k)
+		frac := 0.0
+		if h.Total() > 0 {
+			frac = float64(cum) / float64(h.Total())
+		}
+		s.Append(fmt.Sprintf(labelFmt, k), frac)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of vs, or 0 for empty input.
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// GeoMean returns the geometric mean of vs (all values must be positive),
+// or 0 for empty input.
+func GeoMean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vs)))
+}

@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	c := &Counter{Name: "hits"}
+	c.Inc()
+	c.Add(4)
+	if c.Count != 5 {
+		t.Errorf("Count = %d, want 5", c.Count)
+	}
+	d := &Counter{Name: "total", Count: 10}
+	if got := c.Ratio(d); got != 0.5 {
+		t.Errorf("Ratio = %f, want 0.5", got)
+	}
+	zero := &Counter{}
+	if got := c.Ratio(zero); got != 0 {
+		t.Errorf("Ratio with zero denominator = %f, want 0", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1)
+	h.Observe(1)
+	h.Observe(-3)
+	h.ObserveN(5, 7)
+	if h.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", h.Total())
+	}
+	if h.Count(1) != 2 || h.Count(-3) != 1 || h.Count(5) != 7 {
+		t.Errorf("unexpected counts: %d %d %d", h.Count(1), h.Count(-3), h.Count(5))
+	}
+	if got := h.Fraction(5); got != 0.7 {
+		t.Errorf("Fraction(5) = %f, want 0.7", got)
+	}
+	keys := h.Keys()
+	want := []int{-3, 1, 5}
+	if len(keys) != len(want) {
+		t.Fatalf("Keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Errorf("Keys[%d] = %d, want %d", i, keys[i], want[i])
+		}
+	}
+}
+
+func TestHistogramCumulative(t *testing.T) {
+	h := NewHistogram()
+	for k := 1; k <= 4; k++ {
+		h.Observe(k)
+	}
+	if got := h.CumulativeAt(2); got != 0.5 {
+		t.Errorf("CumulativeAt(2) = %f, want 0.5", got)
+	}
+	if got := h.CumulativeAt(100); got != 1.0 {
+		t.Errorf("CumulativeAt(100) = %f, want 1", got)
+	}
+	if got := h.CumulativeAt(0); got != 0 {
+		t.Errorf("CumulativeAt(0) = %f, want 0", got)
+	}
+}
+
+func TestHistogramBucketRange(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveN(2, 3)
+	h.ObserveN(3, 4)
+	h.ObserveN(8, 1)
+	if got := h.BucketRange(2, 4); got != 7 {
+		t.Errorf("BucketRange(2,4) = %d, want 7", got)
+	}
+	if got := h.BucketRange(5, 7); got != 0 {
+		t.Errorf("BucketRange(5,7) = %d, want 0", got)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.Fraction(1) != 0 || h.CumulativeAt(5) != 0 || h.Total() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestLog2Bucket(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3}, {1023, 9}, {1024, 10},
+	}
+	for _, c := range cases {
+		if got := Log2Bucket(c.v); got != c.want {
+			t.Errorf("Log2Bucket(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestLog2BucketMonotone(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := uint64(a), uint64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return Log2Bucket(x) <= Log2Bucket(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Name: "cov"}
+	s.Append("a", 0.5)
+	s.Append("b", 0.9)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Labels[1] != "b" || s.Values[1] != 0.9 {
+		t.Errorf("unexpected point: %v %v", s.Labels, s.Values)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{Title: "Figure X", ColName: []string{"Miss", "Access"}}
+	tab.AddRow("OLTP DB2", 0.75, 0.85)
+	out := tab.Render(true)
+	if !strings.Contains(out, "Figure X") || !strings.Contains(out, "OLTP DB2") {
+		t.Errorf("render missing parts:\n%s", out)
+	}
+	if !strings.Contains(out, "75.0%") || !strings.Contains(out, "85.0%") {
+		t.Errorf("render missing values:\n%s", out)
+	}
+	plain := tab.Render(false)
+	if !strings.Contains(plain, "0.750") {
+		t.Errorf("non-pct render wrong:\n%s", plain)
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	a := &Series{Name: "PIF"}
+	a.Append("DB2", 0.99)
+	a.Append("Oracle", 0.98)
+	out := RenderSeries("Fig 10", true, a)
+	if !strings.Contains(out, "PIF") || !strings.Contains(out, "99.0%") {
+		t.Errorf("series render wrong:\n%s", out)
+	}
+	if got := RenderSeries("empty", true); !strings.Contains(got, "empty") {
+		t.Errorf("empty render: %q", got)
+	}
+}
+
+func TestWeightedCDF(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveN(1, 1)
+	h.ObserveN(2, 1)
+	h.ObserveN(3, 2)
+	s := WeightedCDF("cdf", "%d", h)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Values[2] != 1.0 {
+		t.Errorf("CDF should end at 1, got %f", s.Values[2])
+	}
+	if s.Values[0] != 0.25 {
+		t.Errorf("first point = %f, want 0.25", s.Values[0])
+	}
+	for i := 1; i < s.Len(); i++ {
+		if s.Values[i] < s.Values[i-1] {
+			t.Errorf("CDF not monotone at %d", i)
+		}
+	}
+}
+
+func TestMeanGeoMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %f", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %f", got)
+	}
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean = %f, want 4", got)
+	}
+	if got := GeoMean([]float64{1, 0}); got != 0 {
+		t.Errorf("GeoMean with zero = %f, want 0", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %f", got)
+	}
+}

@@ -1,0 +1,234 @@
+// Package streampred implements the generic temporal-stream predictor used
+// by the Section 2 recording-point study (Figure 2): it records an
+// arbitrary block-address stream into an append-only history with an index
+// of most-recent occurrences, and replays the most recent stream when a
+// recorded address recurs. Prediction queries test whether a block lies in
+// the lookahead window of any active replay.
+//
+// The same machinery serves all four recording points (Miss, Access,
+// Retire, RetireSep) — only the stream fed to Observe differs — which is
+// exactly how the paper isolates the microarchitectural filtering and
+// noise effects: "all other aspects (including the actual instruction
+// stream) are exactly identical."
+package streampred
+
+import "repro/internal/isa"
+
+// Config sizes the predictor.
+type Config struct {
+	// Windows is the number of concurrently active replays (SAB analog).
+	Windows int
+	// Lookahead is how many upcoming history blocks each replay exposes
+	// to prediction queries.
+	Lookahead int
+	// AdvanceSlack is how far into the lookahead an observed block may
+	// match to advance a replay (tolerates small reorderings/gaps).
+	AdvanceSlack int
+	// MaxHistory bounds stored history in blocks; 0 means unlimited
+	// (the paper's "without history storage limitations" configuration).
+	MaxHistory int
+	// StaleAfter kills a replay window that has not advanced within this
+	// many observations — a replay that stops matching the live stream is
+	// dead, as in a hardware stream buffer. 0 disables staleness.
+	StaleAfter int
+}
+
+// DefaultConfig is the configuration used for the Figure 2 study.
+func DefaultConfig() Config {
+	return Config{Windows: 16, Lookahead: 32, AdvanceSlack: 8, MaxHistory: 0, StaleAfter: 64}
+}
+
+// Stats counts predictor events.
+type Stats struct {
+	Observed  uint64
+	Replays   uint64
+	Advances  uint64
+	Queries   uint64
+	QueryHits uint64
+}
+
+// window is one active replay of a recorded stream.
+type window struct {
+	pos      int // next history position to be consumed
+	live     bool
+	lru      uint64
+	openDist int // history distance between trigger occurrences at open
+}
+
+// Predictor records and replays temporal block streams.
+type Predictor struct {
+	cfg     Config
+	history []isa.Block
+	base    int // history[0] corresponds to absolute position base
+	index   map[isa.Block]int
+	windows []window
+	clock   uint64
+	stats   Stats
+
+	// AdvanceHook, when set, is invoked on every replay advance (a
+	// correct prediction) with the jump distance of the replay's opening
+	// trigger — the Figure 7 measurement (jumps weighted by coverage).
+	AdvanceHook func(openDist int)
+	// ExposeHook, when set, receives every history block a replay window
+	// newly exposes (at open, the initial lookahead; at each advance, the
+	// blocks sliding into the lookahead). Callers use it to maintain the
+	// "predictions that would be made" set of the Figure 2 methodology.
+	ExposeHook func(b isa.Block)
+}
+
+// New builds a predictor.
+func New(cfg Config) *Predictor {
+	if cfg.Windows <= 0 {
+		cfg.Windows = 1
+	}
+	if cfg.Lookahead <= 0 {
+		cfg.Lookahead = 1
+	}
+	if cfg.AdvanceSlack <= 0 {
+		cfg.AdvanceSlack = 1
+	}
+	return &Predictor{
+		cfg:     cfg,
+		index:   make(map[isa.Block]int),
+		windows: make([]window, cfg.Windows),
+	}
+}
+
+// Stats returns a copy of the counters.
+func (p *Predictor) Stats() Stats { return p.stats }
+
+// HistoryLen returns the number of history entries currently retained.
+func (p *Predictor) HistoryLen() int { return len(p.history) }
+
+// at returns the history entry at absolute position pos.
+func (p *Predictor) at(pos int) (isa.Block, bool) {
+	i := pos - p.base
+	if i < 0 || i >= len(p.history) {
+		return 0, false
+	}
+	return p.history[i], true
+}
+
+// end returns the absolute position one past the newest entry.
+func (p *Predictor) end() int { return p.base + len(p.history) }
+
+// Observe records the next block of the recording stream: it advances any
+// replay expecting b, otherwise tries to open a new replay at b's previous
+// occurrence, then appends b to the history and updates the index.
+func (p *Predictor) Observe(b isa.Block) {
+	p.stats.Observed++
+	p.clock++
+
+	if p.cfg.StaleAfter > 0 {
+		for i := range p.windows {
+			w := &p.windows[i]
+			if w.live && p.clock-w.lru > uint64(p.cfg.StaleAfter) {
+				w.live = false
+			}
+		}
+	}
+
+	advanced := false
+	for i := range p.windows {
+		w := &p.windows[i]
+		if !w.live {
+			continue
+		}
+		// Match b within the advance slack of the window.
+		for k := 0; k < p.cfg.AdvanceSlack; k++ {
+			hb, ok := p.at(w.pos + k)
+			if !ok {
+				break
+			}
+			if hb == b {
+				oldPos := w.pos
+				w.pos += k + 1
+				w.lru = p.clock
+				if w.pos >= p.end() {
+					w.live = false // replay ran off the recorded end
+				}
+				advanced = true
+				p.stats.Advances++
+				if p.AdvanceHook != nil {
+					p.AdvanceHook(w.openDist)
+				}
+				p.expose(oldPos+p.cfg.Lookahead, w.pos+p.cfg.Lookahead)
+				break
+			}
+		}
+		if advanced {
+			break
+		}
+	}
+
+	if !advanced {
+		if pos, ok := p.index[b]; ok {
+			p.open(pos+1, p.end()-pos)
+		}
+	}
+
+	p.index[b] = p.end()
+	p.history = append(p.history, b)
+	if p.cfg.MaxHistory > 0 && len(p.history) > p.cfg.MaxHistory {
+		drop := len(p.history) - p.cfg.MaxHistory
+		p.history = p.history[drop:]
+		p.base += drop
+	}
+}
+
+// open allocates a replay window at absolute history position pos,
+// replacing the least-recently-advanced window. openDist is the history
+// distance between the trigger's two occurrences.
+func (p *Predictor) open(pos, openDist int) {
+	if pos >= p.end() {
+		return
+	}
+	victim := 0
+	for i := range p.windows {
+		if !p.windows[i].live {
+			victim = i
+			break
+		}
+		if p.windows[i].lru < p.windows[victim].lru {
+			victim = i
+		}
+	}
+	p.windows[victim] = window{pos: pos, live: true, lru: p.clock, openDist: openDist}
+	p.stats.Replays++
+	p.expose(pos, pos+p.cfg.Lookahead)
+}
+
+// expose reports history blocks in [from, to) to the ExposeHook.
+func (p *Predictor) expose(from, to int) {
+	if p.ExposeHook == nil {
+		return
+	}
+	for pos := from; pos < to; pos++ {
+		if hb, ok := p.at(pos); ok {
+			p.ExposeHook(hb)
+		}
+	}
+}
+
+// Predicted reports whether block b lies in the lookahead window of any
+// active replay — i.e., whether the predictor would have prefetched it.
+func (p *Predictor) Predicted(b isa.Block) bool {
+	p.stats.Queries++
+	for i := range p.windows {
+		w := &p.windows[i]
+		if !w.live {
+			continue
+		}
+		for k := 0; k < p.cfg.Lookahead; k++ {
+			hb, ok := p.at(w.pos + k)
+			if !ok {
+				break
+			}
+			if hb == b {
+				p.stats.QueryHits++
+				return true
+			}
+		}
+	}
+	return false
+}

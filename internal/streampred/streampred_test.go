@@ -1,0 +1,190 @@
+package streampred
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func blocks(vals ...int) []isa.Block {
+	out := make([]isa.Block, len(vals))
+	for i, v := range vals {
+		out[i] = isa.Block(v)
+	}
+	return out
+}
+
+func TestReplayPredictsRepeatedStream(t *testing.T) {
+	p := New(DefaultConfig())
+	seq := blocks(10, 11, 12, 13, 14, 20, 30, 40)
+	for _, b := range seq {
+		p.Observe(b)
+	}
+	// Interleave an unrelated stream so the repeat is not adjacent.
+	for _, b := range blocks(100, 101, 102) {
+		p.Observe(b)
+	}
+	// Second occurrence of the stream head should open a replay...
+	p.Observe(isa.Block(10))
+	// ...which predicts the rest of the recorded stream.
+	for _, b := range blocks(11, 12, 13, 14, 20, 30, 40) {
+		if !p.Predicted(b) {
+			t.Errorf("block %v not predicted on replay", b)
+		}
+	}
+	if p.Predicted(isa.Block(999)) {
+		t.Error("unrecorded block predicted")
+	}
+}
+
+func TestColdStreamNotPredicted(t *testing.T) {
+	p := New(DefaultConfig())
+	for _, b := range blocks(1, 2, 3) {
+		p.Observe(b)
+	}
+	if p.Predicted(isa.Block(4)) {
+		t.Error("never-seen block predicted")
+	}
+}
+
+func TestReplayAdvances(t *testing.T) {
+	p := New(DefaultConfig())
+	seq := blocks(10, 11, 12, 13, 14, 15, 16, 17, 18, 19)
+	for _, b := range seq {
+		p.Observe(b)
+	}
+	for _, b := range blocks(50, 51, 52) {
+		p.Observe(b)
+	}
+	// Replay and follow it: advance should keep the window moving.
+	for _, b := range seq[:5] {
+		p.Observe(b)
+	}
+	if p.Stats().Advances == 0 {
+		t.Error("no advances recorded while following a replay")
+	}
+	if !p.Predicted(isa.Block(19)) {
+		t.Error("tail of stream should still be predicted after advancing")
+	}
+}
+
+func TestAdvanceToleratesGaps(t *testing.T) {
+	// Recorded: 10,11,12,13,14. Replayed visit skips 11 (e.g. a branch
+	// went the other way): 10,12,13 — the window must keep up.
+	p := New(DefaultConfig())
+	for _, b := range blocks(10, 11, 12, 13, 14) {
+		p.Observe(b)
+	}
+	for _, b := range blocks(70, 71) {
+		p.Observe(b)
+	}
+	for _, b := range blocks(10, 12, 13) {
+		p.Observe(b)
+	}
+	if !p.Predicted(isa.Block(14)) {
+		t.Error("window should have advanced past the gap to predict 14")
+	}
+}
+
+func TestDivergentHistoryMispredicts(t *testing.T) {
+	// Fragmented (miss-stream-like) history: the recorded sequence after
+	// the trigger differs from what actually recurs, so coverage is lost.
+	p := New(DefaultConfig())
+	for _, b := range blocks(10, 99, 98, 97) { // fragmented recording
+		p.Observe(b)
+	}
+	for _, b := range blocks(50, 51) {
+		p.Observe(b)
+	}
+	p.Observe(isa.Block(10)) // trigger
+	for _, b := range blocks(11, 12, 13) {
+		if p.Predicted(b) {
+			t.Errorf("block %v predicted from divergent history", b)
+		}
+	}
+}
+
+func TestMostRecentOccurrenceWins(t *testing.T) {
+	p := New(DefaultConfig())
+	// First occurrence of 10 followed by 20s; second followed by 30s.
+	for _, b := range blocks(10, 20, 21, 22) {
+		p.Observe(b)
+	}
+	for _, b := range blocks(10, 30, 31, 32) {
+		p.Observe(b)
+	}
+	for _, b := range blocks(50, 51) {
+		p.Observe(b)
+	}
+	p.Observe(isa.Block(10))
+	if !p.Predicted(isa.Block(30)) {
+		t.Error("replay should start at the most recent occurrence")
+	}
+}
+
+func TestBoundedHistoryForgets(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxHistory = 8
+	p := New(cfg)
+	for _, b := range blocks(10, 11, 12, 13) {
+		p.Observe(b)
+	}
+	for i := 0; i < 20; i++ {
+		p.Observe(isa.Block(100 + i))
+	}
+	if p.HistoryLen() != 8 {
+		t.Fatalf("history len = %d, want 8", p.HistoryLen())
+	}
+	// The old stream is gone; index points outside retained history.
+	p.Observe(isa.Block(10))
+	if p.Predicted(isa.Block(11)) {
+		t.Error("evicted history should not predict")
+	}
+}
+
+func TestWindowLRUReplacement(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Windows = 2
+	cfg.AdvanceSlack = 2 // keep the three streams from aliasing into one window
+	p := New(cfg)
+	// Record three separate streams.
+	for _, b := range blocks(10, 11, 12, 0, 20, 21, 22, 0, 30, 31, 32, 1) {
+		p.Observe(b)
+	}
+	// Open three replays; only two windows exist.
+	p.Observe(isa.Block(10))
+	p.Observe(isa.Block(20))
+	p.Observe(isa.Block(30))
+	if p.Stats().Replays < 3 {
+		t.Fatalf("replays = %d, want >= 3", p.Stats().Replays)
+	}
+	// The most recent two replays should be live.
+	if !p.Predicted(isa.Block(31)) || !p.Predicted(isa.Block(21)) {
+		t.Error("recent replays should be live")
+	}
+}
+
+func TestQueriesDoNotMutate(t *testing.T) {
+	p := New(DefaultConfig())
+	for _, b := range blocks(10, 11, 12, 50, 10) {
+		p.Observe(b)
+	}
+	before := p.Stats().Advances
+	for i := 0; i < 10; i++ {
+		p.Predicted(isa.Block(11))
+	}
+	if p.Stats().Advances != before {
+		t.Error("Predicted should not advance windows")
+	}
+	if p.Stats().Queries != 10 {
+		t.Errorf("Queries = %d, want 10", p.Stats().Queries)
+	}
+}
+
+func TestZeroConfigNormalized(t *testing.T) {
+	p := New(Config{})
+	p.Observe(isa.Block(1))
+	p.Observe(isa.Block(1))
+	// Must not panic and must behave sanely.
+	_ = p.Predicted(isa.Block(1))
+}

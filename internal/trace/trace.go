@@ -1,0 +1,244 @@
+// Package trace defines the retire-order instruction trace records produced
+// by the workload executor and consumed by every analysis in the repository,
+// along with a compact binary on-disk format so traces can be generated once
+// (cmd/tracegen) and replayed many times (cmd/pifsim, cmd/experiments).
+//
+// A Record corresponds to one retired instruction: its PC, its trap level,
+// and flags describing how control arrived at it. The paper's central
+// insight is that this stream — not the fetch-access or cache-miss stream —
+// is the right input for an instruction prefetcher.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// Flags annotate a retired instruction.
+type Flags uint8
+
+const (
+	// FlagCallTarget marks the first instruction of a function invocation.
+	FlagCallTarget Flags = 1 << iota
+	// FlagReturnTarget marks the instruction after a returned call.
+	FlagReturnTarget
+	// FlagBranchTaken marks a control transfer that was taken.
+	FlagBranchTaken
+	// FlagCondBranch marks a conditional branch instruction.
+	FlagCondBranch
+	// FlagTrapEntry marks the first instruction of a trap handler.
+	FlagTrapEntry
+	// FlagTrapReturn marks the first instruction after a trap handler returns.
+	FlagTrapReturn
+)
+
+// Has reports whether all bits of mask are set.
+func (f Flags) Has(mask Flags) bool { return f&mask == mask }
+
+// Record is one retired instruction.
+type Record struct {
+	PC    isa.Addr
+	TL    isa.TrapLevel
+	Flags Flags
+}
+
+// Block returns the instruction block containing the record's PC.
+func (r Record) Block() isa.Block { return isa.BlockOf(r.PC) }
+
+// Stream is an in-memory retire-order instruction trace.
+type Stream []Record
+
+// Blocks returns the sequence of block addresses visited by the stream with
+// consecutive same-block records collapsed to a single entry — the
+// block-grain retire stream the PIF compactor consumes.
+func (s Stream) Blocks() []isa.Block {
+	out := make([]isa.Block, 0, len(s)/4)
+	var last isa.Block
+	have := false
+	for _, r := range s {
+		b := r.Block()
+		if have && b == last {
+			continue
+		}
+		out = append(out, b)
+		last, have = b, true
+	}
+	return out
+}
+
+// magic identifies the binary trace format; version guards layout changes.
+const (
+	magic   uint32 = 0x50494654 // "PIFT"
+	version uint32 = 1
+)
+
+// Header describes a stored trace.
+type Header struct {
+	Workload string
+	Records  uint64
+}
+
+// Writer streams records to an io.Writer in the binary trace format.
+// Records are delta-encoded against the previous PC to keep files small:
+// most retire-order steps are +4 bytes.
+type Writer struct {
+	w      *bufio.Writer
+	lastPC isa.Addr
+	n      uint64
+	closed bool
+}
+
+// NewWriter writes a trace header and returns a Writer.
+func NewWriter(w io.Writer, workload string) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if err := binary.Write(bw, binary.LittleEndian, magic); err != nil {
+		return nil, fmt.Errorf("trace: write magic: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, version); err != nil {
+		return nil, fmt.Errorf("trace: write version: %w", err)
+	}
+	name := []byte(workload)
+	if len(name) > 255 {
+		return nil, errors.New("trace: workload name too long")
+	}
+	if err := bw.WriteByte(byte(len(name))); err != nil {
+		return nil, fmt.Errorf("trace: write name length: %w", err)
+	}
+	if _, err := bw.Write(name); err != nil {
+		return nil, fmt.Errorf("trace: write name: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	if w.closed {
+		return errors.New("trace: write after Close")
+	}
+	delta := int64(r.PC) - int64(w.lastPC)
+	var buf [binary.MaxVarintLen64 + 2]byte
+	n := binary.PutVarint(buf[:], delta)
+	buf[n] = byte(r.TL)
+	buf[n+1] = byte(r.Flags)
+	if _, err := w.w.Write(buf[:n+2]); err != nil {
+		return fmt.Errorf("trace: write record: %w", err)
+	}
+	w.lastPC = r.PC
+	w.n++
+	return nil
+}
+
+// WriteStream appends every record of s.
+func (w *Writer) WriteStream(s Stream) error {
+	for _, r := range s {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Close flushes buffered output. The record count is not stored in the
+// header (the format is stream-oriented); readers read to EOF.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// noEOF converts io.EOF into io.ErrUnexpectedEOF: an EOF in the middle of a
+// record means the trace was truncated, which callers must not confuse with
+// a clean end of stream.
+func noEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Reader reads records from a binary trace.
+type Reader struct {
+	r        *bufio.Reader
+	lastPC   isa.Addr
+	workload string
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m, v uint32
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, fmt.Errorf("trace: read magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %#x", m)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+		return nil, fmt.Errorf("trace: read version: %w", err)
+	}
+	if v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	nameLen, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read name length: %w", err)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: read name: %w", err)
+	}
+	return &Reader{r: br, workload: string(name)}, nil
+}
+
+// Workload returns the workload name stored in the trace header.
+func (r *Reader) Workload() string { return r.workload }
+
+// Read returns the next record, or io.EOF at end of trace.
+func (r *Reader) Read() (Record, error) {
+	delta, err := binary.ReadVarint(r.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("trace: read delta: %w", err)
+	}
+	tl, err := r.r.ReadByte()
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: read trap level: %w", noEOF(err))
+	}
+	fl, err := r.r.ReadByte()
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: read flags: %w", noEOF(err))
+	}
+	pc := isa.Addr(int64(r.lastPC) + delta)
+	r.lastPC = pc
+	return Record{PC: pc, TL: isa.TrapLevel(tl), Flags: Flags(fl)}, nil
+}
+
+// ReadAll reads every remaining record into a Stream.
+func (r *Reader) ReadAll() (Stream, error) {
+	var s Stream
+	for {
+		rec, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			return s, nil
+		}
+		if err != nil {
+			return s, err
+		}
+		s = append(s, rec)
+	}
+}

@@ -1,0 +1,257 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Executor walks a Program and emits its correct-path retire-order
+// instruction stream. Construction randomness (the program image) and
+// execution randomness (data-dependent branch outcomes, loop trip counts,
+// transaction mix, interrupt arrivals) use independent deterministic
+// streams, so the same Profile always yields the same trace.
+type Executor struct {
+	prog *Program
+	rng  *rand.Rand
+
+	emit    func(trace.Record)
+	tl      isa.TrapLevel
+	pending trace.Flags
+	variant int // current transaction's path variant
+
+	emitted     uint64
+	budget      uint64
+	stopped     bool
+	intrEnabled bool
+	intrIn      int // instructions until next interrupt
+}
+
+// NewExecutor prepares an executor over prog.
+func NewExecutor(prog *Program) *Executor {
+	e := &Executor{
+		prog:        prog,
+		rng:         rand.New(rand.NewSource(prog.Profile.Seed ^ 0x5f5f_5f5f)),
+		intrEnabled: prog.Profile.InterruptEvery > 0 && prog.HandlerEnd > prog.SharedEnd,
+	}
+	if e.intrEnabled {
+		e.intrIn = e.nextInterruptGap()
+	}
+	return e
+}
+
+func (e *Executor) nextInterruptGap() int {
+	gap := int(e.rng.ExpFloat64() * float64(e.prog.Profile.InterruptEvery))
+	if gap < 1 {
+		gap = 1
+	}
+	return gap
+}
+
+// Run emits at least n instructions (stopping at the first instruction at
+// or past the budget) and returns the exact number emitted.
+func (e *Executor) Run(n uint64, emit func(trace.Record)) uint64 {
+	e.emit = emit
+	e.budget = e.emitted + n
+	e.stopped = false
+	for !e.stopped {
+		entry := e.pickEntry()
+		e.variant = e.pickVariant()
+		e.pending |= trace.FlagCallTarget
+		e.execFunc(e.prog.Funcs[entry], 0)
+	}
+	return e.emitted
+}
+
+// Emitted returns the total instructions emitted across Run calls.
+func (e *Executor) Emitted() uint64 { return e.emitted }
+
+// pickVariant draws the transaction's path variant: the hottest variant
+// takes a large share and the rest split the remainder, so every variant's
+// path is exercised regularly (steady state) while the mix still perturbs
+// the cache (Section 2.1's filtering effect).
+func (e *Executor) pickVariant() int {
+	v := e.prog.Profile.TxVariants
+	if v <= 1 {
+		return 0
+	}
+	if e.rng.Float64() < 0.4 {
+		return 0
+	}
+	return 1 + e.rng.Intn(v-1)
+}
+
+// pickEntry draws a transaction type according to the skewed entry weights.
+func (e *Executor) pickEntry() int {
+	total := 0
+	for _, w := range e.prog.EntryWeights {
+		total += w
+	}
+	r := e.rng.Intn(total)
+	for i, w := range e.prog.EntryWeights {
+		if r < w {
+			return e.prog.Entries[i]
+		}
+		r -= w
+	}
+	return e.prog.Entries[len(e.prog.Entries)-1]
+}
+
+// emitInstr emits the instruction at offset cursor within f, consuming any
+// pending entry/return flags, and fires due interrupts.
+func (e *Executor) emitInstr(f *Func, cursor int, extra trace.Flags) {
+	rec := trace.Record{
+		PC:    f.Base.Plus(cursor),
+		TL:    e.tl,
+		Flags: e.pending | extra,
+	}
+	e.pending = 0
+	e.emit(rec)
+	e.emitted++
+	if e.emitted >= e.budget {
+		e.stopped = true
+		return
+	}
+	if e.intrEnabled && e.tl == isa.TL0 {
+		e.intrIn--
+		if e.intrIn <= 0 {
+			e.runInterrupt()
+			e.intrIn = e.nextInterruptGap()
+		}
+	}
+}
+
+// runInterrupt executes a randomly chosen trap handler at TL1.
+func (e *Executor) runInterrupt() {
+	h := e.prog.SharedEnd + e.rng.Intn(e.prog.HandlerEnd-e.prog.SharedEnd)
+	e.tl = isa.TL1
+	e.pending |= trace.FlagTrapEntry | trace.FlagCallTarget
+	// Handlers run with little headroom for nested calls: interrupt
+	// service is short by construction.
+	depth := e.prog.Profile.MaxCallDepth - 2
+	if depth < 0 {
+		depth = 0
+	}
+	e.execFunc(e.prog.Funcs[h], depth)
+	e.tl = isa.TL0
+	e.pending |= trace.FlagTrapReturn
+}
+
+// execFunc runs one function body.
+func (e *Executor) execFunc(f *Func, depth int) {
+	e.execOps(f, f.body, 0, depth)
+}
+
+// opLen returns the laid-out instruction length of an op.
+func opLen(o *op) int {
+	switch o.kind {
+	case opRun:
+		return o.runLen
+	case opCall, opCondSkip:
+		return 1
+	case opLoop:
+		n := 1 // back-edge branch
+		for i := range o.body {
+			n += opLen(&o.body[i])
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+// execOps executes ops starting at instruction offset cursor within f and
+// returns the offset after the last laid-out instruction.
+func (e *Executor) execOps(f *Func, ops []op, cursor, depth int) int {
+	for i := 0; i < len(ops); i++ {
+		if e.stopped {
+			// Still advance the cursor so callers' layout stays coherent,
+			// but emit nothing further.
+			cursor += opLen(&ops[i])
+			continue
+		}
+		o := &ops[i]
+		switch o.kind {
+		case opRun:
+			for k := 0; k < o.runLen; k++ {
+				e.emitInstr(f, cursor, 0)
+				cursor++
+				if e.stopped {
+					cursor += o.runLen - k - 1
+					break
+				}
+			}
+		case opCall:
+			e.emitInstr(f, cursor, trace.FlagBranchTaken)
+			cursor++
+			if !e.stopped && depth < e.prog.Profile.MaxCallDepth {
+				callee := e.prog.Funcs[o.TargetFor(e.variant)]
+				childDepth := depth + 1
+				if o.loopLeaf {
+					// Inner-loop helpers execute as leaves.
+					childDepth = e.prog.Profile.MaxCallDepth
+				}
+				e.pending |= trace.FlagCallTarget
+				e.execFunc(callee, childDepth)
+				e.pending |= trace.FlagReturnTarget
+			}
+		case opCondSkip:
+			prob := e.prog.Profile.SkipTakenProb
+			if f.Handler {
+				prob = 0.5 // handler jumps are strongly data-dependent
+			}
+			taken := e.rng.Float64() < prob
+			fl := trace.FlagCondBranch
+			if taken {
+				fl |= trace.FlagBranchTaken
+			}
+			e.emitInstr(f, cursor, fl)
+			cursor++
+			if taken {
+				// Jump over the laid-out skip region (the next run op).
+				cursor += o.skipInstrs
+				if i+1 < len(ops) && ops[i+1].kind == opRun && ops[i+1].runLen == o.skipInstrs {
+					i++ // consume the skipped op
+				}
+			}
+		case opLoop:
+			iters := o.iterMin
+			if o.iterMax > o.iterMin {
+				iters += e.rng.Intn(o.iterMax - o.iterMin + 1)
+			}
+			bodyStart := cursor
+			backEdge := cursor
+			for j := range o.body {
+				backEdge += opLen(&o.body[j])
+			}
+			for it := 0; it < iters && !e.stopped; it++ {
+				e.execOps(f, o.body, bodyStart, depth)
+				if e.stopped {
+					break
+				}
+				fl := trace.FlagCondBranch
+				if it < iters-1 {
+					fl |= trace.FlagBranchTaken // loop back
+				}
+				e.emitInstr(f, backEdge, fl)
+			}
+			cursor = backEdge + 1
+		}
+	}
+	return cursor
+}
+
+// GenerateStream builds the program for p, runs n instructions, and
+// returns the retire-order stream. It is the one-call entry point used by
+// examples and experiments.
+func GenerateStream(p Profile, n uint64) (trace.Stream, error) {
+	prog, err := BuildProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	s := make(trace.Stream, 0, n+1024)
+	ex := NewExecutor(prog)
+	ex.Run(n, func(r trace.Record) { s = append(s, r) })
+	return s, nil
+}

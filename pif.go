@@ -1,0 +1,148 @@
+// Package pif is the public API of this reproduction of "Proactive
+// Instruction Fetch" (Ferdman, Kaynak, Falsafi — MICRO 2011): an L1
+// instruction prefetcher that records the correct-path, retire-order
+// instruction stream in compact spatial-region form and replays recorded
+// streams to eliminate instruction-fetch stalls.
+//
+// The package re-exports the pieces a downstream user needs:
+//
+//   - the PIF prefetcher itself (New, Config) and the baseline prefetchers
+//     it is evaluated against (next-line, TIFS);
+//   - the synthetic server-workload generator standing in for the paper's
+//     commercial suite (Workloads, GenerateStream);
+//   - the trace-driven simulator producing the paper's coverage and UIPC
+//     metrics (Simulate, SimConfig);
+//   - the experiment drivers regenerating every table and figure of the
+//     paper's evaluation (RunExperiment, ExperimentIDs).
+//
+// Quick start:
+//
+//	res, err := pif.Simulate(pif.DefaultSimConfig(), pif.OLTPDB2(), pif.NewPIF(pif.DefaultPIFConfig()))
+//	fmt.Printf("coverage=%.1f%% speedup base needed separately\n", res.Coverage()*100)
+//
+// See README.md for the architecture overview and DESIGN.md for the
+// substitutions made relative to the paper's testbed.
+package pif
+
+import (
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// PIF is the Proactive Instruction Fetch prefetcher (the paper's
+// contribution): spatial + temporal compaction of the retire-order stream,
+// a circular history buffer with an index of stream heads, and stream
+// address buffers that replay recorded streams.
+type PIF = core.PIF
+
+// PIFConfig parameterizes a PIF instance.
+type PIFConfig = core.Config
+
+// Geometry is the spatial-region shape (preceding/succeeding blocks).
+type Geometry = core.Geometry
+
+// NewPIF builds a PIF prefetcher.
+func NewPIF(cfg PIFConfig) *PIF { return core.New(cfg) }
+
+// DefaultPIFConfig is the paper's configuration: 8-block regions
+// (2 preceding + trigger + 5 succeeding), 32K-region history, 4 SABs with
+// a 7-region window, and per-trap-level stream separation.
+func DefaultPIFConfig() PIFConfig { return core.DefaultConfig() }
+
+// Prefetcher is the pluggable prefetch-engine interface shared by PIF and
+// the baselines.
+type Prefetcher = prefetch.Prefetcher
+
+// NewNextLine returns the aggressive next-line baseline prefetcher.
+func NewNextLine(degree int) Prefetcher { return prefetch.NewNextLine(degree) }
+
+// NewTIFS returns the Temporal Instruction Fetch Streaming baseline
+// [MICRO 2008], which records and replays the L1-I miss stream.
+func NewTIFS() Prefetcher { return prefetch.NewTIFS(prefetch.DefaultTIFSConfig()) }
+
+// NoPrefetch is the no-prefetcher baseline.
+func NoPrefetch() Prefetcher { return prefetch.None{} }
+
+// Workload describes one synthetic server workload.
+type Workload = workload.Profile
+
+// The six standard workloads of the paper's Table I (synthetic stand-ins;
+// see DESIGN.md §4).
+var (
+	OLTPDB2    = workload.OLTPDB2
+	OLTPOracle = workload.OLTPOracle
+	DSSQry2    = workload.DSSQry2
+	DSSQry17   = workload.DSSQry17
+	WebApache  = workload.WebApache
+	WebZeus    = workload.WebZeus
+)
+
+// Workloads returns the six standard workloads in the paper's order.
+func Workloads() []Workload { return workload.StandardSuite() }
+
+// WorkloadByName resolves one of the standard workloads ("OLTP DB2", ...).
+func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
+
+// Stream is an in-memory retire-order instruction trace.
+type Stream = trace.Stream
+
+// Record is one retired instruction.
+type Record = trace.Record
+
+// GenerateStream builds a workload's program image and emits n
+// retire-order instructions.
+func GenerateStream(w Workload, n uint64) (Stream, error) {
+	return workload.GenerateStream(w, n)
+}
+
+// System is the simulated machine description (the paper's Table I).
+type System = config.System
+
+// DefaultSystem returns the Table I configuration.
+func DefaultSystem() System { return config.Default() }
+
+// SimConfig parameterizes a simulation run.
+type SimConfig = sim.Config
+
+// SimResult is the outcome of a run (coverage, UIPC, cache statistics).
+type SimResult = sim.Result
+
+// DefaultSimConfig returns a laptop-scale analog of the paper's
+// methodology: warmed structures, then a measured interval.
+func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
+
+// Simulate runs one workload through the front-end, L1-I, and prefetcher
+// models and returns the measured-interval metrics.
+func Simulate(cfg SimConfig, w Workload, p Prefetcher) (SimResult, error) {
+	return sim.Run(cfg, w, p)
+}
+
+// ExperimentOptions scale the evaluation harness.
+type ExperimentOptions = experiments.Options
+
+// ExperimentReport is one regenerated table or figure.
+type ExperimentReport = experiments.Report
+
+// DefaultExperimentOptions is the full-scale evaluation configuration.
+func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }
+
+// QuickExperimentOptions is a reduced-scale configuration for smoke runs.
+func QuickExperimentOptions() ExperimentOptions { return experiments.QuickOptions() }
+
+// ExperimentIDs lists the regenerable artifacts (fig2..fig10, table1).
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one of the paper's tables or figures.
+func RunExperiment(opts ExperimentOptions, id string) (ExperimentReport, error) {
+	return experiments.Run(experiments.NewEnv(opts), id)
+}
+
+// RunAllExperiments regenerates every table and figure.
+func RunAllExperiments(opts ExperimentOptions) ([]ExperimentReport, error) {
+	return experiments.RunAll(experiments.NewEnv(opts))
+}

@@ -1,0 +1,133 @@
+package pif
+
+import (
+	"strings"
+	"testing"
+)
+
+// The root package is a facade; these tests exercise the public API end to
+// end the way a downstream user would.
+
+func TestWorkloadsSuite(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 6 {
+		t.Fatalf("Workloads() = %d entries, want 6", len(ws))
+	}
+	for _, w := range ws {
+		got, err := WorkloadByName(w.Name)
+		if err != nil || got.Name != w.Name {
+			t.Errorf("WorkloadByName(%q) = %v, %v", w.Name, got.Name, err)
+		}
+	}
+	if _, err := WorkloadByName("SAP HANA"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestGenerateStreamPublic(t *testing.T) {
+	s, err := GenerateStream(DSSQry2(), 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) < 10_000 {
+		t.Fatalf("stream = %d records", len(s))
+	}
+	if blocks := s.Blocks(); len(blocks) == 0 {
+		t.Fatal("no block events")
+	}
+}
+
+func TestSimulatePublicAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test skipped in -short mode")
+	}
+	cfg := DefaultSimConfig()
+	cfg.WarmupInstrs = 1_000_000
+	cfg.MeasureInstrs = 300_000
+	wl := WebZeus()
+
+	base, err := Simulate(cfg, wl, NoPrefetch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(cfg, wl, NewPIF(DefaultPIFConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Prefetcher != "PIF" {
+		t.Errorf("Prefetcher = %s", res.Prefetcher)
+	}
+	if res.UIPC <= base.UIPC {
+		t.Errorf("PIF UIPC %.3f <= baseline %.3f", res.UIPC, base.UIPC)
+	}
+	if res.Coverage() <= 0.5 {
+		t.Errorf("coverage = %.3f", res.Coverage())
+	}
+}
+
+func TestBaselineConstructors(t *testing.T) {
+	if NewNextLine(4).Name() != "Next-Line" {
+		t.Error("NewNextLine name")
+	}
+	if NewTIFS().Name() != "TIFS" {
+		t.Error("NewTIFS name")
+	}
+	if NoPrefetch().Name() != "None" {
+		t.Error("NoPrefetch name")
+	}
+	if NewPIF(DefaultPIFConfig()).Name() != "PIF" {
+		t.Error("NewPIF name")
+	}
+}
+
+func TestDefaultConfigsSane(t *testing.T) {
+	if err := DefaultSystem().Validate(); err != nil {
+		t.Errorf("DefaultSystem invalid: %v", err)
+	}
+	if err := DefaultPIFConfig().Validate(); err != nil {
+		t.Errorf("DefaultPIFConfig invalid: %v", err)
+	}
+	pcfg := DefaultPIFConfig()
+	if pcfg.Geometry.Size() != 8 {
+		t.Errorf("default region size = %d, want 8", pcfg.Geometry.Size())
+	}
+	if pcfg.HistoryRegions != 32<<10 {
+		t.Errorf("default history = %d, want 32K", pcfg.HistoryRegions)
+	}
+	if pcfg.NumSABs != 4 || pcfg.SABWindow != 7 {
+		t.Errorf("default SABs = %d/%d, want 4/7", pcfg.NumSABs, pcfg.SABWindow)
+	}
+}
+
+func TestExperimentRegistryPublic(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 7 {
+		t.Fatalf("ExperimentIDs = %v", ids)
+	}
+	opts := QuickExperimentOptions()
+	opts.Workloads = opts.Workloads[:1]
+	rep, err := RunExperiment(opts, "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Text, "Table I") {
+		t.Errorf("table1 report: %q", rep.Text)
+	}
+}
+
+func TestRunAllExperimentsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	opts := QuickExperimentOptions()
+	opts.Workloads = opts.Workloads[2:3] // DSS Qry2 only
+	opts.WarmupInstrs = 800_000
+	opts.MeasureInstrs = 300_000
+	reports, err := RunAllExperiments(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 7 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+}
