@@ -6,6 +6,8 @@
 package pif
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -84,6 +86,43 @@ func BenchmarkSimulateBaselines(b *testing.B) {
 		})
 	}
 }
+
+// runnerBenchJobs enumerates a representative job mix (3 workloads × 4
+// engines) at a small scale for the execution-engine benchmarks.
+func runnerBenchJobs() []Job {
+	cfg := DefaultSimConfig()
+	cfg.WarmupInstrs = 100_000
+	cfg.MeasureInstrs = 150_000
+	var jobs []Job
+	for _, wl := range Workloads()[:3] {
+		for _, name := range []string{"none", "nextline", "tifs", "pif"} {
+			jobs = append(jobs, Job{
+				Label:          wl.Name + "/" + name,
+				Workload:       wl,
+				Config:         cfg,
+				PrefetcherName: name,
+			})
+		}
+	}
+	return jobs
+}
+
+func benchRunner(b *testing.B, workers int) {
+	b.Helper()
+	jobs := runnerBenchJobs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunJobs(context.Background(), jobs, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunnerSerial and BenchmarkRunnerParallel run the same job list
+// through a 1-worker and a GOMAXPROCS-worker pool; their ratio is the
+// execution engine's speedup on this machine.
+func BenchmarkRunnerSerial(b *testing.B)   { benchRunner(b, 1) }
+func BenchmarkRunnerParallel(b *testing.B) { benchRunner(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkWorkloadGeneration measures trace-generation throughput.
 func BenchmarkWorkloadGeneration(b *testing.B) {

@@ -2,17 +2,24 @@
 // figure of Section 5 and the Table I configuration, printed as text tables
 // in the same rows/series the paper reports.
 //
+// Simulation jobs fan out across cores (bounded by -parallel); rendered
+// tables are byte-identical for every parallelism level. Ctrl-C cancels
+// in-flight jobs.
+//
 // Usage:
 //
 //	experiments [-run all|table1|fig2|fig3|fig7|fig8|fig9|fig10] [-quick]
-//	            [-warmup N] [-measure N]
+//	            [-warmup N] [-measure N] [-parallel N] [-v]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	pif "repro"
@@ -23,6 +30,8 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced-scale run (shorter warmup and measurement)")
 	warmup := flag.Uint64("warmup", 0, "override warmup instructions (0 = default)")
 	measure := flag.Uint64("measure", 0, "override measured instructions (0 = default)")
+	parallel := flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	verbose := flag.Bool("v", false, "print per-job timing as jobs complete")
 	flag.Parse()
 
 	opts := pif.DefaultExperimentOptions()
@@ -35,24 +44,42 @@ func main() {
 	if *measure > 0 {
 		opts.MeasureInstrs = *measure
 	}
+	opts.Parallel = *parallel
+	if *verbose {
+		opts.OnProgress = func(p pif.JobProgress) {
+			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %-28s %8s\n",
+				p.Done, p.Total, p.Label, p.Elapsed.Round(time.Millisecond))
+		}
+	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ids := []string{*runID}
+	if *runID == "all" {
+		ids = pif.ExperimentIDs()
+	}
+
+	env := pif.NewExperimentEnv(ctx, opts)
+	workers := env.Parallel()
 	start := time.Now()
 	var reports []pif.ExperimentReport
-	var err error
-	if *runID == "all" {
-		reports, err = pif.RunAllExperiments(opts)
-	} else {
-		var rep pif.ExperimentReport
-		rep, err = pif.RunExperiment(opts, *runID)
-		reports = []pif.ExperimentReport{rep}
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+	for _, id := range ids {
+		artStart := time.Now()
+		rep, err := pif.RunExperimentIn(env, id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "  == %s in %s ==\n", id, time.Since(artStart).Round(time.Millisecond))
+		}
+		reports = append(reports, rep)
 	}
 	for _, rep := range reports {
 		fmt.Printf("== %s: %s ==\n%s\n", rep.ID, rep.Title, rep.Text)
 	}
-	fmt.Printf("(%d artifact(s) in %s; warmup=%d measure=%d instructions per workload)\n",
-		len(reports), time.Since(start).Round(time.Millisecond), opts.WarmupInstrs, opts.MeasureInstrs)
+	fmt.Printf("(%d artifact(s) in %s; warmup=%d measure=%d instructions per workload; %d workers)\n",
+		len(reports), time.Since(start).Round(time.Millisecond),
+		opts.WarmupInstrs, opts.MeasureInstrs, workers)
 }

@@ -1,26 +1,36 @@
-// Command pifsim runs a single workload/prefetcher simulation and prints
-// the measured coverage, miss ratio, and UIPC — the unit of work every
-// figure of the evaluation is built from.
+// Command pifsim runs workload/prefetcher simulations and prints the
+// measured coverage, miss ratio, and UIPC — the unit of work every figure
+// of the evaluation is built from.
+//
+// Both -workload and -prefetcher accept comma-separated lists (or "all");
+// the cross product fans out as jobs over a worker pool (-parallel) with
+// per-job wall-clock timing. A single job prints the full result detail.
 //
 // Usage:
 //
-//	pifsim [-workload "OLTP DB2"] [-prefetcher pif|tifs|nextline|none]
-//	       [-perfect] [-warmup N] [-measure N] [-history N] [-sabs N]
-//	       [-window N] [-degree N] [-v]
+//	pifsim [-workload "OLTP DB2,Web Apache"|all] [-prefetcher pif,tifs|all]
+//	       [-parallel N] [-perfect] [-warmup N] [-measure N] [-history N]
+//	       [-sabs N] [-window N] [-degree N] [-v]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
 	pif "repro"
 )
 
 func main() {
-	wlName := flag.String("workload", "OLTP DB2", "workload name (see -list)")
-	list := flag.Bool("list", false, "list workloads and exit")
-	pfName := flag.String("prefetcher", "pif", "prefetcher: pif, tifs, nextline, none")
+	wlNames := flag.String("workload", "OLTP DB2", "comma-separated workload names, or \"all\" (see -list)")
+	list := flag.Bool("list", false, "list workloads and prefetchers and exit")
+	pfNames := flag.String("prefetcher", "pif", "comma-separated prefetchers (pif, tifs, nextline, none, ...), or \"all\"")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 	perfect := flag.Bool("perfect", false, "simulate the perfect-latency L1 bound")
 	warmup := flag.Uint64("warmup", 8_000_000, "warmup instructions")
 	measure := flag.Uint64("measure", 2_000_000, "measured instructions")
@@ -28,44 +38,29 @@ func main() {
 	sabs := flag.Int("sabs", 0, "PIF stream address buffers (0 = paper default 4)")
 	window := flag.Int("window", 0, "PIF SAB window regions (0 = paper default 7)")
 	degree := flag.Int("degree", 4, "next-line prefetch degree")
-	verbose := flag.Bool("v", false, "print full result struct")
+	verbose := flag.Bool("v", false, "print full result struct (single job) or per-job progress")
 	flag.Parse()
 
 	if *list {
+		fmt.Println("workloads:")
 		for _, w := range pif.Workloads() {
-			fmt.Println(w.Name)
+			fmt.Println("  " + w.Name)
+		}
+		fmt.Println("prefetchers:")
+		for _, n := range pif.PrefetcherNames() {
+			fmt.Println("  " + n)
 		}
 		return
 	}
 
-	wl, err := pif.WorkloadByName(*wlName)
+	workloads, err := resolveWorkloads(*wlNames)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pifsim:", err)
 		os.Exit(1)
 	}
-
-	var pf pif.Prefetcher
-	switch *pfName {
-	case "pif":
-		cfg := pif.DefaultPIFConfig()
-		if *history > 0 {
-			cfg.HistoryRegions = *history
-		}
-		if *sabs > 0 {
-			cfg.NumSABs = *sabs
-		}
-		if *window > 0 {
-			cfg.SABWindow = *window
-		}
-		pf = pif.NewPIF(cfg)
-	case "tifs":
-		pf = pif.NewTIFS()
-	case "nextline":
-		pf = pif.NewNextLine(*degree)
-	case "none":
-		pf = pif.NoPrefetch()
-	default:
-		fmt.Fprintf(os.Stderr, "pifsim: unknown prefetcher %q\n", *pfName)
+	engines, err := resolveEngines(*pfNames, *history, *sabs, *window, *degree)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pifsim:", err)
 		os.Exit(1)
 	}
 
@@ -74,21 +69,128 @@ func main() {
 	cfg.MeasureInstrs = *measure
 	cfg.PerfectL1 = *perfect
 
-	res, err := pif.Simulate(cfg, wl, pf)
+	var jobs []pif.Job
+	for _, wl := range workloads {
+		for _, eng := range engines {
+			jobs = append(jobs, pif.Job{
+				Label:         wl.Name + "/" + eng.name,
+				Workload:      wl,
+				Config:        cfg,
+				NewPrefetcher: eng.factory,
+			})
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	pool := pif.Pool{Workers: *parallel}
+	if *verbose && len(jobs) > 1 {
+		pool.OnProgress = func(p pif.JobProgress) {
+			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %-32s %8s\n",
+				p.Done, p.Total, p.Label, p.Elapsed.Round(time.Millisecond))
+		}
+	}
+
+	start := time.Now()
+	results, err := pool.Run(ctx, jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pifsim:", err)
 		os.Exit(1)
 	}
 
+	if len(results) == 1 {
+		printDetail(results[0], *perfect, *verbose)
+		return
+	}
+	fmt.Printf("%-14s %-14s %8s %8s %8s %10s\n",
+		"workload", "prefetcher", "UIPC", "missrat", "coverage", "time")
+	for _, r := range results {
+		fmt.Printf("%-14s %-14s %8.4f %8.4f %7.1f%% %10s\n",
+			r.Sim.Workload, r.Sim.Prefetcher, r.Sim.UIPC, r.Sim.MissRatio(),
+			r.Sim.Coverage()*100, r.Elapsed.Round(time.Millisecond))
+	}
+	fmt.Printf("(%d job(s) in %s wall-clock)\n", len(results), time.Since(start).Round(time.Millisecond))
+}
+
+// engine pairs a display name with a fresh-instance factory.
+type engine struct {
+	name    string
+	factory func() pif.Prefetcher
+}
+
+// resolveWorkloads expands the -workload flag.
+func resolveWorkloads(names string) ([]pif.Workload, error) {
+	if names == "all" {
+		return pif.Workloads(), nil
+	}
+	var out []pif.Workload
+	for _, name := range strings.Split(names, ",") {
+		wl, err := pif.WorkloadByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, wl)
+	}
+	return out, nil
+}
+
+// resolveEngines expands the -prefetcher flag. The flag-tuned engines
+// (pif geometry knobs, next-line degree) build custom factories; anything
+// else resolves through the engine registry.
+func resolveEngines(names string, history, sabs, window, degree int) ([]engine, error) {
+	if names == "all" {
+		names = strings.Join(pif.PrefetcherNames(), ",")
+	}
+	var out []engine
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		switch name {
+		case "pif":
+			cfg := pif.DefaultPIFConfig()
+			if history > 0 {
+				cfg.HistoryRegions = history
+			}
+			if sabs > 0 {
+				cfg.NumSABs = sabs
+			}
+			if window > 0 {
+				cfg.SABWindow = window
+			}
+			out = append(out, engine{name, func() pif.Prefetcher { return pif.NewPIF(cfg) }})
+		case "nextline":
+			out = append(out, engine{name, func() pif.Prefetcher { return pif.NewNextLine(degree) }})
+		default:
+			// Validate the name up front so a typo fails before any job runs.
+			if _, err := pif.PrefetcherByName(name); err != nil {
+				return nil, err
+			}
+			n := name
+			out = append(out, engine{n, func() pif.Prefetcher {
+				p, err := pif.PrefetcherByName(n)
+				if err != nil {
+					panic(err) // validated above
+				}
+				return p
+			}})
+		}
+	}
+	return out, nil
+}
+
+// printDetail prints the single-job report (the historical pifsim output).
+func printDetail(r pif.JobResult, perfect, verbose bool) {
+	res := r.Sim
 	fmt.Printf("workload    %s\n", res.Workload)
-	fmt.Printf("prefetcher  %s (perfect L1: %v)\n", res.Prefetcher, *perfect)
+	fmt.Printf("prefetcher  %s (perfect L1: %v)\n", res.Prefetcher, perfect)
 	fmt.Printf("instructions %d  cycles %d  UIPC %.4f\n", res.Instructions, res.Cycles, res.UIPC)
 	fmt.Printf("fetch: %d correct-path accesses, %d misses (ratio %.4f)\n",
 		res.CorrectAccesses, res.CorrectMisses, res.MissRatio())
 	fmt.Printf("prefetch: %d issued, %d useful (coverage %.1f%%)\n",
 		res.PrefetchesIssued, res.CoveredMisses, res.Coverage()*100)
 	fmt.Printf("stall cycles %d\n", res.StallCycles)
-	if *verbose {
+	fmt.Printf("wall-clock  %s\n", r.Elapsed.Round(time.Millisecond))
+	if verbose {
 		fmt.Printf("\nL1: %+v\nfront-end: %+v\n", res.L1, res.FE)
 	}
 }

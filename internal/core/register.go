@@ -1,0 +1,29 @@
+package core
+
+import "repro/internal/prefetch"
+
+// The PIF variants are registered with the prefetch engine registry so
+// that job-based execution (internal/runner) and the CLIs can name them
+// without constructing configurations by hand. Each factory returns a
+// fresh engine: PIF is stateful and instances must never be shared across
+// concurrent simulation jobs.
+func init() {
+	prefetch.Register("pif", func() prefetch.Prefetcher { return New(DefaultConfig()) })
+
+	// The competitive-comparison variant "without history storage
+	// limitations" (Figure 10): effectively unlimited history and index.
+	prefetch.Register("pif-unlimited", func() prefetch.Prefetcher {
+		cfg := DefaultConfig()
+		cfg.HistoryRegions = 1 << 22
+		cfg.IndexEntries = 1 << 22
+		return New(cfg)
+	})
+
+	// A single shared history for all trap levels (the paper's "Retire"
+	// recording point, without per-trap-level stream separation).
+	prefetch.Register("pif-nosep", func() prefetch.Prefetcher {
+		cfg := DefaultConfig()
+		cfg.SeparateTrapLevels = false
+		return New(cfg)
+	})
+}

@@ -4,22 +4,32 @@
 // workload suite, and returns both structured data (for tests and
 // downstream tooling) and rendered text (for the cmd/experiments CLI).
 //
-// See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for the
-// paper-vs-measured record produced by these drivers.
+// Drivers do not loop serially: simulation-based figures enumerate
+// runner.Jobs and trace-based figures fan per-workload analyses out with
+// runner.ForEach, so a full regeneration scales across cores while the
+// rendered tables stay byte-identical to a serial run (results are
+// assembled in submission order).
+//
+// See DESIGN.md §3 for the experiment index and §4 for the substitutions
+// made relative to the paper's testbed.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 
 	"repro/internal/config"
+	"repro/internal/runner"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
-// Options control the scale and system configuration of every experiment.
+// Options control the scale, system configuration, and execution of every
+// experiment.
 type Options struct {
 	// Workloads is the evaluated suite (defaults to the six standard
 	// workloads in the paper's order).
@@ -32,6 +42,13 @@ type Options struct {
 	WarmupInstrs uint64
 	// MeasureInstrs is the measured interval length.
 	MeasureInstrs uint64
+	// Parallel bounds the worker pool used to fan out simulation jobs and
+	// per-workload analyses; <= 0 means GOMAXPROCS. Results are identical
+	// for every value.
+	Parallel int
+	// OnProgress, when non-nil, receives one (serialized) callback per
+	// completed simulation job.
+	OnProgress func(runner.Progress)
 }
 
 // DefaultOptions is the full-scale configuration used by cmd/experiments.
@@ -67,70 +84,138 @@ func (o Options) Validate() error {
 	return o.System.Validate()
 }
 
+// memo is a single-flight cache slot: the first caller builds, every
+// concurrent caller waits on the same build, and the built value is
+// immutable afterwards so readers need no further synchronization.
+type memo[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
 // Env caches per-workload artifacts (programs, retire-order streams) so
-// that the trace-based experiments do not regenerate them repeatedly.
+// that the trace-based experiments do not regenerate them repeatedly. The
+// caches are safe for concurrent readers: each artifact is built exactly
+// once and shared read-only across jobs.
 type Env struct {
 	opts Options
+	ctx  context.Context
 
 	mu       sync.Mutex
-	programs map[string]*workload.Program
-	streams  map[string]trace.Stream
+	programs map[string]*memo[*workload.Program]
+	streams  map[string]*memo[trace.Stream]
 }
 
 // NewEnv builds an environment; it panics on invalid options (experiment
 // configuration is programmer input).
 func NewEnv(opts Options) *Env {
+	return NewEnvContext(context.Background(), opts)
+}
+
+// NewEnvContext is NewEnv with a context governing every run in the
+// environment: cancellation aborts in-flight simulation jobs.
+func NewEnvContext(ctx context.Context, opts Options) *Env {
 	if err := opts.Validate(); err != nil {
 		panic(err)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return &Env{
 		opts:     opts,
-		programs: make(map[string]*workload.Program),
-		streams:  make(map[string]trace.Stream),
+		ctx:      ctx,
+		programs: make(map[string]*memo[*workload.Program]),
+		streams:  make(map[string]*memo[trace.Stream]),
 	}
 }
 
 // Options returns the environment's options.
 func (e *Env) Options() Options { return e.opts }
 
-// Program returns the (cached) program image for a workload.
+// Context returns the environment's context.
+func (e *Env) Context() context.Context { return e.ctx }
+
+// Parallel returns the environment's resolved worker-pool width.
+func (e *Env) Parallel() int { return runner.Workers(e.opts.Parallel) }
+
+// Program returns the (cached) program image for a workload. Images are
+// immutable after construction and may be shared by concurrent jobs.
 func (e *Env) Program(p workload.Profile) (*workload.Program, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if prog, ok := e.programs[p.Name]; ok {
-		return prog, nil
+	m, ok := e.programs[p.Name]
+	if !ok {
+		m = &memo[*workload.Program]{}
+		e.programs[p.Name] = m
 	}
-	prog, err := workload.BuildProgram(p)
-	if err != nil {
-		return nil, err
-	}
-	e.programs[p.Name] = prog
-	return prog, nil
+	e.mu.Unlock()
+	m.once.Do(func() { m.val, m.err = workload.BuildProgram(p) })
+	return m.val, m.err
 }
 
 // Stream returns the (cached) retire-order stream covering warmup plus
-// measurement for a workload.
+// measurement for a workload. Streams are immutable after construction
+// and safe for concurrent readers.
 func (e *Env) Stream(p workload.Profile) (trace.Stream, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if s, ok := e.streams[p.Name]; ok {
-		return s, nil
-	}
-	prog, ok := e.programs[p.Name]
+	m, ok := e.streams[p.Name]
 	if !ok {
-		var err error
-		prog, err = workload.BuildProgram(p)
-		if err != nil {
-			return nil, err
-		}
-		e.programs[p.Name] = prog
+		m = &memo[trace.Stream]{}
+		e.streams[p.Name] = m
 	}
-	total := e.opts.WarmupInstrs + e.opts.MeasureInstrs
-	s := make(trace.Stream, 0, total+1024)
-	ex := workload.NewExecutor(prog)
-	ex.Run(total, func(r trace.Record) { s = append(s, r) })
-	e.streams[p.Name] = s
-	return s, nil
+	e.mu.Unlock()
+	m.once.Do(func() {
+		prog, err := e.Program(p)
+		if err != nil {
+			m.err = err
+			return
+		}
+		total := e.opts.WarmupInstrs + e.opts.MeasureInstrs
+		s := make(trace.Stream, 0, total+1024)
+		ex := workload.NewExecutor(prog)
+		ex.Run(total, func(r trace.Record) { s = append(s, r) })
+		m.val = s
+	})
+	return m.val, m.err
+}
+
+// RunJobs executes simulation jobs through the environment's worker pool,
+// attaching the cached program image for each job's workload, and returns
+// results in submission order.
+func (e *Env) RunJobs(jobs []runner.Job) ([]runner.Result, error) {
+	for i := range jobs {
+		if jobs[i].Program == nil {
+			prog, err := e.Program(jobs[i].Workload)
+			if err != nil {
+				return nil, err
+			}
+			jobs[i].Program = prog
+		}
+	}
+	pool := runner.Pool{Workers: e.opts.Parallel, OnProgress: e.opts.OnProgress}
+	return pool.Run(e.ctx, jobs)
+}
+
+// ForEach runs fn(i) for every i in [0, n) across the environment's
+// worker pool. fn must confine its writes to its own index.
+func (e *Env) ForEach(n int, fn func(i int) error) error {
+	return runner.ForEach(e.ctx, e.opts.Parallel, n, fn)
+}
+
+// ForEachWorkload runs fn for every workload of the suite across the
+// environment's worker pool. fn must confine its writes to its own index.
+func (e *Env) ForEachWorkload(fn func(i int, wl workload.Profile) error) error {
+	return e.ForEach(len(e.opts.Workloads), func(i int) error {
+		return fn(i, e.opts.Workloads[i])
+	})
+}
+
+// SimConfig returns the simulation configuration implied by the options.
+func (o Options) SimConfig() sim.Config {
+	return sim.Config{
+		System:        o.System,
+		WarmupInstrs:  o.WarmupInstrs,
+		MeasureInstrs: o.MeasureInstrs,
+	}
 }
 
 // Report is a rendered experiment artifact.
@@ -171,7 +256,9 @@ func Run(e *Env, id string) (Report, error) {
 	return r(e)
 }
 
-// RunAll regenerates every registered artifact in ID order.
+// RunAll regenerates every registered artifact in ID order. Artifacts run
+// one after another; each fans its own jobs out across the environment's
+// worker pool.
 func RunAll(e *Env) ([]Report, error) {
 	var out []Report
 	for _, id := range IDs() {

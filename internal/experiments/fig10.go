@@ -3,6 +3,7 @@ package experiments
 import (
 	"repro/internal/core"
 	"repro/internal/prefetch"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -34,15 +35,15 @@ const NextLineDegree = 4
 // speedup, for Next-Line, TIFS, PIF, and the perfect-latency L1 bound.
 // TIFS and PIF run with unlimited history, matching the paper's
 // competitive comparison "without history storage limitations".
+//
+// Every (workload × engine) pair is one runner job; the five variants per
+// workload occupy consecutive submission slots, so assembling rows in
+// submission order reproduces the serial driver's tables exactly.
 func Fig10(e *Env) (Fig10Result, error) {
 	opts := e.Options()
 	res := Fig10Result{}
 
-	scfg := sim.Config{
-		System:        opts.System,
-		WarmupInstrs:  opts.WarmupInstrs,
-		MeasureInstrs: opts.MeasureInstrs,
-	}
+	scfg := opts.SimConfig()
 	perfCfg := scfg
 	perfCfg.PerfectL1 = true
 
@@ -51,27 +52,37 @@ func Fig10(e *Env) (Fig10Result, error) {
 	pifCfg.IndexEntries = 1 << 22
 	tifsCfg := prefetch.DefaultTIFSConfig() // HistoryBlocks 0 = unlimited
 
+	variants := []struct {
+		name string
+		cfg  sim.Config
+		mk   prefetch.Factory
+	}{
+		{"None", scfg, func() prefetch.Prefetcher { return prefetch.None{} }},
+		{"Next-Line", scfg, func() prefetch.Prefetcher { return prefetch.NewNextLine(NextLineDegree) }},
+		{"TIFS", scfg, func() prefetch.Prefetcher { return prefetch.NewTIFS(tifsCfg) }},
+		{"PIF", scfg, func() prefetch.Prefetcher { return core.New(pifCfg) }},
+		{"Perfect", perfCfg, func() prefetch.Prefetcher { return prefetch.None{} }},
+	}
+
+	var jobs []runner.Job
 	for _, wl := range opts.Workloads {
-		base, err := sim.Run(scfg, wl, prefetch.None{})
-		if err != nil {
-			return res, err
+		for _, v := range variants {
+			jobs = append(jobs, runner.Job{
+				Label:         "fig10/" + wl.Name + "/" + v.name,
+				Workload:      wl,
+				Config:        v.cfg,
+				NewPrefetcher: v.mk,
+			})
 		}
-		nl, err := sim.Run(scfg, wl, prefetch.NewNextLine(NextLineDegree))
-		if err != nil {
-			return res, err
-		}
-		tifs, err := sim.Run(scfg, wl, prefetch.NewTIFS(tifsCfg))
-		if err != nil {
-			return res, err
-		}
-		pif, err := sim.Run(scfg, wl, core.New(pifCfg))
-		if err != nil {
-			return res, err
-		}
-		perf, err := sim.Run(perfCfg, wl, prefetch.None{})
-		if err != nil {
-			return res, err
-		}
+	}
+	results, err := e.RunJobs(jobs)
+	if err != nil {
+		return res, err
+	}
+
+	for wi, wl := range opts.Workloads {
+		row := results[wi*len(variants) : (wi+1)*len(variants)]
+		base, nl, tifs, pif, perf := row[0].Sim, row[1].Sim, row[2].Sim, row[3].Sim, row[4].Sim
 
 		cov := func(r sim.Result) float64 {
 			if base.CorrectMisses == 0 {

@@ -31,20 +31,27 @@ type Fig2Result struct {
 // microarchitectural filtering and noise.
 func Fig2(e *Env) (Fig2Result, error) {
 	opts := e.Options()
-	res := Fig2Result{}
-	for _, wl := range opts.Workloads {
+	n := len(opts.Workloads)
+	res := Fig2Result{
+		Workloads: make([]string, n),
+		Miss:      make([]float64, n),
+		Access:    make([]float64, n),
+		Retire:    make([]float64, n),
+		RetireSep: make([]float64, n),
+	}
+	// One analysis per workload across the worker pool; each writes only
+	// its own row, so the assembled table is order-independent.
+	err := e.ForEachWorkload(func(i int, wl workload.Profile) error {
 		stream, err := e.Stream(wl)
 		if err != nil {
-			return res, err
+			return err
 		}
 		m, a, r, rs := fig2One(opts, wl, stream)
-		res.Workloads = append(res.Workloads, wl.Name)
-		res.Miss = append(res.Miss, m)
-		res.Access = append(res.Access, a)
-		res.Retire = append(res.Retire, r)
-		res.RetireSep = append(res.RetireSep, rs)
-	}
-	return res, nil
+		res.Workloads[i] = wl.Name
+		res.Miss[i], res.Access[i], res.Retire[i], res.RetireSep[i] = m, a, r, rs
+		return nil
+	})
+	return res, err
 }
 
 // exposureTTL bounds how long (in recording-stream events) a would-be

@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 // fig3Geometry is the wide region used for the density study: Figure 3
@@ -53,11 +54,16 @@ func bucketIndex(n int) int {
 // vector), avoiding over-counting from small loops, as in the paper.
 func Fig3(e *Env) (Fig3Result, error) {
 	opts := e.Options()
-	res := Fig3Result{}
-	for _, wl := range opts.Workloads {
+	n := len(opts.Workloads)
+	res := Fig3Result{
+		Workloads:     make([]string, n),
+		Density:       make([][]float64, n),
+		Discontinuity: make([][]float64, n),
+	}
+	err := e.ForEachWorkload(func(i int, wl workload.Profile) error {
 		stream, err := e.Stream(wl)
 		if err != nil {
-			return res, err
+			return err
 		}
 		density := stats.NewHistogram()
 		disc := stats.NewHistogram()
@@ -90,18 +96,19 @@ func Fig3(e *Env) (Fig3Result, error) {
 		observe(sc.Flush())
 
 		dRow := make([]float64, len(DensityBuckets))
-		for i := range dRow {
-			dRow[i] = density.Fraction(i)
+		for k := range dRow {
+			dRow[k] = density.Fraction(k)
 		}
 		gRow := make([]float64, len(DiscontinuityBuckets))
-		for i := range gRow {
-			gRow[i] = disc.Fraction(i)
+		for k := range gRow {
+			gRow[k] = disc.Fraction(k)
 		}
-		res.Workloads = append(res.Workloads, wl.Name)
-		res.Density = append(res.Density, dRow)
-		res.Discontinuity = append(res.Discontinuity, gRow)
-	}
-	return res, nil
+		res.Workloads[i] = wl.Name
+		res.Density[i] = dRow
+		res.Discontinuity[i] = gRow
+		return nil
+	})
+	return res, err
 }
 
 // MultiBlockFraction returns the fraction of regions with more than one

@@ -6,6 +6,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/stats"
 	"repro/internal/streampred"
+	"repro/internal/workload"
 )
 
 // Fig7MaxLog2 is the largest jump-distance bucket rendered (the paper's
@@ -29,11 +30,15 @@ type Fig7Result struct {
 // streams — the paper's case for deep history storage.
 func Fig7(e *Env) (Fig7Result, error) {
 	opts := e.Options()
-	res := Fig7Result{}
-	for _, wl := range opts.Workloads {
+	n := len(opts.Workloads)
+	res := Fig7Result{
+		Workloads: make([]string, n),
+		CDF:       make([][]float64, n),
+	}
+	err := e.ForEachWorkload(func(i int, wl workload.Profile) error {
 		stream, err := e.Stream(wl)
 		if err != nil {
-			return res, err
+			return err
 		}
 		hist := stats.NewHistogram()
 		p := streampred.New(streampred.DefaultConfig())
@@ -67,10 +72,11 @@ func Fig7(e *Env) (Fig7Result, error) {
 				cdf[k] = float64(cum) / float64(hist.Total())
 			}
 		}
-		res.Workloads = append(res.Workloads, wl.Name)
-		res.CDF = append(res.CDF, cdf)
-	}
-	return res, nil
+		res.Workloads[i] = wl.Name
+		res.CDF[i] = cdf
+		return nil
+	})
+	return res, err
 }
 
 // FractionBeyond returns, for workload i, the fraction of correct

@@ -8,6 +8,7 @@ import (
 	"repro/internal/prefetch"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // fig8Geometry is the wide observation window for the offset study:
@@ -27,21 +28,18 @@ type Fig8LeftResult struct {
 
 // Fig8Left reproduces Figure 8 (left), the distribution of accesses around
 // the trigger block, aggregated per suite (OLTP/DSS/Web) as in the paper.
+// Workloads are analyzed in parallel into private histograms, then merged
+// per suite in workload order, so the aggregation is deterministic.
 func Fig8Left(e *Env) (Fig8LeftResult, error) {
 	opts := e.Options()
-	perSuite := map[string]*stats.Histogram{}
-	var suites []string
-	for _, wl := range opts.Workloads {
+	perWL := make([]*stats.Histogram, len(opts.Workloads))
+	err := e.ForEachWorkload(func(i int, wl workload.Profile) error {
 		stream, err := e.Stream(wl)
 		if err != nil {
-			return Fig8LeftResult{}, err
+			return err
 		}
-		h, ok := perSuite[wl.Suite]
-		if !ok {
-			h = stats.NewHistogram()
-			perSuite[wl.Suite] = h
-			suites = append(suites, wl.Suite)
-		}
+		h := stats.NewHistogram()
+		perWL[i] = h
 		sc := core.NewSpatialCompactor(fig8Geometry)
 		var (
 			lastBlk isa.Block
@@ -72,6 +70,26 @@ func Fig8Left(e *Env) (Fig8LeftResult, error) {
 			observe(r, emitted)
 		}
 		observe(sc.Flush())
+		return nil
+	})
+	if err != nil {
+		return Fig8LeftResult{}, err
+	}
+
+	perSuite := map[string]*stats.Histogram{}
+	var suites []string
+	for i, wl := range opts.Workloads {
+		h, ok := perSuite[wl.Suite]
+		if !ok {
+			h = stats.NewHistogram()
+			perSuite[wl.Suite] = h
+			suites = append(suites, wl.Suite)
+		}
+		for d := -fig8Geometry.Prec; d <= fig8Geometry.Succ; d++ {
+			if n := perWL[i].Count(d); n > 0 {
+				h.ObserveN(d, n)
+			}
+		}
 	}
 
 	res := Fig8LeftResult{Suites: suites}
@@ -141,24 +159,31 @@ type Fig8RightResult struct {
 // of the region geometry is isolated from pollution artifacts.
 func Fig8Right(e *Env) (Fig8RightResult, error) {
 	opts := e.Options()
-	res := Fig8RightResult{Sizes: Fig8RegionSizes}
-	for _, wl := range opts.Workloads {
-		stream, err := e.Stream(wl)
-		if err != nil {
-			return res, err
-		}
-		tl0 := make([]float64, len(Fig8RegionSizes))
-		tl1 := make([]float64, len(Fig8RegionSizes))
-		for si, size := range Fig8RegionSizes {
-			cfg := core.DefaultConfig()
-			cfg.Geometry = fig8GeometryFor(size)
-			tl0[si], tl1[si] = predictorCoverageByTL(opts, stream, cfg)
-		}
-		res.Workloads = append(res.Workloads, wl.Name)
-		res.TL0 = append(res.TL0, tl0)
-		res.TL1 = append(res.TL1, tl1)
+	nw, ns := len(opts.Workloads), len(Fig8RegionSizes)
+	res := Fig8RightResult{
+		Sizes:     Fig8RegionSizes,
+		Workloads: make([]string, nw),
+		TL0:       make([][]float64, nw),
+		TL1:       make([][]float64, nw),
 	}
-	return res, nil
+	for i, wl := range opts.Workloads {
+		res.Workloads[i] = wl.Name
+		res.TL0[i] = make([]float64, ns)
+		res.TL1[i] = make([]float64, ns)
+	}
+	// The full (workload × region size) sweep as one flat task list.
+	err := e.ForEach(nw*ns, func(k int) error {
+		wi, si := k/ns, k%ns
+		stream, err := e.Stream(opts.Workloads[wi])
+		if err != nil {
+			return err
+		}
+		cfg := core.DefaultConfig()
+		cfg.Geometry = fig8GeometryFor(Fig8RegionSizes[si])
+		res.TL0[wi][si], res.TL1[wi][si] = predictorCoverageByTL(opts, stream, cfg)
+		return nil
+	})
+	return res, err
 }
 
 // exposureIssuer records would-be prefetches with a TTL clock, standing in

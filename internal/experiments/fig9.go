@@ -4,7 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/sim"
+	"repro/internal/prefetch"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -24,25 +25,41 @@ type Fig9LeftResult struct {
 // predictions over temporal stream lengths. Every stream (one SAB
 // lifetime) contributes its advance count at the log2 bucket of its
 // length, so long streams' larger contribution is visible directly.
+//
+// Each workload is one runner job; the per-job PIF instance is built by
+// the job's factory with a stream-end hook bound to the job's private
+// histogram, so concurrent jobs never share engine or histogram state.
 func Fig9Left(e *Env) (Fig9LeftResult, error) {
 	opts := e.Options()
 	res := Fig9LeftResult{}
-	for _, wl := range opts.Workloads {
+	scfg := opts.SimConfig()
+
+	hists := make([]*stats.Histogram, len(opts.Workloads))
+	jobs := make([]runner.Job, len(opts.Workloads))
+	for i, wl := range opts.Workloads {
 		hist := stats.NewHistogram()
-		pif := core.New(core.DefaultConfig())
-		pif.SetStreamEndHook(func(advances uint64) {
-			if advances > 0 {
-				hist.ObserveN(stats.Log2Bucket(advances), advances)
-			}
-		})
-		scfg := sim.Config{
-			System:        opts.System,
-			WarmupInstrs:  opts.WarmupInstrs,
-			MeasureInstrs: opts.MeasureInstrs,
+		hists[i] = hist
+		jobs[i] = runner.Job{
+			Label:    "fig9L/" + wl.Name,
+			Workload: wl,
+			Config:   scfg,
+			NewPrefetcher: func() prefetch.Prefetcher {
+				pif := core.New(core.DefaultConfig())
+				pif.SetStreamEndHook(func(advances uint64) {
+					if advances > 0 {
+						hist.ObserveN(stats.Log2Bucket(advances), advances)
+					}
+				})
+				return pif
+			},
 		}
-		if _, err := sim.Run(scfg, wl, pif); err != nil {
-			return res, err
-		}
+	}
+	if _, err := e.RunJobs(jobs); err != nil {
+		return res, err
+	}
+
+	for i, wl := range opts.Workloads {
+		hist := hists[i]
 		cdf := make([]float64, Fig9MaxLog2+1)
 		var cum uint64
 		for k := 0; k <= Fig9MaxLog2; k++ {
@@ -100,24 +117,35 @@ type Fig9RightResult struct {
 // Fig9Right reproduces Figure 9 (right): predictor coverage as the history
 // buffer capacity varies. Coverage rises monotonically with storage and
 // saturates — the paper's engineering argument for a 32K-region buffer.
+// The full (workload × history size) sweep is enumerated as one flat job
+// list, so load balances across the worker pool.
 func Fig9Right(e *Env) (Fig9RightResult, error) {
 	opts := e.Options()
 	res := Fig9RightResult{Sizes: Fig9HistorySizes}
+	scfg := opts.SimConfig()
+
+	var jobs []runner.Job
 	for _, wl := range opts.Workloads {
-		row := make([]float64, len(Fig9HistorySizes))
-		for si, size := range Fig9HistorySizes {
+		for _, size := range Fig9HistorySizes {
 			cfg := core.DefaultConfig()
 			cfg.HistoryRegions = size
-			scfg := sim.Config{
-				System:        opts.System,
-				WarmupInstrs:  opts.WarmupInstrs,
-				MeasureInstrs: opts.MeasureInstrs,
-			}
-			r, err := sim.Run(scfg, wl, core.New(cfg))
-			if err != nil {
-				return res, err
-			}
-			row[si] = r.Coverage()
+			jobs = append(jobs, runner.Job{
+				Label:         fmt.Sprintf("fig9R/%s/%dK", wl.Name, size>>10),
+				Workload:      wl,
+				Config:        scfg,
+				NewPrefetcher: func() prefetch.Prefetcher { return core.New(cfg) },
+			})
+		}
+	}
+	results, err := e.RunJobs(jobs)
+	if err != nil {
+		return res, err
+	}
+
+	for wi, wl := range opts.Workloads {
+		row := make([]float64, len(Fig9HistorySizes))
+		for si := range Fig9HistorySizes {
+			row[si] = results[wi*len(Fig9HistorySizes)+si].Sim.Coverage()
 		}
 		res.Workloads = append(res.Workloads, wl.Name)
 		res.Coverage = append(res.Coverage, row)

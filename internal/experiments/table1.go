@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/workload"
 )
 
 // Table1 renders the system configuration (Table I left) and the workload
@@ -11,6 +13,14 @@ import (
 // workloads are auditable in one place.
 func Table1(e *Env) (string, error) {
 	opts := e.Options()
+	// Warm the program cache in parallel; rendering below then reads the
+	// cached images in suite order.
+	if err := e.ForEachWorkload(func(i int, wl workload.Profile) error {
+		_, err := e.Program(wl)
+		return err
+	}); err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	b.WriteString(opts.System.TableI())
 	b.WriteString("\nTable I (right): workload suite (synthetic stand-ins; see DESIGN.md §4)\n")

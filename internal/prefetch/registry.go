@@ -1,0 +1,76 @@
+package prefetch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Factory constructs a fresh prefetch engine. Engines are stateful, so
+// every simulation job needs its own instance: the registry hands out
+// factories, never shared engines.
+type Factory func() Prefetcher
+
+// The registry maps engine names to factories. The baselines in this
+// package register themselves below; the PIF variants register from
+// internal/core's init (core depends on this package, not vice versa).
+var (
+	regMu     sync.RWMutex
+	factories = map[string]Factory{}
+)
+
+// Register adds a named engine factory. It panics on an empty name, a nil
+// factory, or a duplicate registration — registry population is
+// init-time programmer input.
+func Register(name string, f Factory) {
+	if name == "" || f == nil {
+		panic(fmt.Sprintf("prefetch: Register(%q) with empty name or nil factory", name))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := factories[name]; dup {
+		panic(fmt.Sprintf("prefetch: duplicate registration of %q", name))
+	}
+	factories[name] = f
+}
+
+// Lookup returns the factory registered under name.
+func Lookup(name string) (Factory, error) {
+	regMu.RLock()
+	f, ok := factories[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("prefetch: unknown engine %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	return f, nil
+}
+
+// NewByName constructs a fresh engine instance by registry name.
+func NewByName(name string) (Prefetcher, error) {
+	f, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return f(), nil
+}
+
+// Names returns the registered engine names in sorted order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(factories))
+	for n := range factories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register("none", func() Prefetcher { return None{} })
+	// Degree 4 is the "aggressive" next-line configuration of the paper's
+	// competitive comparison.
+	Register("nextline", func() Prefetcher { return NewNextLine(4) })
+	Register("tifs", func() Prefetcher { return NewTIFS(DefaultTIFSConfig()) })
+}

@@ -1,0 +1,74 @@
+package prefetch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryBaselines(t *testing.T) {
+	for name, want := range map[string]string{
+		"none":     "None",
+		"nextline": "Next-Line",
+		"tifs":     "TIFS",
+	} {
+		p, err := NewByName(name)
+		if err != nil {
+			t.Errorf("NewByName(%q): %v", name, err)
+			continue
+		}
+		if p.Name() != want {
+			t.Errorf("NewByName(%q).Name() = %q, want %q", name, p.Name(), want)
+		}
+	}
+}
+
+func TestRegistryFreshInstances(t *testing.T) {
+	a, err := NewByName("tifs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewByName("tifs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.(*TIFS) == b.(*TIFS) {
+		t.Error("NewByName returned a shared instance; engines are stateful and must be private per job")
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	_, err := NewByName("markov")
+	if err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	if !strings.Contains(err.Error(), "nextline") {
+		t.Errorf("error does not list known engines: %v", err)
+	}
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) < 3 {
+		t.Fatalf("Names() = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names() not sorted at %d: %v", i, names)
+		}
+	}
+}
+
+func TestRegisterRejectsBadInput(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty name", func() { Register("", func() Prefetcher { return None{} }) })
+	mustPanic("nil factory", func() { Register("x", nil) })
+	mustPanic("duplicate", func() { Register("none", func() Prefetcher { return None{} }) })
+}

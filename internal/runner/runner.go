@@ -1,0 +1,276 @@
+// Package runner is the job-based parallel execution engine of the
+// evaluation harness. A Job names one simulation (workload profile,
+// sim.Config, prefetcher factory); a Pool fans jobs out over a bounded
+// worker pool, supports context cancellation and progress callbacks, and
+// returns results in submission order — so tables rendered from a
+// parallel run are byte-identical to a serial run of the same jobs.
+//
+// Every experiment driver in internal/experiments enumerates Jobs (or
+// uses ForEach for trace-based per-workload analyses) instead of looping
+// serially; see DESIGN.md §5 for the engine's design.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	// The PIF variants register with the prefetch engine registry from
+	// internal/core's init; the execution engine must be able to resolve
+	// every engine name, so it links the registration in.
+	_ "repro/internal/core"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Job names one simulation to execute.
+type Job struct {
+	// Label identifies the job in progress output and result tables
+	// (e.g. "fig10/OLTP DB2/PIF").
+	Label string
+	// Workload is the simulated workload profile.
+	Workload workload.Profile
+	// Config parameterizes the simulation.
+	Config sim.Config
+	// NewPrefetcher constructs the job's private engine. Engines are
+	// stateful, so jobs carry factories, never instances. When nil,
+	// PrefetcherName is resolved through the prefetch registry.
+	NewPrefetcher prefetch.Factory
+	// PrefetcherName is a prefetch registry name ("pif", "tifs",
+	// "nextline", "none", ...), used when NewPrefetcher is nil.
+	PrefetcherName string
+	// Program optionally shares a pre-built (immutable) program image
+	// across jobs of the same workload.
+	Program *workload.Program
+	// Observer, when non-nil, receives measured-interval callbacks. It is
+	// invoked from the job's worker goroutine and must be private to the
+	// job.
+	Observer sim.Observer
+}
+
+// factory resolves the job's engine factory.
+func (j Job) factory() (prefetch.Factory, error) {
+	if j.NewPrefetcher != nil {
+		return j.NewPrefetcher, nil
+	}
+	if j.PrefetcherName != "" {
+		return prefetch.Lookup(j.PrefetcherName)
+	}
+	return nil, fmt.Errorf("runner: job %q names no prefetcher", j.Label)
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	// Index is the job's submission index; results are returned in
+	// submission order regardless of completion order.
+	Index int
+	// Label echoes the job's label.
+	Label string
+	// Sim is the simulation outcome (zero when Err is non-nil).
+	Sim sim.Result
+	// Err is the job's failure, if any.
+	Err error
+	// Elapsed is the job's wall-clock duration.
+	Elapsed time.Duration
+}
+
+// Progress reports one completed job. Callbacks are serialized: the pool
+// never invokes OnProgress concurrently.
+type Progress struct {
+	// Done is the number of completed jobs including this one; Total is
+	// the submitted job count.
+	Done, Total int
+	// Index and Label identify the completed job.
+	Index int
+	Label string
+	// Elapsed is the completed job's wall-clock duration.
+	Elapsed time.Duration
+	// Err is the job's failure, if any.
+	Err error
+}
+
+// Pool executes jobs over a bounded set of workers.
+type Pool struct {
+	// Workers bounds concurrency; <= 0 means GOMAXPROCS.
+	Workers int
+	// OnProgress, when non-nil, is called (serially) after each job
+	// completes.
+	OnProgress func(Progress)
+}
+
+// Workers resolves a worker-count override: n if positive, GOMAXPROCS
+// otherwise.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes every job and returns the results in submission order.
+// The returned error is the context's error if the run was canceled,
+// otherwise the first (by submission order) job failure; the result
+// slice is always fully populated for jobs that ran. Jobs already
+// started when the context is canceled are aborted by sim.RunJob's
+// periodic cancellation check.
+func (p Pool) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]Result, len(jobs))
+	for i := range results {
+		results[i] = Result{Index: i, Label: jobs[i].Label}
+	}
+	if len(jobs) == 0 {
+		return results, ctx.Err()
+	}
+
+	workers := Workers(p.Workers)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	idxCh := make(chan int)
+	go func() {
+		defer close(idxCh)
+		for i := range jobs {
+			select {
+			case idxCh <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var (
+		wg     sync.WaitGroup
+		progMu sync.Mutex
+		done   int
+	)
+	ran := make([]bool, len(jobs)) // per-index, written by exactly one worker
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				ran[i] = true
+				results[i] = p.runOne(ctx, i, jobs[i])
+				if p.OnProgress != nil {
+					progMu.Lock()
+					done++
+					p.OnProgress(Progress{
+						Done:    done,
+						Total:   len(jobs),
+						Index:   i,
+						Label:   results[i].Label,
+						Elapsed: results[i].Elapsed,
+						Err:     results[i].Err,
+					})
+					progMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		// Jobs never dispatched carry the cancellation error too, so a
+		// caller salvaging per-job results cannot mistake them for
+		// completed zero-valued simulations.
+		for i := range results {
+			if !ran[i] {
+				results[i].Err = err
+			}
+		}
+		return results, err
+	}
+	for i := range results {
+		if results[i].Err != nil {
+			return results, fmt.Errorf("runner: job %d (%s): %w", i, results[i].Label, results[i].Err)
+		}
+	}
+	return results, nil
+}
+
+// runOne executes a single job.
+func (p Pool) runOne(ctx context.Context, i int, j Job) Result {
+	res := Result{Index: i, Label: j.Label}
+	start := time.Now()
+	factory, err := j.factory()
+	if err != nil {
+		res.Err = err
+		res.Elapsed = time.Since(start)
+		return res
+	}
+	res.Sim, res.Err = sim.RunJob(ctx, sim.Job{
+		Config:        j.Config,
+		Workload:      j.Workload,
+		Program:       j.Program,
+		NewPrefetcher: factory,
+		Observer:      j.Observer,
+	})
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// Run executes jobs with a default pool of the given width (<= 0 means
+// GOMAXPROCS).
+func Run(ctx context.Context, jobs []Job, workers int) ([]Result, error) {
+	return Pool{Workers: workers}.Run(ctx, jobs)
+}
+
+// ForEach runs fn(i) for every i in [0, n) across a bounded worker pool.
+// It is the engine's primitive for trace-based analyses that are not
+// simulations (one call per workload, each writing its own result slot,
+// so output assembly stays deterministic). It returns the context's
+// error if canceled, otherwise the first (by index) fn failure.
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+
+	errs := make([]error, n)
+	idxCh := make(chan int)
+	go func() {
+		defer close(idxCh)
+		for i := 0; i < n; i++ {
+			select {
+			case idxCh <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("runner: task %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// testConfig is a small-but-real simulation scale: big enough that jobs
+// overlap under a parallel pool, small enough for fast tests.
+func testConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.WarmupInstrs = 100_000
+	cfg.MeasureInstrs = 100_000
+	return cfg
+}
+
+func testJobs(t *testing.T, n int) []Job {
+	t.Helper()
+	suite := workload.StandardSuite()
+	jobs := make([]Job, n)
+	for i := range jobs {
+		wl := suite[i%len(suite)]
+		jobs[i] = Job{
+			Label:          fmt.Sprintf("job%d/%s", i, wl.Name),
+			Workload:       wl,
+			Config:         testConfig(),
+			PrefetcherName: "nextline",
+		}
+	}
+	return jobs
+}
+
+func TestRunSubmissionOrder(t *testing.T) {
+	jobs := testJobs(t, 8)
+	serial, err := Run(context.Background(), jobs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(context.Background(), jobs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(jobs) || len(parallel) != len(jobs) {
+		t.Fatalf("results = %d/%d, want %d", len(serial), len(parallel), len(jobs))
+	}
+	for i := range jobs {
+		if serial[i].Index != i || parallel[i].Index != i {
+			t.Errorf("result %d has index %d/%d", i, serial[i].Index, parallel[i].Index)
+		}
+		if serial[i].Label != jobs[i].Label || parallel[i].Label != jobs[i].Label {
+			t.Errorf("result %d label = %q/%q, want %q", i, serial[i].Label, parallel[i].Label, jobs[i].Label)
+		}
+		if serial[i].Sim != parallel[i].Sim {
+			t.Errorf("job %d: parallel result differs from serial\nserial:   %+v\nparallel: %+v",
+				i, serial[i].Sim, parallel[i].Sim)
+		}
+	}
+}
+
+func TestRunFreshEnginePerJob(t *testing.T) {
+	// A factory counting constructions proves each job gets its own
+	// engine instance (engines are stateful; sharing would corrupt runs).
+	var built atomic.Int32
+	jobs := testJobs(t, 4)
+	for i := range jobs {
+		jobs[i].PrefetcherName = ""
+		jobs[i].NewPrefetcher = func() prefetch.Prefetcher {
+			built.Add(1)
+			return prefetch.None{}
+		}
+	}
+	if _, err := Run(context.Background(), jobs, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := built.Load(); got != int32(len(jobs)) {
+		t.Errorf("factory called %d times, want %d", got, len(jobs))
+	}
+}
+
+func TestRunRegistryNames(t *testing.T) {
+	// The blank import of internal/core must make the PIF variants
+	// resolvable alongside the in-package baselines.
+	for _, name := range []string{"none", "nextline", "tifs", "pif", "pif-unlimited", "pif-nosep"} {
+		if _, err := prefetch.Lookup(name); err != nil {
+			t.Errorf("Lookup(%q): %v", name, err)
+		}
+	}
+}
+
+func TestRunUnknownEngine(t *testing.T) {
+	jobs := testJobs(t, 2)
+	jobs[1].PrefetcherName = "dropout"
+	_, err := Run(context.Background(), jobs, 2)
+	if err == nil {
+		t.Fatal("unknown engine name accepted")
+	}
+}
+
+func TestRunNoEngine(t *testing.T) {
+	jobs := testJobs(t, 1)
+	jobs[0].PrefetcherName = ""
+	if _, err := Run(context.Background(), jobs, 1); err == nil {
+		t.Fatal("job without engine accepted")
+	}
+}
+
+func TestRunJobError(t *testing.T) {
+	jobs := testJobs(t, 3)
+	jobs[1].Config.MeasureInstrs = 0 // invalid
+	results, err := Run(context.Background(), jobs, 2)
+	if err == nil {
+		t.Fatal("invalid job accepted")
+	}
+	if results[1].Err == nil {
+		t.Error("failing job has nil Err")
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Errorf("healthy jobs report errors: %v, %v", results[0].Err, results[2].Err)
+	}
+}
+
+func TestRunCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := Run(ctx, testJobs(t, 4), 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("result %d Err = %v, want context.Canceled (never-run jobs must not look successful)", i, r.Err)
+		}
+	}
+}
+
+func TestRunCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	pool := Pool{
+		Workers: 1,
+		OnProgress: func(p Progress) {
+			if p.Done == 1 {
+				cancel() // cancel after the first job completes
+			}
+		},
+	}
+	results, err := pool.Run(ctx, testJobs(t, 6))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if results[0].Err != nil {
+		t.Errorf("first job err = %v", results[0].Err)
+	}
+	// At least the tail jobs must not have produced results.
+	last := results[len(results)-1]
+	if last.Err == nil && last.Sim.Instructions > 0 {
+		t.Error("canceled run completed every job")
+	}
+}
+
+func TestRunProgressSerialized(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	var doneMax int
+	pool := Pool{
+		Workers: 4,
+		OnProgress: func(p Progress) {
+			mu.Lock()
+			defer mu.Unlock()
+			if seen[p.Index] {
+				t.Errorf("job %d reported twice", p.Index)
+			}
+			seen[p.Index] = true
+			if p.Done <= doneMax {
+				t.Errorf("Done %d not increasing (prev %d)", p.Done, doneMax)
+			}
+			doneMax = p.Done
+			if p.Total != 6 {
+				t.Errorf("Total = %d, want 6", p.Total)
+			}
+		},
+	}
+	if _, err := pool.Run(context.Background(), testJobs(t, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 6 || doneMax != 6 {
+		t.Errorf("progress reported %d jobs, Done reached %d; want 6/6", len(seen), doneMax)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	results, err := Run(context.Background(), nil, 4)
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty run = %v, %v", results, err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Error("positive override ignored")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Error("default workers < 1")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	out := make([]int, 32)
+	err := ForEach(context.Background(), 4, len(out), func(i int) error {
+		out[i] = i * i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Errorf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestForEachError(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEach(context.Background(), 4, 8, func(i int) error {
+		if i == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestForEachCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEach(ctx, 4, 8, func(i int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

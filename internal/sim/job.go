@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/prefetch"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Job names one simulation: a workload, a configuration, and a factory
+// producing a fresh prefetch engine. Jobs are the unit of work of the
+// parallel execution engine (internal/runner): because every engine is
+// stateful, a job carries a factory rather than an instance, and RunJob
+// constructs everything it touches, so any number of jobs can run
+// concurrently — goroutine safety by construction, with no package-level
+// state anywhere in the simulation path.
+type Job struct {
+	// Config parameterizes the run (system, warmup, measured interval).
+	Config Config
+	// Workload is the simulated workload profile.
+	Workload workload.Profile
+	// Program optionally supplies a pre-built program image (e.g. from the
+	// experiments environment cache). Programs are immutable after
+	// construction, so one image may be shared by concurrent jobs. When
+	// nil, RunJob builds the image from Workload.
+	Program *workload.Program
+	// NewPrefetcher constructs the job's private prefetch engine.
+	NewPrefetcher func() prefetch.Prefetcher
+	// Observer, when non-nil, receives per-event callbacks during the
+	// measured interval. It must be private to the job (observers are
+	// invoked from the job's goroutine).
+	Observer Observer
+}
+
+// cancelCheckMask throttles context polling to once per 64K retired
+// instructions (~microseconds of real time), keeping the cancellation
+// check off the per-instruction hot path.
+const cancelCheckMask = 1<<16 - 1
+
+// RunJob executes one simulation job: build (or adopt) the program image,
+// construct a fresh prefetcher, warm up, measure. The context is polled
+// periodically; on cancellation the run is aborted and ctx.Err() returned.
+// RunJob is safe for concurrent use — it shares no mutable state with
+// other runs beyond the read-only Program.
+func RunJob(ctx context.Context, j Job) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if j.Config.MeasureInstrs == 0 {
+		return Result{}, fmt.Errorf("sim: zero measurement interval")
+	}
+	if j.NewPrefetcher == nil {
+		return Result{}, fmt.Errorf("sim: job for %q has no prefetcher factory", j.Workload.Name)
+	}
+	prog := j.Program
+	if prog == nil {
+		var err error
+		prog, err = workload.BuildProgram(j.Workload)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	ex := workload.NewExecutor(prog)
+	s := New(j.Config, j.NewPrefetcher(), j.Workload.Seed)
+
+	// The cancellation wrapper does not perturb the instruction stream, so
+	// completed runs are bit-identical whether or not a cancelable context
+	// is attached.
+	step := s.Step
+	if ctx.Done() != nil {
+		var n uint64
+		step = func(r trace.Record) {
+			s.Step(r)
+			n++
+			if n&cancelCheckMask == 0 {
+				select {
+				case <-ctx.Done():
+					ex.Abort()
+				default:
+				}
+			}
+		}
+	}
+
+	if j.Config.WarmupInstrs > 0 {
+		ex.Run(j.Config.WarmupInstrs, step)
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		s.resetStats()
+	}
+	s.obs = j.Observer
+	ex.Run(j.Config.MeasureInstrs, step)
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	return s.result(j.Workload.Name), nil
+}

@@ -13,7 +13,7 @@
 package sim
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/cache"
 	"repro/internal/config"
@@ -271,7 +271,8 @@ func (s *Simulator) result(workload string) Result {
 }
 
 // Run executes the full methodology for one workload/prefetcher pair:
-// build program, warm up, measure.
+// build program, warm up, measure. It is a serial convenience over RunJob;
+// the engine instance pf must not be shared with concurrent runs.
 func Run(cfg Config, wl workload.Profile, pf prefetch.Prefetcher) (Result, error) {
 	return RunWithObserver(cfg, wl, pf, nil)
 }
@@ -279,21 +280,10 @@ func Run(cfg Config, wl workload.Profile, pf prefetch.Prefetcher) (Result, error
 // RunWithObserver is Run with an Observer attached for the measured
 // interval (warmup events are not observed).
 func RunWithObserver(cfg Config, wl workload.Profile, pf prefetch.Prefetcher, obs Observer) (Result, error) {
-	if cfg.MeasureInstrs == 0 {
-		return Result{}, fmt.Errorf("sim: zero measurement interval")
-	}
-	prog, err := workload.BuildProgram(wl)
-	if err != nil {
-		return Result{}, err
-	}
-	ex := workload.NewExecutor(prog)
-	s := New(cfg, pf, wl.Seed)
-
-	if cfg.WarmupInstrs > 0 {
-		ex.Run(cfg.WarmupInstrs, s.Step)
-		s.resetStats()
-	}
-	s.obs = obs
-	ex.Run(cfg.MeasureInstrs, s.Step)
-	return s.result(wl.Name), nil
+	return RunJob(context.Background(), Job{
+		Config:        cfg,
+		Workload:      wl,
+		NewPrefetcher: func() prefetch.Prefetcher { return pf },
+		Observer:      obs,
+	})
 }

@@ -67,6 +67,13 @@ func (e *Executor) Run(n uint64, emit func(trace.Record)) uint64 {
 // Emitted returns the total instructions emitted across Run calls.
 func (e *Executor) Emitted() uint64 { return e.emitted }
 
+// Abort stops the in-progress Run before its budget: no further
+// instructions are emitted and Run returns once the current call stack
+// unwinds. It is intended to be called from within the emit callback
+// (e.g. on context cancellation); the executor's stream state is
+// unspecified afterwards, so an aborted run's output must be discarded.
+func (e *Executor) Abort() { e.stopped = true }
+
 // pickVariant draws the transaction's path variant: the hottest variant
 // takes a large share and the rest split the remainder, so every variant's
 // path is exercised regularly (steady state) while the mix still perturbs

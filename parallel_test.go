@@ -1,0 +1,110 @@
+package pif
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// determinismOptions is a reduced-but-complete scale: every artifact runs
+// with two workloads so the test stays fast under -race while still
+// exercising cross-workload job interleaving.
+func determinismOptions(parallel int) ExperimentOptions {
+	opts := QuickExperimentOptions()
+	opts.Workloads = Workloads()[:2]
+	opts.WarmupInstrs = 400_000
+	opts.MeasureInstrs = 200_000
+	opts.Parallel = parallel
+	return opts
+}
+
+func renderAll(t *testing.T, parallel int) string {
+	t.Helper()
+	reports, err := RunAllExperiments(determinismOptions(parallel))
+	if err != nil {
+		t.Fatalf("RunAll (parallel=%d): %v", parallel, err)
+	}
+	if len(reports) != len(ExperimentIDs()) {
+		t.Fatalf("RunAll (parallel=%d) = %d reports, want %d", parallel, len(reports), len(ExperimentIDs()))
+	}
+	var b strings.Builder
+	for _, rep := range reports {
+		b.WriteString("== " + rep.ID + ": " + rep.Title + " ==\n")
+		b.WriteString(rep.Text)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestParallelSerialDeterminism is the engine's acceptance criterion: a
+// parallel (8-worker) regeneration of every artifact renders byte-identical
+// to a serial (1-worker) regeneration. Run under -race this also proves
+// the job fan-out and the Env caches are data-race free.
+func TestParallelSerialDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism test skipped in -short mode")
+	}
+	serial := renderAll(t, 1)
+	parallel := renderAll(t, 8)
+	if serial != parallel {
+		d := firstDiff(serial, parallel)
+		t.Fatalf("parallel rendering differs from serial at byte %d:\nserial:   %.120q\nparallel: %.120q",
+			d, tail(serial, d), tail(parallel, d))
+	}
+}
+
+// TestJobsAPIParallelDeterminism covers the public job API the same way:
+// identical job lists through pools of width 1 and 8 yield identical
+// results slices.
+func TestJobsAPIParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism test skipped in -short mode")
+	}
+	cfg := DefaultSimConfig()
+	cfg.WarmupInstrs = 200_000
+	cfg.MeasureInstrs = 200_000
+	mk := func() []Job {
+		var jobs []Job
+		for _, wl := range Workloads()[:3] {
+			for _, name := range []string{"none", "nextline", "tifs", "pif"} {
+				jobs = append(jobs, Job{
+					Label:          wl.Name + "/" + name,
+					Workload:       wl,
+					Config:         cfg,
+					PrefetcherName: name,
+				})
+			}
+		}
+		return jobs
+	}
+	serial, err := RunJobs(context.Background(), mk(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunJobs(context.Background(), mk(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i].Sim != parallel[i].Sim {
+			t.Errorf("job %d (%s): parallel result differs from serial", i, serial[i].Label)
+		}
+	}
+}
+
+func firstDiff(a, b string) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+func tail(s string, from int) string {
+	if from >= len(s) {
+		return ""
+	}
+	return s[from:]
+}

@@ -12,6 +12,9 @@
 //     commercial suite (Workloads, GenerateStream);
 //   - the trace-driven simulator producing the paper's coverage and UIPC
 //     metrics (Simulate, SimConfig);
+//   - the parallel execution engine fanning simulation jobs out across
+//     cores with deterministic, submission-ordered results (RunJobs, Job,
+//     Pool);
 //   - the experiment drivers regenerating every table and figure of the
 //     paper's evaluation (RunExperiment, ExperimentIDs).
 //
@@ -25,10 +28,13 @@
 package pif
 
 import (
+	"context"
+
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/prefetch"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -67,6 +73,14 @@ func NewTIFS() Prefetcher { return prefetch.NewTIFS(prefetch.DefaultTIFSConfig()
 
 // NoPrefetch is the no-prefetcher baseline.
 func NoPrefetch() Prefetcher { return prefetch.None{} }
+
+// PrefetcherNames lists the registered engine factories ("none",
+// "nextline", "tifs", "pif", and the PIF variants), in sorted order.
+func PrefetcherNames() []string { return prefetch.Names() }
+
+// PrefetcherByName constructs a fresh engine instance by registry name.
+// Engines are stateful: call once per simulation job.
+func PrefetcherByName(name string) (Prefetcher, error) { return prefetch.NewByName(name) }
 
 // Workload describes one synthetic server workload.
 type Workload = workload.Profile
@@ -122,6 +136,27 @@ func Simulate(cfg SimConfig, w Workload, p Prefetcher) (SimResult, error) {
 	return sim.Run(cfg, w, p)
 }
 
+// Job names one simulation for the parallel execution engine: a workload,
+// a configuration, and a prefetcher factory (or registry name).
+type Job = runner.Job
+
+// JobResult is the outcome of one job, tagged with its submission index.
+type JobResult = runner.Result
+
+// JobProgress reports one completed job to a Pool's progress callback.
+type JobProgress = runner.Progress
+
+// Pool fans simulation jobs out over a bounded worker pool with context
+// cancellation and progress callbacks; results come back in submission
+// order, so rendered tables are byte-identical to serial runs.
+type Pool = runner.Pool
+
+// RunJobs executes jobs over a pool of the given width (<= 0 means
+// GOMAXPROCS) and returns results in submission order.
+func RunJobs(ctx context.Context, jobs []Job, workers int) ([]JobResult, error) {
+	return runner.Run(ctx, jobs, workers)
+}
+
 // ExperimentOptions scale the evaluation harness.
 type ExperimentOptions = experiments.Options
 
@@ -137,12 +172,34 @@ func QuickExperimentOptions() ExperimentOptions { return experiments.QuickOption
 // ExperimentIDs lists the regenerable artifacts (fig2..fig10, table1).
 func ExperimentIDs() []string { return experiments.IDs() }
 
+// ExperimentEnv caches per-workload artifacts (program images, retire
+// streams) across experiment runs; one environment can regenerate many
+// artifacts without rebuilding traces. Safe for concurrent jobs.
+type ExperimentEnv = experiments.Env
+
+// NewExperimentEnv builds an environment whose runs are governed by ctx:
+// cancellation aborts in-flight simulation jobs.
+func NewExperimentEnv(ctx context.Context, opts ExperimentOptions) *ExperimentEnv {
+	return experiments.NewEnvContext(ctx, opts)
+}
+
 // RunExperiment regenerates one of the paper's tables or figures.
 func RunExperiment(opts ExperimentOptions, id string) (ExperimentReport, error) {
 	return experiments.Run(experiments.NewEnv(opts), id)
 }
 
+// RunExperimentIn regenerates one artifact in an existing environment,
+// reusing its caches.
+func RunExperimentIn(env *ExperimentEnv, id string) (ExperimentReport, error) {
+	return experiments.Run(env, id)
+}
+
 // RunAllExperiments regenerates every table and figure.
 func RunAllExperiments(opts ExperimentOptions) ([]ExperimentReport, error) {
 	return experiments.RunAll(experiments.NewEnv(opts))
+}
+
+// RunAllExperimentsContext is RunAllExperiments under a context.
+func RunAllExperimentsContext(ctx context.Context, opts ExperimentOptions) ([]ExperimentReport, error) {
+	return experiments.RunAll(experiments.NewEnvContext(ctx, opts))
 }
