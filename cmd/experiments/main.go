@@ -6,10 +6,16 @@
 // tables are byte-identical for every parallelism level. Ctrl-C cancels
 // in-flight jobs.
 //
+// With -out DIR, the run is also stored as structured JSON (run.json plus
+// one <artifact>.json per artifact, schema-versioned); "experiments diff"
+// compares two stored runs metric by metric and exits nonzero on
+// out-of-tolerance drift, so sweeps can be diffed across commits.
+//
 // Usage:
 //
 //	experiments [-run all|table1|fig2|fig3|fig7|fig8|fig9|fig10] [-quick]
-//	            [-warmup N] [-measure N] [-parallel N] [-v]
+//	            [-warmup N] [-measure N] [-parallel N] [-out DIR] [-v]
+//	experiments diff [-abs X] [-rel Y] DIR_A DIR_B
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -26,11 +33,19 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(diffMain(os.Args[2:]))
+	}
+	os.Exit(runMain())
+}
+
+func runMain() int {
 	runID := flag.String("run", "all", "artifact to regenerate: all, or one of "+strings.Join(pif.ExperimentIDs(), ", "))
 	quick := flag.Bool("quick", false, "reduced-scale run (shorter warmup and measurement)")
 	warmup := flag.Uint64("warmup", 0, "override warmup instructions (0 = default)")
 	measure := flag.Uint64("measure", 0, "override measured instructions (0 = default)")
 	parallel := flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	out := flag.String("out", "", "write structured JSON results into this directory (run.json + <artifact>.json)")
 	verbose := flag.Bool("v", false, "print per-job timing as jobs complete")
 	flag.Parse()
 
@@ -63,23 +78,97 @@ func main() {
 	env := pif.NewExperimentEnv(ctx, opts)
 	workers := env.Parallel()
 	start := time.Now()
-	var reports []pif.ExperimentReport
+	var (
+		reports []pif.ExperimentReport
+		timings []pif.ResultsTiming
+	)
 	for _, id := range ids {
 		artStart := time.Now()
 		rep, err := pif.RunExperimentIn(env, id)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		if *verbose {
-			fmt.Fprintf(os.Stderr, "  == %s in %s ==\n", id, time.Since(artStart).Round(time.Millisecond))
+			return 1
 		}
 		reports = append(reports, rep)
+		timings = append(timings, pif.ResultsTiming{ID: id, Nanos: int64(time.Since(artStart))})
 	}
+	total := time.Since(start)
+
 	for _, rep := range reports {
 		fmt.Printf("== %s: %s ==\n%s\n", rep.ID, rep.Title, rep.Text)
 	}
+	fmt.Println("artifact wall-clock:")
+	for _, tm := range timings {
+		fmt.Printf("  %-8s %8s\n", tm.ID, tm.Elapsed().Round(time.Millisecond))
+	}
 	fmt.Printf("(%d artifact(s) in %s; warmup=%d measure=%d instructions per workload; %d workers)\n",
-		len(reports), time.Since(start).Round(time.Millisecond),
+		len(reports), total.Round(time.Millisecond),
 		opts.WarmupInstrs, opts.MeasureInstrs, workers)
+
+	if *out != "" {
+		artifacts, err := pif.ExperimentArtifacts(reports)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		run := pif.ResultsRun{
+			ID:         runName(*out),
+			CreatedAt:  time.Now().UTC(),
+			Options:    opts.RunOptions(),
+			Timings:    timings,
+			TotalNanos: int64(total),
+		}
+		if err := pif.SaveResults(*out, run, artifacts); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		fmt.Printf("(results stored in %s)\n", *out)
+	}
+	return 0
+}
+
+// runName derives a run ID from the output directory.
+func runName(dir string) string {
+	base := filepath.Base(filepath.Clean(dir))
+	if base == "." || base == string(filepath.Separator) {
+		return "run"
+	}
+	return base
+}
+
+// diffMain compares two stored runs and reports per-metric drift; it
+// returns 1 when any metric is out of tolerance (the regression-gate exit
+// code) and 2 on usage or load errors.
+func diffMain(args []string) int {
+	fs := flag.NewFlagSet("experiments diff", flag.ExitOnError)
+	abs := fs.Float64("abs", 1e-12, "absolute tolerance per metric")
+	rel := fs.Float64("rel", 1e-9, "relative tolerance per metric")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: experiments diff [-abs X] [-rel Y] DIR_A DIR_B")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	_, aArts, err := pif.LoadResults(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments diff:", err)
+		return 2
+	}
+	_, bArts, err := pif.LoadResults(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments diff:", err)
+		return 2
+	}
+	tol := pif.ResultsTolerances{Default: pif.ResultsTolerance{Abs: *abs, Rel: *rel}}
+	d := pif.DiffResults(aArts, bArts, tol)
+	fmt.Print(d.Render())
+	if d.OutOfTolerance() {
+		fmt.Printf("DRIFT: %s and %s differ beyond tolerance (abs %g, rel %g)\n",
+			fs.Arg(0), fs.Arg(1), *abs, *rel)
+		return 1
+	}
+	return 0
 }

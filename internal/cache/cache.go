@@ -40,6 +40,9 @@ func (c Config) Validate() error {
 	if sets&(sets-1) != 0 {
 		return fmt.Errorf("cache: set count %d not a power of two", sets)
 	}
+	if c.MSHRs < 0 {
+		return fmt.Errorf("cache: MSHRs = %d", c.MSHRs)
+	}
 	return nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/bpred"
 	"repro/internal/cache"
 	"repro/internal/frontend"
+	"repro/internal/isa"
 )
 
 // System mirrors Table I (left): the processing node, I-fetch unit, cache
@@ -119,6 +120,11 @@ func (s System) Frontend(seed int64) frontend.Config {
 func (s System) Validate() error {
 	if err := s.L1I().Validate(); err != nil {
 		return err
+	}
+	// The whole pipeline converts PCs to blocks with isa.BlockShift, so a
+	// cache model with any other line size would silently mis-index.
+	if s.BlockBytes != isa.BlockBytes {
+		return fmt.Errorf("config: BlockBytes = %d, model requires %d (isa.BlockBytes)", s.BlockBytes, isa.BlockBytes)
 	}
 	if err := s.Predictor.Validate(); err != nil {
 		return err

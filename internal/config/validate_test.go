@@ -1,0 +1,87 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestValidateEdgeCases covers the degenerate geometries beyond the happy
+// path: zero and negative sizes, line sizes the isa package cannot index,
+// non-power-of-two set counts, and negative MSHR files. The golden
+// regression suite runs every experiment from a System that passed
+// Validate, so an accepted-but-broken config here would corrupt reproduced
+// numbers silently.
+func TestValidateEdgeCases(t *testing.T) {
+	mod := func(f func(*System)) System {
+		s := Default()
+		f(&s)
+		return s
+	}
+	cases := []struct {
+		name string
+		sys  System
+	}{
+		{"zero L1 size", mod(func(s *System) { s.L1ISizeBytes = 0 })},
+		{"negative L1 size", mod(func(s *System) { s.L1ISizeBytes = -64 << 10 })},
+		{"zero assoc", mod(func(s *System) { s.L1IAssoc = 0 })},
+		{"zero block", mod(func(s *System) { s.BlockBytes = 0 })},
+		{"block size not isa's", mod(func(s *System) { s.BlockBytes = 32; s.L1ISizeBytes = 32 << 10 })},
+		{"assoc above capacity", mod(func(s *System) { s.L1IAssoc = 2048 })},
+		{"non-power-of-two sets", mod(func(s *System) { s.L1ISizeBytes = 96 << 10 })},
+		{"negative MSHRs", mod(func(s *System) { s.L1IMSHRs = -1 })},
+		{"zero clock", mod(func(s *System) { s.ClockGHz = 0 })},
+		{"zero fetch width", mod(func(s *System) { s.FetchWidth = 0 })},
+		{"L2 slower than memory", mod(func(s *System) { s.L2HitCycles = 200 })},
+		{"negative data stall", mod(func(s *System) { s.DataStallCPI = -0.1 })},
+		{"negative ctx switch", mod(func(s *System) { s.CtxSwitchBlocks = -1 })},
+		{"zero predictor table", mod(func(s *System) { s.Predictor.GShareEntries = 0 })},
+		{"non-power-of-two BTB", mod(func(s *System) { s.Predictor.BTBEntries = 3000 })},
+	}
+	for _, c := range cases {
+		if err := c.sys.Validate(); err == nil {
+			t.Errorf("%s: accepted (%+v)", c.name, c.sys)
+		}
+	}
+}
+
+// TestValidateAcceptsUnusualButSound documents geometries that look odd
+// but are sound under the model, so Validate must not over-tighten: ways
+// need not be a power of two as long as the set count is.
+func TestValidateAcceptsUnusualButSound(t *testing.T) {
+	s := Default()
+	s.L1IAssoc = 6
+	s.L1ISizeBytes = 48 << 10 // 48KB / (6 ways * 64B) = 128 sets, power of two
+	if err := s.Validate(); err != nil {
+		t.Errorf("6-way 48KB rejected: %v", err)
+	}
+	if got := s.L1I().Sets(); got != 128 {
+		t.Errorf("sets = %d, want 128", got)
+	}
+	s = Default()
+	s.L1IMSHRs = 0 // documented as "unlimited"
+	if err := s.Validate(); err != nil {
+		t.Errorf("zero (unlimited) MSHRs rejected: %v", err)
+	}
+	s = Default()
+	s.CtxSwitchEveryInstrs = 0 // documented as "pollution disabled"
+	if err := s.Validate(); err != nil {
+		t.Errorf("disabled context-switch pollution rejected: %v", err)
+	}
+}
+
+// TestBlockBytesMatchesISA pins the Table I line size to the isa package's
+// compile-time block geometry; drifting either side breaks PC-to-block
+// conversion everywhere.
+func TestBlockBytesMatchesISA(t *testing.T) {
+	if Default().BlockBytes != isa.BlockBytes {
+		t.Fatalf("default BlockBytes %d != isa.BlockBytes %d", Default().BlockBytes, isa.BlockBytes)
+	}
+	bad := Default()
+	bad.BlockBytes = 128
+	bad.L1ISizeBytes = 128 << 10 // keep the geometry itself consistent
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "BlockBytes") {
+		t.Errorf("mismatched line size accepted: %v", err)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"repro/internal/config"
+	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -218,14 +219,54 @@ func (o Options) SimConfig() sim.Config {
 	}
 }
 
-// Report is a rendered experiment artifact.
+// Report is one regenerated experiment artifact: the rendered text plus
+// the driver's typed result, so downstream tooling (the results store,
+// the golden regression suite) never re-parses tables.
 type Report struct {
 	// ID is the artifact identifier ("fig2", "table1", ...).
-	ID string
+	ID string `json:"id"`
 	// Title describes the artifact.
-	Title string
+	Title string `json:"title"`
 	// Text is the rendered result.
-	Text string
+	Text string `json:"text"`
+	// Data is the driver's typed result (Fig2Result, Fig10Result, ...),
+	// JSON-marshalable with stable field names.
+	Data any `json:"data,omitempty"`
+}
+
+// Artifact converts the report into its serializable schema form.
+func (r Report) Artifact() (report.Artifact, error) {
+	return report.NewArtifact(r.ID, r.Title, r.Text, r.Data)
+}
+
+// Artifacts converts a report slice (e.g. a RunAll result) into schema
+// artifacts, preserving order.
+func Artifacts(reps []Report) ([]report.Artifact, error) {
+	arts := make([]report.Artifact, 0, len(reps))
+	for _, rep := range reps {
+		a, err := rep.Artifact()
+		if err != nil {
+			return nil, err
+		}
+		arts = append(arts, a)
+	}
+	return arts, nil
+}
+
+// RunOptions returns the serializable form of the options for run
+// metadata (results-store run.json).
+func (o Options) RunOptions() report.RunOptions {
+	names := make([]string, len(o.Workloads))
+	for i, wl := range o.Workloads {
+		names[i] = wl.Name
+	}
+	return report.RunOptions{
+		Workloads:     names,
+		WarmupInstrs:  o.WarmupInstrs,
+		MeasureInstrs: o.MeasureInstrs,
+		Parallel:      o.Parallel,
+		System:        o.System,
+	}
 }
 
 // Runner regenerates one artifact.

@@ -305,10 +305,11 @@ func TestFig10Shape(t *testing.T) {
 
 func TestTable1Renders(t *testing.T) {
 	e := NewEnv(QuickOptions())
-	text, err := Table1(e)
+	r, err := Table1(e)
 	if err != nil {
 		t.Fatal(err)
 	}
+	text := r.Render()
 	for _, want := range []string{"Table I", "OLTP DB2", "Web Zeus", "footprint"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("Table1 missing %q", want)

@@ -12,18 +12,18 @@ import (
 // speedup (UIPC normalized to the no-prefetch baseline) per workload for
 // the next-line prefetcher, TIFS, PIF, and the perfect-latency L1.
 type Fig10Result struct {
-	Workloads []string
+	Workloads []string `json:"workloads"`
 
 	// Miss coverage relative to the no-prefetch baseline miss count.
-	NextLineCov []float64
-	TIFSCov     []float64
-	PIFCov      []float64
+	NextLineCov []float64 `json:"next_line_cov"`
+	TIFSCov     []float64 `json:"tifs_cov"`
+	PIFCov      []float64 `json:"pif_cov"`
 
 	// Speedups over the no-prefetch baseline.
-	NextLineSpeedup []float64
-	TIFSSpeedup     []float64
-	PIFSpeedup      []float64
-	PerfectSpeedup  []float64
+	NextLineSpeedup []float64 `json:"next_line_speedup"`
+	TIFSSpeedup     []float64 `json:"tifs_speedup"`
+	PIFSpeedup      []float64 `json:"pif_speedup"`
+	PerfectSpeedup  []float64 `json:"perfect_speedup"`
 }
 
 // NextLineDegree is the aggressive next-line configuration compared
@@ -146,6 +146,6 @@ func init() {
 		if err != nil {
 			return Report{}, err
 		}
-		return Report{ID: "fig10", Title: "Competitive coverage and performance comparison", Text: r.Render()}, nil
+		return Report{ID: "fig10", Title: "Competitive coverage and performance comparison", Text: r.Render(), Data: r}, nil
 	})
 }

@@ -14,12 +14,12 @@ import (
 // misses correctly predicted when the temporal stream predictor records at
 // each of the four points the paper compares.
 type Fig2Result struct {
-	Workloads []string
+	Workloads []string `json:"workloads"`
 	// Coverage[variant][workload index]; variants in paper order.
-	Miss      []float64
-	Access    []float64
-	Retire    []float64
-	RetireSep []float64
+	Miss      []float64 `json:"miss"`
+	Access    []float64 `json:"access"`
+	Retire    []float64 `json:"retire"`
+	RetireSep []float64 `json:"retire_sep"`
 }
 
 // Fig2 reproduces Figure 2 ("Percentage of correctly predicted L1-I
@@ -187,6 +187,6 @@ func init() {
 		if err != nil {
 			return Report{}, err
 		}
-		return Report{ID: "fig2", Title: "Recording-point prediction coverage", Text: r.Render()}, nil
+		return Report{ID: "fig2", Title: "Recording-point prediction coverage", Text: r.Render(), Data: r}, nil
 	})
 }

@@ -14,13 +14,13 @@ var fig3Geometry = core.Geometry{Prec: 8, Succ: 23}
 
 // Fig3Result holds the Figure 3 data.
 type Fig3Result struct {
-	Workloads []string
+	Workloads []string `json:"workloads"`
 	// Density[workload][bucket]: fraction of spatial regions with
 	// 1 / 2 / 3-4 / 5-8 / 9-16 / 17-32 accessed blocks.
-	Density [][]float64
+	Density [][]float64 `json:"density"`
 	// Discontinuity[workload][bucket]: fraction of spatial regions with
 	// 1 / 2 / 3-4 / 5-8 / 9-16 discontinuous groups of sequential blocks.
-	Discontinuity [][]float64
+	Discontinuity [][]float64 `json:"discontinuity"`
 }
 
 // DensityBuckets labels the Figure 3 (left) x-axis.
@@ -146,6 +146,6 @@ func init() {
 		if err != nil {
 			return Report{}, err
 		}
-		return Report{ID: "fig3", Title: "Spatial region density and discontinuity", Text: r.Render()}, nil
+		return Report{ID: "fig3", Title: "Spatial region density and discontinuity", Text: r.Render(), Data: r}, nil
 	})
 }

@@ -17,9 +17,9 @@ const Fig7MaxLog2 = 25
 // fraction of correct predictions whose replay trigger recurred at each
 // log2 jump distance in the recorded history.
 type Fig7Result struct {
-	Workloads []string
+	Workloads []string `json:"workloads"`
 	// CDF[workload][log2 bucket 0..Fig7MaxLog2].
-	CDF [][]float64
+	CDF [][]float64 `json:"cdf"`
 }
 
 // Fig7 reproduces Figure 7 ("Weighted jump distance in history"): the
@@ -114,6 +114,6 @@ func init() {
 		if err != nil {
 			return Report{}, err
 		}
-		return Report{ID: "fig7", Title: "Weighted jump distance in history", Text: r.Render()}, nil
+		return Report{ID: "fig7", Title: "Weighted jump distance in history", Text: r.Render(), Data: r}, nil
 	})
 }

@@ -17,13 +17,13 @@ var fig8Geometry = core.Geometry{Prec: 4, Succ: 12}
 
 // Fig8LeftResult holds the access-offset distribution per suite.
 type Fig8LeftResult struct {
-	Suites []string
+	Suites []string `json:"suites"`
 	// Offsets runs -4..-1, 1..12 (the trigger itself is omitted, as in
 	// the paper's figure).
-	Offsets []int
+	Offsets []int `json:"offsets"`
 	// Frac[suite][offset index]: fraction of non-trigger references in
 	// spatial regions at that offset.
-	Frac [][]float64
+	Frac [][]float64 `json:"frac"`
 }
 
 // Fig8Left reproduces Figure 8 (left), the distribution of accesses around
@@ -143,12 +143,18 @@ func fig8GeometryFor(size int) core.Geometry {
 
 // Fig8RightResult holds the region-size sensitivity split by trap level.
 type Fig8RightResult struct {
-	Workloads []string
-	Sizes     []int
+	Workloads []string `json:"workloads"`
+	Sizes     []int    `json:"sizes"`
 	// TL0[workload][size index] and TL1[...]: PIF coverage of correct-path
 	// misses at that trap level.
-	TL0 [][]float64
-	TL1 [][]float64
+	TL0 [][]float64 `json:"tl0"`
+	TL1 [][]float64 `json:"tl1"`
+}
+
+// Fig8Result bundles both panels of Figure 8 for the structured report.
+type Fig8Result struct {
+	Left  Fig8LeftResult  `json:"left"`
+	Right Fig8RightResult `json:"right"`
 }
 
 // Fig8Right reproduces Figure 8 (right): *predictor* coverage as the
@@ -283,6 +289,7 @@ func init() {
 			ID:    "fig8",
 			Title: "Trigger-offset distribution and region size sensitivity",
 			Text:  left.Render() + "\n" + right.Render(),
+			Data:  Fig8Result{Left: left, Right: right},
 		}, nil
 	})
 }

@@ -15,10 +15,10 @@ const Fig9MaxLog2 = 21
 
 // Fig9LeftResult holds the stream-length contribution CDF per workload.
 type Fig9LeftResult struct {
-	Workloads []string
+	Workloads []string `json:"workloads"`
 	// CDF[workload][log2 bucket]: cumulative fraction of correct
 	// predictions contributed by streams of at most 2^bucket regions.
-	CDF [][]float64
+	CDF [][]float64 `json:"cdf"`
 }
 
 // Fig9Left reproduces Figure 9 (left): the distribution of correct
@@ -108,10 +108,16 @@ var Fig9HistorySizes = []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 <<
 
 // Fig9RightResult holds coverage vs history size.
 type Fig9RightResult struct {
-	Workloads []string
-	Sizes     []int
+	Workloads []string `json:"workloads"`
+	Sizes     []int    `json:"sizes"`
 	// Coverage[workload][size index].
-	Coverage [][]float64
+	Coverage [][]float64 `json:"coverage"`
+}
+
+// Fig9Result bundles both panels of Figure 9 for the structured report.
+type Fig9Result struct {
+	Left  Fig9LeftResult  `json:"left"`
+	Right Fig9RightResult `json:"right"`
 }
 
 // Fig9Right reproduces Figure 9 (right): predictor coverage as the history
@@ -183,6 +189,7 @@ func init() {
 			ID:    "fig9",
 			Title: "Stream length contribution and history size sensitivity",
 			Text:  left.Render() + "\n" + right.Render(),
+			Data:  Fig9Result{Left: left, Right: right},
 		}, nil
 	})
 }

@@ -4,46 +4,89 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/config"
+	"repro/internal/isa"
 	"repro/internal/workload"
 )
 
-// Table1 renders the system configuration (Table I left) and the workload
-// suite (Table I right) actually used by this reproduction, including the
-// synthetic-substitution parameters, so every experiment's machine and
-// workloads are auditable in one place.
-func Table1(e *Env) (string, error) {
+// Table1Workload is one row of Table I (right): a workload profile plus
+// the footprint its built program image actually occupies.
+type Table1Workload struct {
+	Name           string `json:"name"`
+	Suite          string `json:"suite"`
+	Funcs          int    `json:"funcs"`
+	SharedFuncs    int    `json:"shared_funcs"`
+	HandlerFuncs   int    `json:"handler_funcs"`
+	FootprintKB    int    `json:"footprint_kb"`
+	TxTypes        int    `json:"tx_types"`
+	TxVariants     int    `json:"tx_variants"`
+	InterruptEvery int    `json:"interrupt_every"`
+}
+
+// Table1Result holds the system configuration (Table I left) and the
+// workload suite (Table I right) actually used by this reproduction. It
+// carries the full machine description, so a results-store diff catches a
+// configuration change even when no reproduced number moves.
+type Table1Result struct {
+	System    config.System    `json:"system"`
+	Workloads []Table1Workload `json:"workloads"`
+}
+
+// Table1 regenerates the Table I data, including the synthetic-substitution
+// parameters, so every experiment's machine and workloads are auditable in
+// one place.
+func Table1(e *Env) (Table1Result, error) {
 	opts := e.Options()
-	// Warm the program cache in parallel; rendering below then reads the
-	// cached images in suite order.
+	// Warm the program cache in parallel; the assembly below then reads
+	// the cached images in suite order.
 	if err := e.ForEachWorkload(func(i int, wl workload.Profile) error {
 		_, err := e.Program(wl)
 		return err
 	}); err != nil {
-		return "", err
+		return Table1Result{}, err
 	}
-	var b strings.Builder
-	b.WriteString(opts.System.TableI())
-	b.WriteString("\nTable I (right): workload suite (synthetic stand-ins; see DESIGN.md §4)\n")
+	res := Table1Result{System: opts.System}
 	for _, wl := range opts.Workloads {
 		prog, err := e.Program(wl)
 		if err != nil {
-			return "", err
+			return Table1Result{}, err
 		}
+		res.Workloads = append(res.Workloads, Table1Workload{
+			Name:           wl.Name,
+			Suite:          wl.Suite,
+			Funcs:          wl.Funcs,
+			SharedFuncs:    wl.SharedFuncs,
+			HandlerFuncs:   wl.HandlerFuncs,
+			FootprintKB:    prog.FootprintBlks * isa.BlockBytes / 1024,
+			TxTypes:        wl.TxTypes,
+			TxVariants:     wl.TxVariants,
+			InterruptEvery: wl.InterruptEvery,
+		})
+	}
+	return res, nil
+}
+
+// Render formats the result in the shape of the paper's Table I.
+func (r Table1Result) Render() string {
+	var b strings.Builder
+	b.WriteString(r.System.TableI())
+	b.WriteString("\nTable I (right): workload suite (synthetic stand-ins; see DESIGN.md §4)\n")
+	for _, wl := range r.Workloads {
 		fmt.Fprintf(&b, "  %-12s %-5s funcs=%d shared=%d handlers=%d footprint=%dKB tx=%d/%d variants, intr every %d\n",
 			wl.Name, wl.Suite,
 			wl.Funcs, wl.SharedFuncs, wl.HandlerFuncs,
-			prog.FootprintBlks*64/1024,
+			wl.FootprintKB,
 			wl.TxTypes, wl.TxVariants, wl.InterruptEvery)
 	}
-	return b.String(), nil
+	return b.String()
 }
 
 func init() {
 	register("table1", func(e *Env) (Report, error) {
-		text, err := Table1(e)
+		r, err := Table1(e)
 		if err != nil {
 			return Report{}, err
 		}
-		return Report{ID: "table1", Title: "System and application parameters", Text: text}, nil
+		return Report{ID: "table1", Title: "System and application parameters", Text: r.Render(), Data: r}, nil
 	})
 }

@@ -1,0 +1,302 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Tolerance bounds the acceptable drift of one metric: a pair of values
+// agrees when the absolute difference is at most Abs OR the relative
+// difference (|a-b| / max(|a|,|b|)) is at most Rel. Zero means exact on
+// that axis; a metric passes if either axis accepts it, so a tolerance of
+// {Abs: 1e-9} absorbs float noise near zero without loosening large values.
+type Tolerance struct {
+	Abs float64 `json:"abs"`
+	Rel float64 `json:"rel"`
+}
+
+// Within reports whether a and b agree under the tolerance.
+func (t Tolerance) Within(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	abs := math.Abs(a - b)
+	if abs <= t.Abs {
+		return true
+	}
+	denom := math.Max(math.Abs(a), math.Abs(b))
+	return denom > 0 && abs/denom <= t.Rel
+}
+
+// Tolerances selects a tolerance per metric path. PerMetric keys are path
+// prefixes ("fig10", "fig10.pif_speedup", ...); the longest matching
+// prefix wins, falling back to Default.
+type Tolerances struct {
+	Default   Tolerance
+	PerMetric map[string]Tolerance
+}
+
+// Exact accepts only bit-identical metrics.
+func Exact() Tolerances { return Tolerances{} }
+
+// DefaultTolerances absorbs float formatting/accumulation noise while
+// failing on any behavioral shift: one part in 10^9 relative, 1e-12
+// absolute.
+func DefaultTolerances() Tolerances {
+	return Tolerances{Default: Tolerance{Abs: 1e-12, Rel: 1e-9}}
+}
+
+// For returns the tolerance governing a metric path.
+func (ts Tolerances) For(path string) Tolerance {
+	best, bestLen := ts.Default, -1
+	for prefix, tol := range ts.PerMetric {
+		if len(prefix) > bestLen && strings.HasPrefix(path, prefix) {
+			best, bestLen = tol, len(prefix)
+		}
+	}
+	return best
+}
+
+// MetricDiff is one numeric leaf that differs between two runs.
+type MetricDiff struct {
+	// Path locates the metric: "<artifact>.<field path>", e.g.
+	// "fig2.retire[3]".
+	Path string
+	A, B float64
+	// AbsDelta is |A-B|; RelDelta is |A-B| / max(|A|,|B|) (0 when both are
+	// zero).
+	AbsDelta, RelDelta float64
+	// Within reports whether the governing tolerance accepts the pair.
+	Within bool
+}
+
+// Diff is the comparison of two artifact sets.
+type Diff struct {
+	// OnlyInA and OnlyInB list artifact IDs present on one side only.
+	OnlyInA, OnlyInB []string
+	// Metrics lists every numeric leaf that differs, in path order.
+	Metrics []MetricDiff
+	// Mismatches lists structural differences: metrics present on one side
+	// only, type changes, and non-numeric leaves (names, labels) that
+	// differ. Any entry is out of tolerance by definition.
+	Mismatches []string
+}
+
+// OutOfTolerance reports whether the diff should fail a gate: any
+// structural mismatch, missing artifact, or metric beyond its tolerance.
+func (d Diff) OutOfTolerance() bool {
+	if len(d.OnlyInA) > 0 || len(d.OnlyInB) > 0 || len(d.Mismatches) > 0 {
+		return true
+	}
+	for _, m := range d.Metrics {
+		if !m.Within {
+			return true
+		}
+	}
+	return false
+}
+
+// Clean reports a fully identical comparison (no drift at all).
+func (d Diff) Clean() bool {
+	return len(d.OnlyInA) == 0 && len(d.OnlyInB) == 0 &&
+		len(d.Mismatches) == 0 && len(d.Metrics) == 0
+}
+
+// Render formats the diff as a per-metric report. Out-of-tolerance rows
+// are marked "FAIL"; in-tolerance drift is listed as "ok" so a near-miss
+// is visible before it becomes a failure.
+func (d Diff) Render() string {
+	var b strings.Builder
+	for _, id := range d.OnlyInA {
+		fmt.Fprintf(&b, "FAIL  artifact %s: only in A\n", id)
+	}
+	for _, id := range d.OnlyInB {
+		fmt.Fprintf(&b, "FAIL  artifact %s: only in B\n", id)
+	}
+	for _, m := range d.Mismatches {
+		fmt.Fprintf(&b, "FAIL  %s\n", m)
+	}
+	for _, m := range d.Metrics {
+		verdict := "ok  "
+		if !m.Within {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(&b, "%s  %-40s A=%-14.9g B=%-14.9g abs=%.3g rel=%.3g\n",
+			verdict, m.Path, m.A, m.B, m.AbsDelta, m.RelDelta)
+	}
+	if b.Len() == 0 {
+		return "identical\n"
+	}
+	return b.String()
+}
+
+// DiffArtifacts compares two artifact sets metric by metric. Artifacts are
+// matched by ID; each matched pair's Data is flattened into numeric and
+// non-numeric leaves rooted at the artifact ID.
+func DiffArtifacts(a, b []Artifact, tol Tolerances) Diff {
+	var d Diff
+	byID := func(arts []Artifact) map[string]Artifact {
+		m := make(map[string]Artifact, len(arts))
+		for _, art := range arts {
+			m[art.ID] = art
+		}
+		return m
+	}
+	am, bm := byID(a), byID(b)
+	var common []string
+	for id := range am {
+		if _, ok := bm[id]; ok {
+			common = append(common, id)
+		} else {
+			d.OnlyInA = append(d.OnlyInA, id)
+		}
+	}
+	for id := range bm {
+		if _, ok := am[id]; !ok {
+			d.OnlyInB = append(d.OnlyInB, id)
+		}
+	}
+	sort.Strings(d.OnlyInA)
+	sort.Strings(d.OnlyInB)
+	sort.Strings(common)
+
+	for _, id := range common {
+		an, ar, aerr := flattenData(id, am[id].Data)
+		bn, br, berr := flattenData(id, bm[id].Data)
+		if aerr != nil || berr != nil {
+			d.Mismatches = append(d.Mismatches, fmt.Sprintf("%s: unparseable data (A: %v, B: %v)", id, aerr, berr))
+			continue
+		}
+		diffLeaves(&d, an, bn, ar, br, tol)
+	}
+	return d
+}
+
+// diffLeaves merges one artifact's flattened leaves into the diff.
+func diffLeaves(d *Diff, an, bn map[string]float64, ar, br map[string]string, tol Tolerances) {
+	paths := make(map[string]struct{}, len(an)+len(bn)+len(ar)+len(br))
+	for p := range an {
+		paths[p] = struct{}{}
+	}
+	for p := range bn {
+		paths[p] = struct{}{}
+	}
+	for p := range ar {
+		paths[p] = struct{}{}
+	}
+	for p := range br {
+		paths[p] = struct{}{}
+	}
+	sorted := make([]string, 0, len(paths))
+	for p := range paths {
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+
+	for _, p := range sorted {
+		av, aNum := an[p]
+		bv, bNum := bn[p]
+		as, aRaw := ar[p]
+		bs, bRaw := br[p]
+		switch {
+		case aNum && bNum:
+			if av == bv {
+				continue
+			}
+			abs := math.Abs(av - bv)
+			rel := 0.0
+			if denom := math.Max(math.Abs(av), math.Abs(bv)); denom > 0 {
+				rel = abs / denom
+			}
+			d.Metrics = append(d.Metrics, MetricDiff{
+				Path: p, A: av, B: bv,
+				AbsDelta: abs, RelDelta: rel,
+				Within: tol.For(p).Within(av, bv),
+			})
+		case aRaw && bRaw:
+			if as != bs {
+				d.Mismatches = append(d.Mismatches, fmt.Sprintf("%s: %s != %s", p, as, bs))
+			}
+		case (aNum || aRaw) && !(bNum || bRaw):
+			d.Mismatches = append(d.Mismatches, fmt.Sprintf("%s: only in A", p))
+		case (bNum || bRaw) && !(aNum || aRaw):
+			d.Mismatches = append(d.Mismatches, fmt.Sprintf("%s: only in B", p))
+		default: // numeric on one side, non-numeric on the other
+			d.Mismatches = append(d.Mismatches, fmt.Sprintf("%s: type changed", p))
+		}
+	}
+}
+
+// flattenData decodes an artifact's Data and flattens it into numeric
+// leaves (metric path -> value) and non-numeric leaves (path -> rendered
+// form). nil data yields empty maps.
+func flattenData(root string, data json.RawMessage) (nums map[string]float64, rest map[string]string, err error) {
+	nums = map[string]float64{}
+	rest = map[string]string{}
+	if data == nil {
+		return nums, rest, nil
+	}
+	var v any
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.UseNumber()
+	if err := dec.Decode(&v); err != nil {
+		return nil, nil, err
+	}
+	flatten(root, v, nums, rest)
+	return nums, rest, nil
+}
+
+// escapeKey backslash-escapes the path metacharacters '.', '[', '\' in an
+// object key, so keys that contain them cannot collide with structural
+// paths ({"a.b":1} vs {"a":{"b":1}}).
+func escapeKey(k string) string {
+	if !strings.ContainsAny(k, `.[\`) {
+		return k
+	}
+	var b strings.Builder
+	for _, r := range k {
+		if r == '.' || r == '[' || r == '\\' {
+			b.WriteByte('\\')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// flatten walks a decoded JSON value accumulating leaf paths. Object keys
+// append ".key" (metacharacters escaped); array elements append "[i]".
+func flatten(path string, v any, nums map[string]float64, rest map[string]string) {
+	switch x := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			flatten(path+"."+escapeKey(k), x[k], nums, rest)
+		}
+	case []any:
+		for i, e := range x {
+			flatten(fmt.Sprintf("%s[%d]", path, i), e, nums, rest)
+		}
+	case json.Number:
+		if f, err := x.Float64(); err == nil {
+			nums[path] = f
+		} else {
+			rest[path] = x.String()
+		}
+	case string:
+		rest[path] = fmt.Sprintf("%q", x)
+	case bool:
+		rest[path] = fmt.Sprintf("%v", x)
+	case nil:
+		rest[path] = "null"
+	}
+}

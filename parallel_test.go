@@ -92,6 +92,48 @@ func TestJobsAPIParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestStructuredReportDeterminism extends TestParallelSerialDeterminism to
+// the structured path: two full RunAll passes — serial and 8-wide — must
+// serialize every artifact to byte-identical canonical JSON, not just
+// render identical text. (Byte-stability of full QuickOptions passes
+// across processes is additionally pinned by the golden suite in
+// internal/experiments, which compares a fresh pass against committed
+// fixtures.)
+func TestStructuredReportDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism test skipped in -short mode")
+	}
+	encodeAll := func(parallel int) string {
+		reports, err := RunAllExperiments(determinismOptions(parallel))
+		if err != nil {
+			t.Fatalf("RunAll (parallel=%d): %v", parallel, err)
+		}
+		arts, err := ExperimentArtifacts(reports)
+		if err != nil {
+			t.Fatalf("ExperimentArtifacts (parallel=%d): %v", parallel, err)
+		}
+		var b strings.Builder
+		for _, a := range arts {
+			enc, err := a.Encode()
+			if err != nil {
+				t.Fatalf("encode %s: %v", a.ID, err)
+			}
+			if a.Data == nil {
+				t.Fatalf("%s: artifact has no structured data", a.ID)
+			}
+			b.Write(enc)
+		}
+		return b.String()
+	}
+	serial := encodeAll(1)
+	parallel := encodeAll(8)
+	if serial != parallel {
+		d := firstDiff(serial, parallel)
+		t.Fatalf("structured JSON differs between serial and parallel runs at byte %d:\nserial:   %.120q\nparallel: %.120q",
+			d, tail(serial, d), tail(parallel, d))
+	}
+}
+
 func firstDiff(a, b string) int {
 	n := min(len(a), len(b))
 	for i := 0; i < n; i++ {

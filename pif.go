@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/prefetch"
+	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -203,3 +204,58 @@ func RunAllExperiments(opts ExperimentOptions) ([]ExperimentReport, error) {
 func RunAllExperimentsContext(ctx context.Context, opts ExperimentOptions) ([]ExperimentReport, error) {
 	return experiments.RunAll(experiments.NewEnvContext(ctx, opts))
 }
+
+// ResultsSchemaVersion is the version of the structured-report JSON schema
+// (see internal/report; bumped on non-additive changes).
+const ResultsSchemaVersion = report.SchemaVersion
+
+// ResultsArtifact is the serializable form of one experiment artifact:
+// rendered text plus the driver's typed result as canonical JSON.
+type ResultsArtifact = report.Artifact
+
+// ResultsRun is the metadata sidecar of one stored evaluation pass
+// (options, suite, per-artifact timings).
+type ResultsRun = report.Run
+
+// ResultsTiming is one artifact's wall-clock duration inside run metadata.
+type ResultsTiming = report.Timing
+
+// ResultsStore addresses stored runs as <root>/<run-id>/<artifact>.json.
+type ResultsStore = report.Store
+
+// ResultsTolerance bounds acceptable per-metric drift (absolute OR
+// relative).
+type ResultsTolerance = report.Tolerance
+
+// ResultsTolerances selects tolerances by metric-path prefix.
+type ResultsTolerances = report.Tolerances
+
+// ResultsDiff is the per-metric comparison of two stored runs.
+type ResultsDiff = report.Diff
+
+// ExperimentArtifacts converts regenerated reports into schema artifacts,
+// preserving order.
+func ExperimentArtifacts(reps []ExperimentReport) ([]ResultsArtifact, error) {
+	return experiments.Artifacts(reps)
+}
+
+// SaveResults writes one run directory: run.json plus <artifact>.json per
+// artifact.
+func SaveResults(dir string, run ResultsRun, artifacts []ResultsArtifact) error {
+	return report.Save(dir, run, artifacts)
+}
+
+// LoadResults reads a run directory written by SaveResults.
+func LoadResults(dir string) (ResultsRun, []ResultsArtifact, error) {
+	return report.Load(dir)
+}
+
+// DiffResults compares two artifact sets metric by metric under the given
+// tolerances.
+func DiffResults(a, b []ResultsArtifact, tol ResultsTolerances) ResultsDiff {
+	return report.DiffArtifacts(a, b, tol)
+}
+
+// DefaultResultTolerances absorbs float noise (1e-12 absolute, 1e-9
+// relative) while failing on any behavioral shift.
+func DefaultResultTolerances() ResultsTolerances { return report.DefaultTolerances() }
