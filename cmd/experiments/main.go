@@ -14,7 +14,8 @@
 // Usage:
 //
 //	experiments [-run all|table1|fig2|fig3|fig7|fig8|fig9|fig10] [-quick]
-//	            [-warmup N] [-measure N] [-parallel N] [-out DIR] [-v]
+//	            [-warmup N] [-measure N] [-parallel N] [-tracedir DIR]
+//	            [-out DIR] [-v]
 //	experiments diff [-abs X] [-rel Y] DIR_A DIR_B
 package main
 
@@ -45,6 +46,7 @@ func runMain() int {
 	warmup := flag.Uint64("warmup", 0, "override warmup instructions (0 = default)")
 	measure := flag.Uint64("measure", 0, "override measured instructions (0 = default)")
 	parallel := flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	traceDir := flag.String("tracedir", "", "spill generated retire streams to sharded trace stores under this directory and replay them (bounded memory; stores are reused across runs)")
 	out := flag.String("out", "", "write structured JSON results into this directory (run.json + <artifact>.json)")
 	verbose := flag.Bool("v", false, "print per-job timing as jobs complete")
 	flag.Parse()
@@ -60,6 +62,7 @@ func runMain() int {
 		opts.MeasureInstrs = *measure
 	}
 	opts.Parallel = *parallel
+	opts.TraceDir = *traceDir
 	if *verbose {
 		opts.OnProgress = func(p pif.JobProgress) {
 			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %-28s %8s\n",

@@ -11,6 +11,13 @@
 //	pifsim [-workload "OLTP DB2,Web Apache"|all] [-prefetcher pif,tifs|all]
 //	       [-parallel N] [-perfect] [-warmup N] [-measure N] [-history N]
 //	       [-sabs N] [-window N] [-degree N] [-v]
+//	pifsim -trace apache.store [-prefetcher pif,tifs|all] ...
+//
+// With -trace DIR the simulation replays a sharded on-disk trace store
+// (written by tracegen -shard-records) instead of executing the workload:
+// the store names the workload, each job streams the trace chunk by chunk
+// (peak memory one chunk, not the trace length), and the store must hold
+// at least warmup+measure records.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 
 func main() {
 	wlNames := flag.String("workload", "OLTP DB2", "comma-separated workload names, or \"all\" (see -list)")
+	traceDir := flag.String("trace", "", "replay a sharded trace store directory instead of executing a workload")
 	list := flag.Bool("list", false, "list workloads and prefetchers and exit")
 	pfNames := flag.String("prefetcher", "pif", "comma-separated prefetchers (pif, tifs, nextline, none, ...), or \"all\"")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
@@ -53,11 +61,6 @@ func main() {
 		return
 	}
 
-	workloads, err := resolveWorkloads(*wlNames)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pifsim:", err)
-		os.Exit(1)
-	}
 	engines, err := resolveEngines(*pfNames, *history, *sabs, *window, *degree)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pifsim:", err)
@@ -70,15 +73,37 @@ func main() {
 	cfg.PerfectL1 = *perfect
 
 	var jobs []pif.Job
-	for _, wl := range workloads {
-		for _, eng := range engines {
-			jobs = append(jobs, pif.Job{
-				Label:         wl.Name + "/" + eng.name,
-				Workload:      wl,
-				Config:        cfg,
-				NewPrefetcher: eng.factory,
-			})
+	if *traceDir != "" {
+		// The store names the workload; an explicit -workload alongside
+		// -trace would be silently ignored, so reject the combination.
+		workloadSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "workload" {
+				workloadSet = true
+			}
+		})
+		if workloadSet {
+			fmt.Fprintln(os.Stderr, "pifsim: -workload and -trace are mutually exclusive (the store names its workload)")
+			os.Exit(1)
 		}
+		jobs, err = traceJobs(*traceDir, cfg, engines)
+	} else {
+		var workloads []pif.Workload
+		workloads, err = resolveWorkloads(*wlNames)
+		for _, wl := range workloads {
+			for _, eng := range engines {
+				jobs = append(jobs, pif.Job{
+					Label:         wl.Name + "/" + eng.name,
+					Workload:      wl,
+					Config:        cfg,
+					NewPrefetcher: eng.factory,
+				})
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pifsim:", err)
+		os.Exit(1)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -117,6 +142,43 @@ func main() {
 type engine struct {
 	name    string
 	factory func() pif.Prefetcher
+}
+
+// traceJobs builds one replay job per engine over the sharded store at
+// dir. The store names the workload (its profile supplies the front-end
+// seed); every job opens a private reader, so jobs fan out concurrently
+// over the same trace.
+func traceJobs(dir string, cfg pif.SimConfig, engines []engine) ([]pif.Job, error) {
+	ix, err := pif.ReadTraceIndex(dir)
+	if err != nil {
+		return nil, err
+	}
+	wl, err := pif.WorkloadByName(ix.Workload)
+	if err != nil {
+		return nil, fmt.Errorf("trace store %s: %w", dir, err)
+	}
+	if need := cfg.WarmupInstrs + cfg.MeasureInstrs; ix.Records() < need {
+		return nil, fmt.Errorf("trace store %s holds %d records, need %d (warmup+measure)",
+			dir, ix.Records(), need)
+	}
+	if !ix.PhaseCompatible(cfg.WarmupInstrs, cfg.MeasureInstrs) {
+		return nil, fmt.Errorf(
+			"trace store %s was recorded with phase split %v; replaying -warmup %d -measure %d would silently diverge from a live run (re-record with tracegen -warmup %d, or match the recorded split)",
+			dir, ix.Phases, cfg.WarmupInstrs, cfg.MeasureInstrs, cfg.WarmupInstrs)
+	}
+	var jobs []pif.Job
+	for _, eng := range engines {
+		jobs = append(jobs, pif.Job{
+			Label:         wl.Name + "(trace)/" + eng.name,
+			Workload:      wl,
+			Config:        cfg,
+			NewPrefetcher: eng.factory,
+			NewSource: func() (pif.TraceIterator, error) {
+				return pif.OpenTraceStore(dir)
+			},
+		})
+	}
+	return jobs, nil
 }
 
 // resolveWorkloads expands the -workload flag.

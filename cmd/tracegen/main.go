@@ -1,12 +1,27 @@
 // Command tracegen generates a workload's retire-order instruction trace
-// and writes it in the repository's compact binary format, so analyses can
-// replay a trace many times without regenerating it (the paper's
-// methodology collects traces once and studies them offline).
+// and writes it in the repository's binary formats, so analyses can replay
+// a trace many times without regenerating it (the paper's methodology
+// collects traces once and studies them offline).
+//
+// The default output is the version-1 single-file stream format. With
+// -shard-records N the output is a version-2 sharded store: a directory
+// holding trace.idx plus chunk files of N records each, replayable with
+// bounded memory and randomly accessible by chunk. -dump reads either
+// format (a directory is treated as a store).
 //
 // Usage:
 //
 //	tracegen -workload "Web Apache" -n 10000000 -o apache.pift
+//	tracegen -workload "Web Apache" -n 10000000 -shard-records 1000000 -o apache.store
+//	tracegen -workload "Web Apache" -warmup 8000000 -n 2000000 -shard-records 1000000 -o apache.store
 //	tracegen -dump -i apache.pift | head
+//	tracegen -dump -i apache.store | head
+//
+// With -warmup W the trace records W instructions as a separate executor
+// phase before the -n instructions, matching the simulator's live
+// warmup-then-measure call pattern: replaying such a store with
+// "pifsim -trace ... -warmup W -measure N" is byte-identical to the live
+// simulation.
 package main
 
 import (
@@ -24,9 +39,11 @@ import (
 func main() {
 	wlName := flag.String("workload", "OLTP DB2", "workload name")
 	n := flag.Uint64("n", 10_000_000, "instructions to generate")
-	out := flag.String("o", "", "output trace file (required unless -dump)")
+	warmup := flag.Uint64("warmup", 0, "record this many warmup instructions as a separate executor phase before -n; a store recorded with -warmup W -n M replays byte-identically in 'pifsim -trace -warmup W -measure M'")
+	out := flag.String("o", "", "output trace file or store directory (required unless -dump)")
+	shard := flag.Uint64("shard-records", 0, "write a sharded store with this many records per chunk (0 = single file)")
 	dump := flag.Bool("dump", false, "read a trace and print records as text")
-	in := flag.String("i", "", "input trace file for -dump")
+	in := flag.String("i", "", "input trace file or store directory for -dump")
 	limit := flag.Uint64("limit", 20, "records to print with -dump (0 = all)")
 	flag.Parse()
 
@@ -41,13 +58,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracegen: -o is required")
 		os.Exit(1)
 	}
-	if err := generate(*wlName, *n, *out); err != nil {
+	if err := generate(*wlName, *warmup, *n, *out, *shard); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func generate(wlName string, n uint64, out string) error {
+// recordSink is the write surface shared by the single-file Writer and
+// the sharded StoreWriter.
+type recordSink interface {
+	Write(trace.Record) error
+	Count() uint64
+	Close() error
+}
+
+func generate(wlName string, warmup, n uint64, out string, shardRecords uint64) error {
 	wl, err := pif.WorkloadByName(wlName)
 	if err != nil {
 		return err
@@ -56,35 +81,91 @@ func generate(wlName string, n uint64, out string) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(out)
-	if err != nil {
-		return err
+
+	// The executor starts a fresh transaction at every Run call, so the
+	// recorded stream reproduces the simulator's warmup/measure phase
+	// pattern exactly when -warmup is given.
+	phases := []uint64{n}
+	if warmup > 0 {
+		phases = []uint64{warmup, n}
 	}
-	defer f.Close()
-	w, err := trace.NewWriter(f, wl.Name)
-	if err != nil {
-		return err
+
+	var (
+		sink recordSink
+		f    *os.File
+	)
+	if shardRecords > 0 {
+		sw, err := trace.CreateStore(out, wl.Name, shardRecords)
+		if err != nil {
+			return err
+		}
+		// Persist the phase split so a replay with a different
+		// warmup/measure boundary is detected instead of silently
+		// diverging from the live run.
+		sw.SetPhases(phases...)
+		sink = sw
+	} else {
+		f, err = os.Create(out)
+		if err != nil {
+			return err
+		}
+		sink, err = trace.NewWriter(f, wl.Name)
+		if err != nil {
+			f.Close()
+			return err
+		}
 	}
+
 	ex := workload.NewExecutor(prog)
 	var writeErr error
-	ex.Run(n, func(r trace.Record) {
-		if writeErr == nil {
-			writeErr = w.Write(r)
+	for _, phase := range phases {
+		if writeErr != nil {
+			break
 		}
-	})
+		ex.Run(phase, func(r trace.Record) {
+			if writeErr = sink.Write(r); writeErr != nil {
+				// A full disk won't get emptier: stop executing the
+				// remaining instructions instead of dropping them one
+				// by one against a dead writer.
+				ex.Abort()
+			}
+		})
+	}
+	closeErr := sink.Close()
+	if f != nil {
+		if err := f.Close(); err != nil && closeErr == nil {
+			closeErr = err
+		}
+	}
 	if writeErr != nil {
 		return writeErr
 	}
-	if err := w.Close(); err != nil {
-		return err
+	if closeErr != nil {
+		return closeErr
 	}
-	fmt.Printf("wrote %d records for %q to %s\n", w.Count(), wl.Name, out)
-	return f.Close()
+	if shardRecords > 0 {
+		ix, err := trace.ReadIndex(out)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d records for %q to %s (%d chunk(s), %d records/chunk)\n",
+			sink.Count(), wl.Name, out, len(ix.Chunks), shardRecords)
+		return nil
+	}
+	fmt.Printf("wrote %d records for %q to %s\n", sink.Count(), wl.Name, out)
+	return nil
 }
 
 func dumpTrace(in string, limit uint64) error {
 	if in == "" {
 		return errors.New("-i is required with -dump")
+	}
+	fi, err := os.Stat(in)
+	if err != nil {
+		return err
+	}
+	if fi.IsDir() {
+		return dumpStore(in, limit)
 	}
 	f, err := os.Open(in)
 	if err != nil {
@@ -96,9 +177,26 @@ func dumpTrace(in string, limit uint64) error {
 		return err
 	}
 	fmt.Printf("# workload: %s\n", r.Workload())
+	return dumpRecords(r, limit)
+}
+
+func dumpStore(in string, limit uint64) error {
+	r, err := trace.OpenStore(in)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	h, ix := r.Header(), r.Index()
+	fmt.Printf("# workload: %s\n", h.Workload)
+	fmt.Printf("# store: %d records, %d chunk(s), %d records/chunk\n",
+		h.Records, len(ix.Chunks), ix.ChunkTarget)
+	return dumpRecords(r, limit)
+}
+
+func dumpRecords(it trace.Iterator, limit uint64) error {
 	var count uint64
 	for {
-		rec, err := r.Read()
+		rec, err := it.Next()
 		if errors.Is(err, io.EOF) {
 			break
 		}

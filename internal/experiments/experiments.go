@@ -16,7 +16,12 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -47,6 +52,18 @@ type Options struct {
 	// per-workload analyses; <= 0 means GOMAXPROCS. Results are identical
 	// for every value.
 	Parallel int
+	// TraceDir, when non-empty, spills each workload's generated
+	// retire-order stream to a sharded on-disk trace store under this
+	// directory and replays it for every trace-based analysis, so peak
+	// memory is bounded by one store chunk instead of the full stream
+	// length. Stores are keyed by workload and instruction count and are
+	// reused across artifacts and across processes (the paper's
+	// collect-once, replay-many methodology). Results are byte-identical
+	// with and without spilling.
+	TraceDir string
+	// TraceChunkRecords is the records-per-chunk of spilled stores
+	// (0 = trace.DefaultChunkRecords).
+	TraceChunkRecords uint64
 	// OnProgress, when non-nil, receives one (serialized) callback per
 	// completed simulation job.
 	OnProgress func(runner.Progress)
@@ -105,6 +122,7 @@ type Env struct {
 	mu       sync.Mutex
 	programs map[string]*memo[*workload.Program]
 	streams  map[string]*memo[trace.Stream]
+	spills   map[string]*memo[string] // workload name -> store directory
 }
 
 // NewEnv builds an environment; it panics on invalid options (experiment
@@ -127,6 +145,7 @@ func NewEnvContext(ctx context.Context, opts Options) *Env {
 		ctx:      ctx,
 		programs: make(map[string]*memo[*workload.Program]),
 		streams:  make(map[string]*memo[trace.Stream]),
+		spills:   make(map[string]*memo[string]),
 	}
 }
 
@@ -155,8 +174,19 @@ func (e *Env) Program(p workload.Profile) (*workload.Program, error) {
 
 // Stream returns the (cached) retire-order stream covering warmup plus
 // measurement for a workload. Streams are immutable after construction
-// and safe for concurrent readers.
+// and safe for concurrent readers. When the environment spills traces to
+// disk (Options.TraceDir), every call rereads the store rather than
+// pinning the whole stream in memory — streaming consumers should use
+// EachRecord instead.
 func (e *Env) Stream(p workload.Profile) (trace.Stream, error) {
+	if e.opts.TraceDir != "" {
+		r, err := e.openSpilled(p)
+		if err != nil {
+			return nil, err
+		}
+		defer r.Close()
+		return r.ReadAll()
+	}
 	e.mu.Lock()
 	m, ok := e.streams[p.Name]
 	if !ok {
@@ -177,6 +207,157 @@ func (e *Env) Stream(p workload.Profile) (trace.Stream, error) {
 		m.val = s
 	})
 	return m.val, m.err
+}
+
+// storeDirFor names a workload's spilled store: the sanitized workload
+// name, a hash of the exact name (sanitization is lossy, and two
+// workloads colliding on one directory would silently swap traces), and
+// the instruction count, so stores written at other scales are never
+// mistaken for the current one.
+func (e *Env) storeDirFor(p workload.Profile) string {
+	total := e.opts.WarmupInstrs + e.opts.MeasureInstrs
+	sanitized := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '-'
+		}
+	}, p.Name)
+	h := fnv.New32a()
+	h.Write([]byte(p.Name))
+	return filepath.Join(e.opts.TraceDir, fmt.Sprintf("%s-%08x-%d", sanitized, h.Sum32(), total))
+}
+
+// Spill generates the workload's warmup+measure retire stream into a
+// sharded on-disk trace store (once per environment, single-flight) and
+// returns the store directory. An existing store with the same workload
+// name and record count is reused as-is — the trace is collected once
+// and replayed by every artifact, and by later processes pointed at the
+// same TraceDir. Spill requires Options.TraceDir.
+func (e *Env) Spill(p workload.Profile) (string, error) {
+	if e.opts.TraceDir == "" {
+		return "", fmt.Errorf("experiments: Spill(%q) without Options.TraceDir", p.Name)
+	}
+	e.mu.Lock()
+	m, ok := e.spills[p.Name]
+	if !ok {
+		m = &memo[string]{}
+		e.spills[p.Name] = m
+	}
+	e.mu.Unlock()
+	m.once.Do(func() { m.val, m.err = e.buildSpill(p) })
+	return m.val, m.err
+}
+
+// buildSpill writes (or validates and reuses) the workload's store.
+func (e *Env) buildSpill(p workload.Profile) (string, error) {
+	dir := e.storeDirFor(p)
+	total := e.opts.WarmupInstrs + e.opts.MeasureInstrs
+	if ix, err := trace.ReadIndex(dir); err == nil {
+		if ix.Workload == p.Name && ix.Records() == total {
+			return dir, nil // collected by an earlier run; replay it
+		}
+	}
+	prog, err := e.Program(p)
+	if err != nil {
+		return "", err
+	}
+	// Build into a unique sibling temp directory and rename into place,
+	// so a crashed or raced build never leaves a half-written store
+	// behind the final name (ReadIndex above is the validity gate either
+	// way, even across processes sharing one TraceDir).
+	if err := os.MkdirAll(e.opts.TraceDir, 0o755); err != nil {
+		return "", err
+	}
+	tmp, err := os.MkdirTemp(e.opts.TraceDir, filepath.Base(dir)+".tmp-")
+	if err != nil {
+		return "", err
+	}
+	it := workload.NewIterator(prog, total)
+	defer it.Close()
+	if _, err := trace.BuildStore(tmp, p.Name, e.opts.TraceChunkRecords, it, total); err != nil {
+		os.RemoveAll(tmp)
+		return "", err
+	}
+	// A concurrent process racing on the same TraceDir may have completed
+	// an identical build while ours ran; prefer the store already in
+	// place — it may be mid-replay by that process, and deleting it out
+	// from under an open StoreReader would fail its next chunk open.
+	// (The recheck narrows the race window; the ReadIndex validity gate
+	// protects correctness regardless.)
+	if ix, rerr := trace.ReadIndex(dir); rerr == nil && ix.Workload == p.Name && ix.Records() == total {
+		os.RemoveAll(tmp)
+		return dir, nil
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		os.RemoveAll(tmp)
+		return "", err
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		// Same race, lost on the rename instead: use the winner's store.
+		if ix, rerr := trace.ReadIndex(dir); rerr == nil && ix.Workload == p.Name && ix.Records() == total {
+			os.RemoveAll(tmp)
+			return dir, nil
+		}
+		os.RemoveAll(tmp)
+		return "", err
+	}
+	return dir, nil
+}
+
+// EachRecord replays the workload's warmup+measure retire stream one
+// record at a time: from the spilled on-disk store when the environment
+// spills traces (peak memory one chunk), from the cached in-memory stream
+// otherwise. It is the streaming access path every trace-based driver
+// uses; results are identical either way.
+func (e *Env) EachRecord(p workload.Profile, fn func(trace.Record)) error {
+	if e.opts.TraceDir == "" {
+		s, err := e.Stream(p)
+		if err != nil {
+			return err
+		}
+		for _, r := range s {
+			fn(r)
+		}
+		return nil
+	}
+	r, err := e.openSpilled(p)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		fn(rec)
+	}
+}
+
+// openSpilled opens the workload's spilled store and double-checks the
+// stored workload name — the last line of defense against a store
+// clobbered by a raced build for a different workload.
+func (e *Env) openSpilled(p workload.Profile) (*trace.StoreReader, error) {
+	dir, err := e.Spill(p)
+	if err != nil {
+		return nil, err
+	}
+	r, err := trace.OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	if r.Workload() != p.Name {
+		r.Close()
+		return nil, fmt.Errorf("experiments: store %s holds workload %q, want %q", dir, r.Workload(), p.Name)
+	}
+	return r, nil
 }
 
 // RunJobs executes simulation jobs through the environment's worker pool,

@@ -42,11 +42,10 @@ func Fig2(e *Env) (Fig2Result, error) {
 	// One analysis per workload across the worker pool; each writes only
 	// its own row, so the assembled table is order-independent.
 	err := e.ForEachWorkload(func(i int, wl workload.Profile) error {
-		stream, err := e.Stream(wl)
+		m, a, r, rs, err := fig2One(e, wl)
 		if err != nil {
 			return err
 		}
-		m, a, r, rs := fig2One(opts, wl, stream)
 		res.Workloads[i] = wl.Name
 		res.Miss[i], res.Access[i], res.Retire[i], res.RetireSep[i] = m, a, r, rs
 		return nil
@@ -90,7 +89,8 @@ func (s *exposureSet) Predicted(b isa.Block) bool {
 	return ok && *s.now-g <= exposureTTL
 }
 
-func fig2One(opts Options, wl workload.Profile, stream trace.Stream) (miss, access, retire, retireSep float64) {
+func fig2One(e *Env, wl workload.Profile) (miss, access, retire, retireSep float64, err error) {
+	opts := e.Options()
 	l1 := cache.New(opts.System.L1I())
 	fe := frontend.New(opts.System.Frontend(wl.Seed))
 	polluter := cache.NewPolluter(
@@ -116,7 +116,7 @@ func fig2One(opts Options, wl workload.Profile, stream trace.Stream) (miss, acce
 		haveBlk   [isa.NumTrapLevels]bool
 	)
 
-	for _, rec := range stream {
+	err = e.EachRecord(wl, func(rec trace.Record) {
 		measuring := instrs >= opts.WarmupInstrs
 		fe.Feed(rec, func(acc frontend.Access) {
 			hit, _ := l1.Access(acc.Block)
@@ -160,13 +160,12 @@ func fig2One(opts Options, wl workload.Profile, stream trace.Stream) (miss, acce
 		}
 		instrs++
 		polluter.Tick(l1)
-	}
-
-	if misses == 0 {
-		return 0, 0, 0, 0
+	})
+	if err != nil || misses == 0 {
+		return 0, 0, 0, 0, err
 	}
 	n := float64(misses)
-	return float64(hitMiss) / n, float64(hitAcc) / n, float64(hitRet) / n, float64(hitRetSep) / n
+	return float64(hitMiss) / n, float64(hitAcc) / n, float64(hitRet) / n, float64(hitRetSep) / n, nil
 }
 
 // Render formats the result like the paper's Figure 2.

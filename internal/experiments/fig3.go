@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -61,10 +62,6 @@ func Fig3(e *Env) (Fig3Result, error) {
 		Discontinuity: make([][]float64, n),
 	}
 	err := e.ForEachWorkload(func(i int, wl workload.Profile) error {
-		stream, err := e.Stream(wl)
-		if err != nil {
-			return err
-		}
 		density := stats.NewHistogram()
 		disc := stats.NewHistogram()
 		sc := core.NewSpatialCompactor(fig3Geometry)
@@ -80,18 +77,20 @@ func Fig3(e *Env) (Fig3Result, error) {
 			density.Observe(bucketIndex(r.PopCount()))
 			disc.Observe(bucketIndex(r.SeqGroups()))
 		}
-		for _, rec := range stream {
+		if err := e.EachRecord(wl, func(rec trace.Record) {
 			instrs++
 			if instrs < opts.WarmupInstrs {
-				continue
+				return
 			}
 			b := rec.Block()
 			if have && b == lastBlk {
-				continue
+				return
 			}
 			lastBlk, have = b, true
 			r, ok := sc.Observe(b, rec.TL, false)
 			observe(r, ok)
+		}); err != nil {
+			return err
 		}
 		observe(sc.Flush())
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/stats"
 	"repro/internal/streampred"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -36,10 +37,6 @@ func Fig7(e *Env) (Fig7Result, error) {
 		CDF:       make([][]float64, n),
 	}
 	err := e.ForEachWorkload(func(i int, wl workload.Profile) error {
-		stream, err := e.Stream(wl)
-		if err != nil {
-			return err
-		}
 		hist := stats.NewHistogram()
 		p := streampred.New(streampred.DefaultConfig())
 		measuring := false
@@ -53,15 +50,17 @@ func Fig7(e *Env) (Fig7Result, error) {
 			lastBlk isa.Block
 			have    bool
 		)
-		for _, rec := range stream {
+		if err := e.EachRecord(wl, func(rec trace.Record) {
 			instrs++
 			measuring = instrs >= opts.WarmupInstrs
 			b := rec.Block()
 			if have && b == lastBlk {
-				continue
+				return
 			}
 			lastBlk, have = b, true
 			p.Observe(b)
+		}); err != nil {
+			return err
 		}
 
 		cdf := make([]float64, Fig7MaxLog2+1)

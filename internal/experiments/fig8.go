@@ -34,10 +34,6 @@ func Fig8Left(e *Env) (Fig8LeftResult, error) {
 	opts := e.Options()
 	perWL := make([]*stats.Histogram, len(opts.Workloads))
 	err := e.ForEachWorkload(func(i int, wl workload.Profile) error {
-		stream, err := e.Stream(wl)
-		if err != nil {
-			return err
-		}
 		h := stats.NewHistogram()
 		perWL[i] = h
 		sc := core.NewSpatialCompactor(fig8Geometry)
@@ -56,18 +52,20 @@ func Fig8Left(e *Env) (Fig8LeftResult, error) {
 				}
 			}
 		}
-		for _, rec := range stream {
+		if err := e.EachRecord(wl, func(rec trace.Record) {
 			instrs++
 			if instrs < opts.WarmupInstrs {
-				continue
+				return
 			}
 			b := rec.Block()
 			if have && b == lastBlk {
-				continue
+				return
 			}
 			lastBlk, have = b, true
 			r, emitted := sc.Observe(b, rec.TL, false)
 			observe(r, emitted)
+		}); err != nil {
+			return err
 		}
 		observe(sc.Flush())
 		return nil
@@ -180,14 +178,11 @@ func Fig8Right(e *Env) (Fig8RightResult, error) {
 	// The full (workload × region size) sweep as one flat task list.
 	err := e.ForEach(nw*ns, func(k int) error {
 		wi, si := k/ns, k%ns
-		stream, err := e.Stream(opts.Workloads[wi])
-		if err != nil {
-			return err
-		}
 		cfg := core.DefaultConfig()
 		cfg.Geometry = fig8GeometryFor(Fig8RegionSizes[si])
-		res.TL0[wi][si], res.TL1[wi][si] = predictorCoverageByTL(opts, stream, cfg)
-		return nil
+		var err error
+		res.TL0[wi][si], res.TL1[wi][si], err = predictorCoverageByTL(e, opts.Workloads[wi], cfg)
+		return err
 	})
 	return res, err
 }
@@ -218,7 +213,8 @@ func (x *exposureIssuer) predicted(b isa.Block) bool {
 // predictorCoverageByTL feeds the block-grain retire stream through PIF's
 // recording and replay machinery and measures, per trap level, the
 // fraction of block events that had been predicted (exposed) beforehand.
-func predictorCoverageByTL(opts Options, stream trace.Stream, cfg core.Config) (tl0, tl1 float64) {
+func predictorCoverageByTL(e *Env, wl workload.Profile, cfg core.Config) (tl0, tl1 float64, err error) {
+	opts := e.Options()
 	pif := core.New(cfg)
 	iss := newExposureIssuer()
 	var (
@@ -228,12 +224,12 @@ func predictorCoverageByTL(opts Options, stream trace.Stream, cfg core.Config) (
 		lastBlk [isa.NumTrapLevels]isa.Block
 		haveBlk [isa.NumTrapLevels]bool
 	)
-	for _, rec := range stream {
+	err = e.EachRecord(wl, func(rec trace.Record) {
 		instrs++
 		tl := rec.TL
 		b := rec.Block()
 		if haveBlk[tl] && lastBlk[tl] == b {
-			continue
+			return
 		}
 		lastBlk[tl], haveBlk[tl] = b, true
 		iss.now++
@@ -245,6 +241,9 @@ func predictorCoverageByTL(opts Options, stream trace.Stream, cfg core.Config) (
 		}
 		pif.OnAccess(prefetch.AccessEvent{Block: b, TL: tl}, iss)
 		pif.OnRetire(rec, true, iss)
+	})
+	if err != nil {
+		return 0, 0, err
 	}
 	cov := func(tl isa.TrapLevel) float64 {
 		if total[tl] == 0 {
@@ -252,7 +251,7 @@ func predictorCoverageByTL(opts Options, stream trace.Stream, cfg core.Config) (
 		}
 		return float64(covered[tl]) / float64(total[tl])
 	}
-	return cov(isa.TL0), cov(isa.TL1)
+	return cov(isa.TL0), cov(isa.TL1), nil
 }
 
 // Render formats the region-size sensitivity like the paper's grouped bars.

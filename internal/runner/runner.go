@@ -13,6 +13,7 @@ package runner
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"time"
@@ -23,6 +24,7 @@ import (
 	_ "repro/internal/core"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -45,6 +47,13 @@ type Job struct {
 	// Program optionally shares a pre-built (immutable) program image
 	// across jobs of the same workload.
 	Program *workload.Program
+	// NewSource, when non-nil, opens a private retire-order record source
+	// for the job (e.g. a trace.StoreReader over a sharded on-disk store)
+	// and the simulation replays it instead of executing the program.
+	// Sources are stateful like prefetch engines, so jobs carry a factory;
+	// the pool opens one source per job and closes it (when it implements
+	// io.Closer) after the run.
+	NewSource func() (trace.Iterator, error)
 	// Observer, when non-nil, receives measured-interval callbacks. It is
 	// invoked from the job's worker goroutine and must be private to the
 	// job.
@@ -205,13 +214,28 @@ func (p Pool) runOne(ctx context.Context, i int, j Job) Result {
 		res.Elapsed = time.Since(start)
 		return res
 	}
+	var source trace.Iterator
+	if j.NewSource != nil {
+		source, err = j.NewSource()
+		if err != nil {
+			res.Err = err
+			res.Elapsed = time.Since(start)
+			return res
+		}
+	}
 	res.Sim, res.Err = sim.RunJob(ctx, sim.Job{
 		Config:        j.Config,
 		Workload:      j.Workload,
 		Program:       j.Program,
+		Source:        source,
 		NewPrefetcher: factory,
 		Observer:      j.Observer,
 	})
+	if c, ok := source.(io.Closer); ok {
+		if cerr := c.Close(); cerr != nil && res.Err == nil {
+			res.Err = cerr
+		}
+	}
 	res.Elapsed = time.Since(start)
 	return res
 }

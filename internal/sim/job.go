@@ -2,7 +2,9 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 
 	"repro/internal/prefetch"
 	"repro/internal/trace"
@@ -26,6 +28,16 @@ type Job struct {
 	// construction, so one image may be shared by concurrent jobs. When
 	// nil, RunJob builds the image from Workload.
 	Program *workload.Program
+	// Source, when non-nil, supplies the retire-order stream instead of
+	// executing the workload program: warmup plus measured records are
+	// pulled from the iterator (a trace.StoreReader replaying a sharded
+	// store, a workload.Iterator, ...). The source must be private to the
+	// job and must hold at least WarmupInstrs+MeasureInstrs records — a
+	// source exhausted early is an error, never a silently short run. A
+	// replayed run is byte-identical to a live one when the trace was
+	// recorded with the same warmup/measure phase boundaries
+	// (workload.Executor.Iterator(warmup, measure)).
+	Source trace.Iterator
 	// NewPrefetcher constructs the job's private prefetch engine.
 	NewPrefetcher func() prefetch.Prefetcher
 	// Observer, when non-nil, receives per-event callbacks during the
@@ -53,6 +65,9 @@ func RunJob(ctx context.Context, j Job) (Result, error) {
 	}
 	if j.NewPrefetcher == nil {
 		return Result{}, fmt.Errorf("sim: job for %q has no prefetcher factory", j.Workload.Name)
+	}
+	if j.Source != nil {
+		return replayJob(ctx, j)
 	}
 	prog := j.Program
 	if prog == nil {
@@ -95,6 +110,44 @@ func RunJob(ctx context.Context, j Job) (Result, error) {
 	s.obs = j.Observer
 	ex.Run(j.Config.MeasureInstrs, step)
 	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	return s.result(j.Workload.Name), nil
+}
+
+// replayJob drives a job from its Source iterator instead of a live
+// executor: records stream through the same Simulator one at a time, so
+// peak memory is the source's own buffer (one store chunk, one executor
+// batch), never the trace length.
+func replayJob(ctx context.Context, j Job) (Result, error) {
+	s := New(j.Config, j.NewPrefetcher(), j.Workload.Seed)
+	feed := func(n uint64) error {
+		for i := uint64(0); i < n; i++ {
+			r, err := j.Source.Next()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					return fmt.Errorf("sim: trace source for %q exhausted after %d of %d records: %w",
+						j.Workload.Name, i, n, io.ErrUnexpectedEOF)
+				}
+				return fmt.Errorf("sim: trace source for %q: %w", j.Workload.Name, err)
+			}
+			s.Step(r)
+			if i&cancelCheckMask == cancelCheckMask {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if j.Config.WarmupInstrs > 0 {
+		if err := feed(j.Config.WarmupInstrs); err != nil {
+			return Result{}, err
+		}
+		s.resetStats()
+	}
+	s.obs = j.Observer
+	if err := feed(j.Config.MeasureInstrs); err != nil {
 		return Result{}, err
 	}
 	return s.result(j.Workload.Name), nil

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"errors"
+	"io"
+)
+
+// Iterator is the pull-model interface over a retire-order record stream.
+// Next returns io.EOF at a clean end of stream and io.ErrUnexpectedEOF
+// (possibly wrapped) when the underlying source was truncated mid-record.
+//
+// It is implemented by the single-file Reader, the sharded StoreReader and
+// ChunkReader, in-memory Streams (via Stream.Iter), and the live workload
+// executor (workload.Executor.Iterator) — so a simulation consumes live
+// execution and on-disk replay through the same interface and never needs
+// a whole stream in memory.
+type Iterator interface {
+	Next() (Record, error)
+}
+
+// StreamIter iterates an in-memory Stream.
+type StreamIter struct {
+	s   Stream
+	pos int
+}
+
+// Iter returns an Iterator over the stream.
+func (s Stream) Iter() *StreamIter { return &StreamIter{s: s} }
+
+// Next implements Iterator.
+func (it *StreamIter) Next() (Record, error) {
+	if it.pos >= len(it.s) {
+		return Record{}, io.EOF
+	}
+	r := it.s[it.pos]
+	it.pos++
+	return r, nil
+}
+
+// Collect drains an iterator into an in-memory Stream. It is the bridge
+// for callers that genuinely need the whole stream (tests, small traces);
+// streaming consumers should pull from the iterator directly.
+func Collect(it Iterator) (Stream, error) { return collect(it, 0) }
+
+// collect is Collect with a capacity hint for sources that know their
+// record count up front.
+func collect(it Iterator, sizeHint uint64) (Stream, error) {
+	s := make(Stream, 0, sizeHint)
+	for {
+		r, err := it.Next()
+		if errors.Is(err, io.EOF) {
+			return s, nil
+		}
+		if err != nil {
+			return s, err
+		}
+		s = append(s, r)
+	}
+}
+
+// CopyRecords pulls every record from it into w and returns the count
+// copied. w is any record sink with the Writer/StoreWriter Write shape.
+func CopyRecords(w interface{ Write(Record) error }, it Iterator) (uint64, error) {
+	var n uint64
+	for {
+		r, err := it.Next()
+		if errors.Is(err, io.EOF) {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := w.Write(r); err != nil {
+			return n, err
+		}
+		n++
+	}
+}

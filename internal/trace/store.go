@@ -1,0 +1,632 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/isa"
+)
+
+// Format version 2: a sharded on-disk trace store. A store is a directory
+// holding an index file (trace.idx) plus fixed-record-count chunk files.
+// Each chunk header carries the chunk's base PC, so delta decoding restarts
+// per chunk and any chunk can be decoded without its predecessors — the
+// unit of random access to a trace window, and the natural work unit for
+// distributing a trace across machines. The index records the per-chunk
+// record counts and base PCs, so the total record count is known up front
+// (Header.Records) and truncated or overgrown chunks are detected instead
+// of being read as a clean short stream.
+const (
+	chunkMagic   uint32 = 0x50494643 // "PIFC"
+	storeVersion uint32 = 2
+
+	// IndexName is the index file inside a store directory.
+	IndexName = "trace.idx"
+
+	// DefaultChunkRecords is the records-per-chunk used when a caller
+	// passes 0: 1M records ≈ 3 MB per chunk at typical delta density.
+	DefaultChunkRecords = 1 << 20
+)
+
+// ChunkFileName returns the file name of chunk i within a store.
+func ChunkFileName(i int) string { return fmt.Sprintf("chunk-%06d.pifc", i) }
+
+// ChunkInfo is one chunk's entry in the store index.
+type ChunkInfo struct {
+	// Records is the exact record count of the chunk. Every chunk holds
+	// the store's target count except the final one, which may be short.
+	Records uint64
+	// BasePC is the PC of the chunk's first record; delta decoding within
+	// the chunk restarts from it.
+	BasePC isa.Addr
+}
+
+// Index is a store's metadata, persisted as trace.idx.
+type Index struct {
+	// Workload is the traced workload's name.
+	Workload string
+	// ChunkTarget is the records-per-chunk the store was written with.
+	ChunkTarget uint64
+	// Phases records the executor phase boundaries the trace was
+	// collected with (e.g. {warmup, measure}), when the writer declared
+	// them. The executor starts a fresh transaction at each phase, so a
+	// replay is only byte-identical to a live run that uses the same
+	// split — recording it makes a mismatched replay detectable instead
+	// of silently divergent. Empty when the writer declared none.
+	Phases []uint64
+	// Chunks describes every chunk in order.
+	Chunks []ChunkInfo
+}
+
+// Records returns the store's total record count.
+func (ix Index) Records() uint64 {
+	var n uint64
+	for _, c := range ix.Chunks {
+		n += c.Records
+	}
+	return n
+}
+
+// Header returns the trace header implied by the index, with the record
+// count filled in (unlike version-1 single-file traces, a store knows its
+// length without being read).
+func (ix Index) Header() Header {
+	return Header{Workload: ix.Workload, Records: ix.Records()}
+}
+
+// PhaseCompatible reports whether replaying warmup+measure records from
+// this store reproduces a live run with that split byte-for-byte. A live
+// run places an executor phase boundary (fresh transaction) exactly at
+// warmup, so the recorded boundaries must include warmup (unless it is
+// zero) and no recorded boundary may fall strictly inside the measured
+// interval. Stores that recorded no phases cannot be validated and are
+// accepted.
+func (ix Index) PhaseCompatible(warmup, measure uint64) bool {
+	if len(ix.Phases) == 0 {
+		return true
+	}
+	okWarmup := warmup == 0
+	var cum uint64
+	for _, p := range ix.Phases {
+		cum += p
+		if cum == warmup {
+			okWarmup = true
+		}
+		if cum > warmup && cum < warmup+measure {
+			return false
+		}
+	}
+	return okWarmup
+}
+
+// StoreWriter writes a sharded trace store. Records accumulate into chunk
+// files of a fixed record count; Close seals the final chunk and writes
+// the index. Like Writer, a StoreWriter is stuck after its first failure
+// and Close re-reports it.
+type StoreWriter struct {
+	dir      string
+	perChunk uint64
+	ix       Index
+
+	f       *os.File
+	bw      *bufio.Writer
+	lastPC  isa.Addr
+	inChunk uint64
+	n       uint64
+	closed  bool
+	err     error
+}
+
+// CreateStore creates (or truncates into) directory dir and returns a
+// StoreWriter. chunkRecords is the per-chunk record count (0 selects
+// DefaultChunkRecords).
+func CreateStore(dir, workload string, chunkRecords uint64) (*StoreWriter, error) {
+	if len(workload) > 255 {
+		return nil, errors.New("trace: workload name too long")
+	}
+	if chunkRecords == 0 {
+		chunkRecords = DefaultChunkRecords
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace: create store: %w", err)
+	}
+	// Truncate any previous store: drop the index first (so a crash
+	// mid-cleanup leaves an invalid store, never a wrong one), then the
+	// old chunks — a shorter rewrite must not leave stale higher-ordinal
+	// chunk files beside the new index.
+	if err := os.Remove(filepath.Join(dir, IndexName)); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("trace: create store: %w", err)
+	}
+	stale, err := filepath.Glob(filepath.Join(dir, "chunk-*.pifc"))
+	if err != nil {
+		return nil, fmt.Errorf("trace: create store: %w", err)
+	}
+	for _, f := range stale {
+		if err := os.Remove(f); err != nil {
+			return nil, fmt.Errorf("trace: create store: %w", err)
+		}
+	}
+	return &StoreWriter{
+		dir:      dir,
+		perChunk: chunkRecords,
+		ix:       Index{Workload: workload, ChunkTarget: chunkRecords},
+	}, nil
+}
+
+// Write appends one record, sealing and starting chunk files as needed.
+func (w *StoreWriter) Write(r Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return errors.New("trace: store write after Close")
+	}
+	if w.f == nil {
+		if err := w.openChunk(r.PC); err != nil {
+			w.err = err
+			return w.err
+		}
+	}
+	if err := encodeRecord(w.bw, w.lastPC, r); err != nil {
+		w.err = fmt.Errorf("trace: write record: %w", err)
+		return w.err
+	}
+	w.lastPC = r.PC
+	w.inChunk++
+	w.n++
+	if w.inChunk == w.perChunk {
+		if err := w.sealChunk(); err != nil {
+			w.err = err
+			return w.err
+		}
+	}
+	return nil
+}
+
+// openChunk starts the next chunk file with basePC as its delta origin.
+func (w *StoreWriter) openChunk(basePC isa.Addr) error {
+	ordinal := len(w.ix.Chunks)
+	f, err := os.Create(filepath.Join(w.dir, ChunkFileName(ordinal)))
+	if err != nil {
+		return fmt.Errorf("trace: create chunk: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	for _, v := range []uint32{chunkMagic, storeVersion, uint32(ordinal)} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			f.Close()
+			return fmt.Errorf("trace: write chunk header: %w", err)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(basePC)); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: write chunk base PC: %w", err)
+	}
+	w.f, w.bw = f, bw
+	w.lastPC = basePC
+	w.inChunk = 0
+	w.ix.Chunks = append(w.ix.Chunks, ChunkInfo{BasePC: basePC})
+	return nil
+}
+
+// sealChunk flushes and closes the open chunk, recording its final count.
+func (w *StoreWriter) sealChunk() error {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("trace: flush chunk: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("trace: close chunk: %w", err)
+	}
+	w.ix.Chunks[len(w.ix.Chunks)-1].Records = w.inChunk
+	w.f, w.bw = nil, nil
+	w.inChunk = 0
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *StoreWriter) Count() uint64 { return w.n }
+
+// SetPhases declares the executor phase boundaries the trace is being
+// recorded with (see Index.Phases); call before Close.
+func (w *StoreWriter) SetPhases(phases ...uint64) { w.ix.Phases = phases }
+
+// fail poisons the writer with an external cause (e.g. the record source
+// died mid-copy): Close will release resources but never write an index,
+// so the partial store can't be mistaken for a complete one.
+func (w *StoreWriter) fail(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+// Close seals the final chunk and writes the index. The index is written
+// to a temporary file and renamed into place, so a directory containing
+// trace.idx always describes a completely written store; after any
+// failure Close only releases the open chunk handle and re-reports the
+// error, leaving the partial store index-less (and thus invalid).
+func (w *StoreWriter) Close() error {
+	if w.closed {
+		return w.err
+	}
+	w.closed = true
+	if w.err != nil {
+		if w.f != nil {
+			w.f.Close()
+			w.f, w.bw = nil, nil
+		}
+		return w.err
+	}
+	if w.f != nil {
+		if err := w.sealChunk(); err != nil {
+			w.err = err
+			return w.err
+		}
+	}
+	if err := writeIndex(w.dir, w.ix); err != nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// writeIndex persists ix as dir/trace.idx via a temp-file rename.
+func writeIndex(dir string, ix Index) error {
+	tmp := filepath.Join(dir, IndexName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("trace: write index: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	werr := func() error {
+		for _, v := range []uint32{magic, storeVersion} {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte(byte(len(ix.Workload))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(ix.Workload); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, ix.ChunkTarget); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(ix.Chunks))); err != nil {
+			return err
+		}
+		for _, c := range ix.Chunks {
+			if err := binary.Write(bw, binary.LittleEndian, c.Records); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, uint64(c.BasePC)); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(ix.Phases))); err != nil {
+			return err
+		}
+		for _, p := range ix.Phases {
+			if err := binary.Write(bw, binary.LittleEndian, p); err != nil {
+				return err
+			}
+		}
+		// Trailing total record count: redundant with the per-chunk
+		// counts, kept as a cheap integrity cross-check on read.
+		return binary.Write(bw, binary.LittleEndian, ix.Records())
+	}()
+	if werr == nil {
+		werr = bw.Flush()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("trace: write index: %w", werr)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, IndexName)); err != nil {
+		return fmt.Errorf("trace: write index: %w", err)
+	}
+	return nil
+}
+
+// ReadIndex reads and validates a store directory's index.
+func ReadIndex(dir string) (Index, error) {
+	f, err := os.Open(filepath.Join(dir, IndexName))
+	if err != nil {
+		return Index{}, fmt.Errorf("trace: open index: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var m, v uint32
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return Index{}, fmt.Errorf("trace: read index magic: %w", noEOF(err))
+	}
+	if m != magic {
+		return Index{}, fmt.Errorf("trace: bad index magic %#x", m)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+		return Index{}, fmt.Errorf("trace: read index version: %w", noEOF(err))
+	}
+	if v != storeVersion {
+		return Index{}, fmt.Errorf("trace: unsupported store version %d", v)
+	}
+	nameLen, err := br.ReadByte()
+	if err != nil {
+		return Index{}, fmt.Errorf("trace: read index name length: %w", noEOF(err))
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return Index{}, fmt.Errorf("trace: read index name: %w", noEOF(err))
+	}
+	ix := Index{Workload: string(name)}
+	if err := binary.Read(br, binary.LittleEndian, &ix.ChunkTarget); err != nil {
+		return Index{}, fmt.Errorf("trace: read chunk target: %w", noEOF(err))
+	}
+	var numChunks uint32
+	if err := binary.Read(br, binary.LittleEndian, &numChunks); err != nil {
+		return Index{}, fmt.Errorf("trace: read chunk count: %w", noEOF(err))
+	}
+	// Sanity-cap the count against the file's actual size (16 bytes per
+	// chunk entry) before allocating: a corrupt count field must be a
+	// clean error, not a multi-gigabyte allocation.
+	if fi, err := f.Stat(); err != nil {
+		return Index{}, fmt.Errorf("trace: stat index: %w", err)
+	} else if uint64(numChunks) > uint64(fi.Size())/16 {
+		return Index{}, fmt.Errorf("trace: index claims %d chunks but is only %d bytes", numChunks, fi.Size())
+	}
+	ix.Chunks = make([]ChunkInfo, numChunks)
+	for i := range ix.Chunks {
+		if err := binary.Read(br, binary.LittleEndian, &ix.Chunks[i].Records); err != nil {
+			return Index{}, fmt.Errorf("trace: read chunk %d records: %w", i, noEOF(err))
+		}
+		var base uint64
+		if err := binary.Read(br, binary.LittleEndian, &base); err != nil {
+			return Index{}, fmt.Errorf("trace: read chunk %d base PC: %w", i, noEOF(err))
+		}
+		ix.Chunks[i].BasePC = isa.Addr(base)
+	}
+	var numPhases uint32
+	if err := binary.Read(br, binary.LittleEndian, &numPhases); err != nil {
+		return Index{}, fmt.Errorf("trace: read phase count: %w", noEOF(err))
+	}
+	if fi, err := f.Stat(); err != nil {
+		return Index{}, fmt.Errorf("trace: stat index: %w", err)
+	} else if uint64(numPhases) > uint64(fi.Size())/8 {
+		return Index{}, fmt.Errorf("trace: index claims %d phases but is only %d bytes", numPhases, fi.Size())
+	}
+	if numPhases > 0 {
+		ix.Phases = make([]uint64, numPhases)
+		for i := range ix.Phases {
+			if err := binary.Read(br, binary.LittleEndian, &ix.Phases[i]); err != nil {
+				return Index{}, fmt.Errorf("trace: read phase %d: %w", i, noEOF(err))
+			}
+		}
+	}
+	var total uint64
+	if err := binary.Read(br, binary.LittleEndian, &total); err != nil {
+		return Index{}, fmt.Errorf("trace: read record total: %w", noEOF(err))
+	}
+	if total != ix.Records() {
+		return Index{}, fmt.Errorf("trace: index total %d does not match chunk sum %d", total, ix.Records())
+	}
+	return ix, nil
+}
+
+// ChunkReader decodes one chunk file. It implements Iterator, returning
+// io.EOF after exactly the record count the index promises; a chunk that
+// ends early or holds extra records is reported as corrupt.
+type ChunkReader struct {
+	f         *os.File
+	br        *bufio.Reader
+	lastPC    isa.Addr
+	remaining uint64
+	ordinal   int
+}
+
+// OpenChunk opens chunk i of the store described by ix at dir, validating
+// the chunk header against the index.
+func OpenChunk(dir string, ix Index, i int) (*ChunkReader, error) {
+	if i < 0 || i >= len(ix.Chunks) {
+		return nil, fmt.Errorf("trace: chunk %d out of range [0,%d)", i, len(ix.Chunks))
+	}
+	f, err := os.Open(filepath.Join(dir, ChunkFileName(i)))
+	if err != nil {
+		return nil, fmt.Errorf("trace: open chunk: %w", err)
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	var m, v, ord uint32
+	var base uint64
+	for _, p := range []any{&m, &v, &ord, &base} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("trace: read chunk %d header: %w", i, noEOF(err))
+		}
+	}
+	if m != chunkMagic {
+		f.Close()
+		return nil, fmt.Errorf("trace: chunk %d: bad magic %#x", i, m)
+	}
+	if v != storeVersion {
+		f.Close()
+		return nil, fmt.Errorf("trace: chunk %d: unsupported version %d", i, v)
+	}
+	if int(ord) != i {
+		f.Close()
+		return nil, fmt.Errorf("trace: chunk %d: header claims ordinal %d", i, ord)
+	}
+	if isa.Addr(base) != ix.Chunks[i].BasePC {
+		f.Close()
+		return nil, fmt.Errorf("trace: chunk %d: base PC %#x does not match index %#x",
+			i, base, uint64(ix.Chunks[i].BasePC))
+	}
+	return &ChunkReader{
+		f:         f,
+		br:        br,
+		lastPC:    isa.Addr(base),
+		remaining: ix.Chunks[i].Records,
+		ordinal:   i,
+	}, nil
+}
+
+// Next implements Iterator over the chunk's records.
+func (c *ChunkReader) Next() (Record, error) {
+	if c.remaining == 0 {
+		// The index says the chunk is done; any trailing bytes mean the
+		// chunk and index disagree.
+		if _, err := c.br.ReadByte(); err == nil {
+			return Record{}, fmt.Errorf("trace: chunk %d holds more records than the index", c.ordinal)
+		} else if !errors.Is(err, io.EOF) {
+			return Record{}, fmt.Errorf("trace: chunk %d: %w", c.ordinal, err)
+		}
+		return Record{}, io.EOF
+	}
+	rec, err := decodeRecord(c.br, c.lastPC)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			// Clean EOF with records still owed: the chunk was truncated
+			// on a record boundary, which only the index can detect.
+			return Record{}, fmt.Errorf("trace: chunk %d truncated (%d records missing): %w",
+				c.ordinal, c.remaining, io.ErrUnexpectedEOF)
+		}
+		return Record{}, fmt.Errorf("trace: chunk %d: %w", c.ordinal, err)
+	}
+	c.lastPC = rec.PC
+	c.remaining--
+	return rec, nil
+}
+
+// Close releases the chunk's file handle.
+func (c *ChunkReader) Close() error { return c.f.Close() }
+
+// StoreReader streams a whole store in record order, opening one chunk at
+// a time — peak memory is bounded by the chunk buffer, not the trace
+// length. It implements Iterator.
+type StoreReader struct {
+	dir  string
+	ix   Index
+	next int // next chunk ordinal to open
+	cur  *ChunkReader
+}
+
+// OpenStore opens the store directory at dir, positioned at record 0.
+func OpenStore(dir string) (*StoreReader, error) {
+	ix, err := ReadIndex(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &StoreReader{dir: dir, ix: ix}, nil
+}
+
+// Index returns the store's index.
+func (r *StoreReader) Index() Index { return r.ix }
+
+// Header returns the store's trace header with the record count filled in.
+func (r *StoreReader) Header() Header { return r.ix.Header() }
+
+// Workload returns the workload name stored in the index.
+func (r *StoreReader) Workload() string { return r.ix.Workload }
+
+// Next implements Iterator across chunk boundaries.
+func (r *StoreReader) Next() (Record, error) {
+	for {
+		if r.cur == nil {
+			if r.next >= len(r.ix.Chunks) {
+				return Record{}, io.EOF
+			}
+			c, err := OpenChunk(r.dir, r.ix, r.next)
+			if err != nil {
+				return Record{}, err
+			}
+			r.cur, r.next = c, r.next+1
+		}
+		rec, err := r.cur.Next()
+		if err == nil {
+			return rec, nil
+		}
+		if !errors.Is(err, io.EOF) {
+			return Record{}, err
+		}
+		if cerr := r.cur.Close(); cerr != nil {
+			r.cur = nil
+			return Record{}, fmt.Errorf("trace: close chunk: %w", cerr)
+		}
+		r.cur = nil
+	}
+}
+
+// Seek positions the reader at absolute record n (0-based): the index
+// locates the owning chunk and only that chunk's prefix is decoded, so a
+// window anywhere in the trace is reachable without replaying from the
+// start. Seeking to the record total positions the reader at EOF.
+func (r *StoreReader) Seek(n uint64) error {
+	if r.cur != nil {
+		r.cur.Close()
+		r.cur = nil
+	}
+	var cum uint64
+	for i, c := range r.ix.Chunks {
+		if n < cum+c.Records {
+			cr, err := OpenChunk(r.dir, r.ix, i)
+			if err != nil {
+				return err
+			}
+			for skip := n - cum; skip > 0; skip-- {
+				if _, err := cr.Next(); err != nil {
+					cr.Close()
+					return err
+				}
+			}
+			r.cur, r.next = cr, i+1
+			return nil
+		}
+		cum += c.Records
+	}
+	if n == cum {
+		r.next = len(r.ix.Chunks)
+		return nil
+	}
+	return fmt.Errorf("trace: seek to record %d past end of store (%d records)", n, cum)
+}
+
+// ReadAll drains the remaining records into an in-memory Stream.
+func (r *StoreReader) ReadAll() (Stream, error) {
+	return collect(r, r.ix.Records())
+}
+
+// Close releases any open chunk. The reader must not be used afterwards.
+func (r *StoreReader) Close() error {
+	if r.cur == nil {
+		return nil
+	}
+	err := r.cur.Close()
+	r.cur = nil
+	return err
+}
+
+// BuildStore drains an iterator into a new store at dir and returns the
+// record count written. It is the one-call path from any record source —
+// a live executor, a version-1 file, another store — to sharded storage.
+// phases, when given, are recorded in the index as the executor phase
+// boundaries the source was generated with (see Index.Phases).
+func BuildStore(dir, workload string, chunkRecords uint64, it Iterator, phases ...uint64) (uint64, error) {
+	w, err := CreateStore(dir, workload, chunkRecords)
+	if err != nil {
+		return 0, err
+	}
+	w.SetPhases(phases...)
+	n, err := CopyRecords(w, it)
+	if err != nil {
+		// Poison the writer before closing: a source that died mid-copy
+		// must not leave behind a valid-looking short store.
+		w.fail(err)
+		w.Close()
+		return n, err
+	}
+	return n, w.Close()
+}

@@ -72,15 +72,85 @@ func (s Stream) Blocks() []isa.Block {
 }
 
 // magic identifies the binary trace format; version guards layout changes.
+// Version 1 is the single-file stream format (record count unknown until
+// EOF); version 2 is the sharded store format (trace.idx plus chunk files,
+// see store.go), whose index records per-chunk counts.
 const (
 	magic   uint32 = 0x50494654 // "PIFT"
 	version uint32 = 1
 )
 
-// Header describes a stored trace.
+// Header describes a stored trace. Records is zero for version-1 single
+// file traces (the stream format carries no count); for version-2 sharded
+// stores it is the exact record total from the chunk index.
 type Header struct {
 	Workload string
 	Records  uint64
+}
+
+// encodeRecord delta-encodes r against lastPC into bw. The record costs
+// one varint (PC delta) plus a trap-level byte and a flags byte.
+func encodeRecord(bw *bufio.Writer, lastPC isa.Addr, r Record) error {
+	delta := int64(r.PC) - int64(lastPC)
+	var buf [binary.MaxVarintLen64 + 2]byte
+	n := binary.PutVarint(buf[:], delta)
+	buf[n] = byte(r.TL)
+	buf[n+1] = byte(r.Flags)
+	_, err := bw.Write(buf[:n+2])
+	return err
+}
+
+// readVarint is binary.ReadVarint with truncation accounting: an EOF after
+// at least one byte of the varint has been consumed is a torn record and is
+// reported as io.ErrUnexpectedEOF, never as a clean end of stream.
+func readVarint(br *bufio.Reader) (int64, error) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			if i > 0 && errors.Is(err, io.EOF) {
+				return 0, io.ErrUnexpectedEOF
+			}
+			return 0, err
+		}
+		if i == binary.MaxVarintLen64 {
+			return 0, errors.New("trace: varint overflows 64 bits")
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, errors.New("trace: varint overflows 64 bits")
+			}
+			x |= uint64(b) << s
+			break
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return int64(x>>1) ^ -int64(x&1), nil // zigzag decode
+}
+
+// decodeRecord reads one delta-encoded record, resolving the PC against
+// lastPC. A clean io.EOF is returned only when the stream ends exactly on a
+// record boundary; an EOF anywhere inside a record is io.ErrUnexpectedEOF.
+func decodeRecord(br *bufio.Reader, lastPC isa.Addr) (Record, error) {
+	delta, err := readVarint(br)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("trace: read delta: %w", err)
+	}
+	tl, err := br.ReadByte()
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: read trap level: %w", noEOF(err))
+	}
+	fl, err := br.ReadByte()
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: read flags: %w", noEOF(err))
+	}
+	pc := isa.Addr(int64(lastPC) + delta)
+	return Record{PC: pc, TL: isa.TrapLevel(tl), Flags: Flags(fl)}, nil
 }
 
 // Writer streams records to an io.Writer in the binary trace format.
@@ -91,6 +161,7 @@ type Writer struct {
 	lastPC isa.Addr
 	n      uint64
 	closed bool
+	err    error // first write/flush failure, surfaced again by Close
 }
 
 // NewWriter writes a trace header and returns a Writer.
@@ -115,18 +186,18 @@ func NewWriter(w io.Writer, workload string) (*Writer, error) {
 	return &Writer{w: bw}, nil
 }
 
-// Write appends one record.
+// Write appends one record. Once a write has failed, the writer is stuck:
+// every subsequent Write (and Close) reports the first failure.
 func (w *Writer) Write(r Record) error {
+	if w.err != nil {
+		return w.err
+	}
 	if w.closed {
 		return errors.New("trace: write after Close")
 	}
-	delta := int64(r.PC) - int64(w.lastPC)
-	var buf [binary.MaxVarintLen64 + 2]byte
-	n := binary.PutVarint(buf[:], delta)
-	buf[n] = byte(r.TL)
-	buf[n+1] = byte(r.Flags)
-	if _, err := w.w.Write(buf[:n+2]); err != nil {
-		return fmt.Errorf("trace: write record: %w", err)
+	if err := encodeRecord(w.w, w.lastPC, r); err != nil {
+		w.err = fmt.Errorf("trace: write record: %w", err)
+		return w.err
 	}
 	w.lastPC = r.PC
 	w.n++
@@ -147,16 +218,22 @@ func (w *Writer) WriteStream(s Stream) error {
 func (w *Writer) Count() uint64 { return w.n }
 
 // Close flushes buffered output. The record count is not stored in the
-// header (the format is stream-oriented); readers read to EOF.
+// header (the format is stream-oriented); readers read to EOF. If any
+// write has failed, Close reports that first failure — including on
+// repeated calls — so a caller that ignored a Write error still cannot
+// mistake a torn trace for a successful one.
 func (w *Writer) Close() error {
 	if w.closed {
-		return nil
+		return w.err
 	}
 	w.closed = true
-	if err := w.w.Flush(); err != nil {
-		return fmt.Errorf("trace: flush: %w", err)
+	if w.err != nil {
+		return w.err
 	}
-	return nil
+	if err := w.w.Flush(); err != nil {
+		w.err = fmt.Errorf("trace: flush: %w", err)
+	}
+	return w.err
 }
 
 // noEOF converts io.EOF into io.ErrUnexpectedEOF: an EOF in the middle of a
@@ -206,39 +283,20 @@ func NewReader(r io.Reader) (*Reader, error) {
 // Workload returns the workload name stored in the trace header.
 func (r *Reader) Workload() string { return r.workload }
 
-// Read returns the next record, or io.EOF at end of trace.
+// Read returns the next record, or io.EOF at end of trace. A trace
+// truncated anywhere inside a record — including mid-varint — is reported
+// as io.ErrUnexpectedEOF, never as a clean end of stream.
 func (r *Reader) Read() (Record, error) {
-	delta, err := binary.ReadVarint(r.r)
+	rec, err := decodeRecord(r.r, r.lastPC)
 	if err != nil {
-		if errors.Is(err, io.EOF) {
-			return Record{}, io.EOF
-		}
-		return Record{}, fmt.Errorf("trace: read delta: %w", err)
+		return Record{}, err
 	}
-	tl, err := r.r.ReadByte()
-	if err != nil {
-		return Record{}, fmt.Errorf("trace: read trap level: %w", noEOF(err))
-	}
-	fl, err := r.r.ReadByte()
-	if err != nil {
-		return Record{}, fmt.Errorf("trace: read flags: %w", noEOF(err))
-	}
-	pc := isa.Addr(int64(r.lastPC) + delta)
-	r.lastPC = pc
-	return Record{PC: pc, TL: isa.TrapLevel(tl), Flags: Flags(fl)}, nil
+	r.lastPC = rec.PC
+	return rec, nil
 }
 
+// Next implements Iterator; it is Read under the iterator's name.
+func (r *Reader) Next() (Record, error) { return r.Read() }
+
 // ReadAll reads every remaining record into a Stream.
-func (r *Reader) ReadAll() (Stream, error) {
-	var s Stream
-	for {
-		rec, err := r.Read()
-		if errors.Is(err, io.EOF) {
-			return s, nil
-		}
-		if err != nil {
-			return s, err
-		}
-		s = append(s, rec)
-	}
-}
+func (r *Reader) ReadAll() (Stream, error) { return Collect(r) }

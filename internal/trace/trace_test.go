@@ -227,6 +227,102 @@ func TestReaderTruncated(t *testing.T) {
 	}
 }
 
+// TestReaderTruncatedEveryByte truncates a valid trace at every byte
+// boundary through the first few records and asserts the reader never
+// reports a silently short stream: a cut inside a record — including in
+// the middle of the delta varint, the case the reader used to swallow as
+// a clean io.EOF — must surface io.ErrUnexpectedEOF, and a cut exactly on
+// a record boundary must decode to exactly the complete-record prefix.
+func TestReaderTruncatedEveryByte(t *testing.T) {
+	// Large deltas force multi-byte varints so cuts land mid-varint.
+	s := Stream{
+		{PC: 0x7fff_0000, TL: isa.TL0, Flags: FlagCallTarget},
+		{PC: 0x40, TL: isa.TL1, Flags: FlagTrapEntry},
+		{PC: 0x1234_5678_9abc, TL: isa.TL0, Flags: FlagBranchTaken},
+		{PC: 0x1234_5678_9ac0, TL: isa.TL0},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteStream(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Map every record-aligned byte offset (including the bare header) to
+	// the number of complete records before it, by re-encoding the same
+	// stream record by record with a flush in between.
+	var probe bytes.Buffer
+	pw, err := NewWriter(&probe, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pw.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	headerLen := probe.Len()
+	boundaries := map[int]int{headerLen: 0}
+	for i, rec := range s {
+		if err := pw.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := pw.w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		boundaries[probe.Len()] = i + 1
+	}
+
+	for cut := headerLen; cut < len(full); cut++ {
+		r, err := NewReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("cut=%d: NewReader: %v", cut, err)
+		}
+		got, err := r.ReadAll()
+		if want, aligned := boundaries[cut]; aligned {
+			if err != nil {
+				t.Errorf("cut=%d (record-aligned): ReadAll error %v", cut, err)
+			}
+			if len(got) != want {
+				t.Errorf("cut=%d: decoded %d records, want %d", cut, len(got), want)
+			}
+			continue
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("cut=%d (mid-record): ReadAll error = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestWriterCloseSurfacesWriteError(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poison the underlying bufio chain the way a full disk would: force
+	// a flush failure by swapping in a broken writer after construction.
+	w.w.Reset(failWriter{})
+	if err := w.Write(Record{PC: 0x40}); err != nil {
+		// Small writes buffer cleanly; a write error here is also fine.
+		t.Logf("Write: %v", err)
+	}
+	if err := w.Close(); err == nil {
+		t.Error("Close over a failed writer should report the failure")
+	}
+	if err := w.Close(); err == nil {
+		t.Error("repeated Close should keep reporting the failure")
+	}
+}
+
+// failWriter always fails, standing in for a full or yanked disk.
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk gone") }
+
 func TestReaderEOF(t *testing.T) {
 	var buf bytes.Buffer
 	w, _ := NewWriter(&buf, "t")

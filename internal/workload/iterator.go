@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"io"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// iterBatch is the record batch size the executor iterator hands across
+// its channel: large enough to amortize synchronization, small enough
+// that a live iterator's footprint stays a few hundred kilobytes.
+const iterBatch = 8192
+
+// Iterator adapts the push-model Executor to the pull-model
+// trace.Iterator: the executor runs in its own goroutine, handing record
+// batches across a bounded channel, so consumers pull one record at a
+// time with bounded memory and the emitted stream is byte-identical to
+// the equivalent sequence of Run calls.
+//
+// Callers that stop early must Close the iterator to release the
+// producer goroutine; Close after exhaustion is a cheap no-op.
+type Iterator struct {
+	batches chan []trace.Record
+	stop    chan struct{}
+	once    sync.Once
+	cur     []trace.Record
+	pos     int
+}
+
+// Iterator starts the executor producing phases' instruction counts —
+// one Run call per phase, in order — and returns the pull side. Phase
+// boundaries matter: the executor begins a fresh transaction at each Run
+// call, so Iterator(a, b) reproduces Run(a)+Run(b) exactly (the pattern
+// the simulator uses for warmup then measurement), which differs near the
+// boundary from a single Run(a+b).
+func (e *Executor) Iterator(phases ...uint64) *Iterator {
+	it := &Iterator{
+		batches: make(chan []trace.Record, 2),
+		stop:    make(chan struct{}),
+	}
+	go func() {
+		defer close(it.batches)
+		buf := make([]trace.Record, 0, iterBatch)
+		aborted := false
+		emit := func(r trace.Record) {
+			buf = append(buf, r)
+			if len(buf) == iterBatch {
+				select {
+				case it.batches <- buf:
+					buf = make([]trace.Record, 0, iterBatch)
+				case <-it.stop:
+					e.Abort()
+					aborted = true
+				}
+			}
+		}
+		for _, n := range phases {
+			if aborted {
+				return
+			}
+			e.Run(n, emit)
+		}
+		if aborted || len(buf) == 0 {
+			return
+		}
+		select {
+		case it.batches <- buf:
+		case <-it.stop:
+		}
+	}()
+	return it
+}
+
+// NewIterator builds an executor over prog and returns its record
+// iterator for the given phases (see Executor.Iterator).
+func NewIterator(prog *Program, phases ...uint64) *Iterator {
+	return NewExecutor(prog).Iterator(phases...)
+}
+
+// Next implements trace.Iterator; io.EOF marks the end of the final
+// phase.
+func (it *Iterator) Next() (trace.Record, error) {
+	if it.pos >= len(it.cur) {
+		b, ok := <-it.batches
+		if !ok {
+			return trace.Record{}, io.EOF
+		}
+		it.cur, it.pos = b, 0
+	}
+	r := it.cur[it.pos]
+	it.pos++
+	return r, nil
+}
+
+// Close aborts the producing executor and releases its goroutine. The
+// aborted executor's stream state is unspecified, so a closed iterator
+// must not be read further.
+func (it *Iterator) Close() error {
+	it.once.Do(func() { close(it.stop) })
+	for range it.batches { // drain until the producer exits
+	}
+	return nil
+}

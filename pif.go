@@ -115,6 +115,72 @@ func GenerateStream(w Workload, n uint64) (Stream, error) {
 	return workload.GenerateStream(w, n)
 }
 
+// TraceIterator is the pull-model interface over a retire-order record
+// stream (Next returns io.EOF at a clean end), implemented by trace
+// readers, sharded stores, in-memory streams, and the live executor.
+type TraceIterator = trace.Iterator
+
+// WorkloadIterator streams a live executor's output with bounded memory;
+// close it if abandoned before EOF.
+type WorkloadIterator = workload.Iterator
+
+// GenerateIterator builds w's program image and returns a streaming
+// iterator over its retire-order stream — one executor Run phase per
+// count, so GenerateIterator(w, warmup, measure) reproduces the
+// simulator's live stream exactly.
+func GenerateIterator(w Workload, phases ...uint64) (*WorkloadIterator, error) {
+	prog, err := workload.BuildProgram(w)
+	if err != nil {
+		return nil, err
+	}
+	return workload.NewIterator(prog, phases...), nil
+}
+
+// TraceIndex is a sharded trace store's metadata: workload, per-chunk
+// record counts, and per-chunk base PCs.
+type TraceIndex = trace.Index
+
+// TraceStoreWriter writes a sharded on-disk trace store (trace.idx plus
+// fixed-record-count chunk files).
+type TraceStoreWriter = trace.StoreWriter
+
+// TraceStoreReader replays a sharded store chunk by chunk; it implements
+// TraceIterator with peak memory bounded by one chunk.
+type TraceStoreReader = trace.StoreReader
+
+// CreateTraceStore opens a sharded store for writing at dir
+// (chunkRecords 0 selects the default chunk size).
+func CreateTraceStore(dir, workload string, chunkRecords uint64) (*TraceStoreWriter, error) {
+	return trace.CreateStore(dir, workload, chunkRecords)
+}
+
+// OpenTraceStore opens a sharded store for streaming replay.
+func OpenTraceStore(dir string) (*TraceStoreReader, error) { return trace.OpenStore(dir) }
+
+// ReadTraceIndex reads and validates a store's index without touching
+// its chunks.
+func ReadTraceIndex(dir string) (TraceIndex, error) { return trace.ReadIndex(dir) }
+
+// BuildTraceStore drains any record iterator into a new sharded store.
+// phases, when given, record the executor phase boundaries the source
+// was generated with, so replays with a mismatched warmup/measure split
+// are detectable (TraceIndex.PhaseCompatible).
+func BuildTraceStore(dir, workload string, chunkRecords uint64, it TraceIterator, phases ...uint64) (uint64, error) {
+	return trace.BuildStore(dir, workload, chunkRecords, it, phases...)
+}
+
+// SimulateTrace replays a recorded retire-order stream through the
+// simulator instead of executing the workload; w supplies the name and
+// front-end seed. The source must hold at least warmup+measure records.
+func SimulateTrace(cfg SimConfig, w Workload, src TraceIterator, p Prefetcher) (SimResult, error) {
+	return sim.RunJob(context.Background(), sim.Job{
+		Config:        cfg,
+		Workload:      w,
+		Source:        src,
+		NewPrefetcher: func() prefetch.Prefetcher { return p },
+	})
+}
+
 // System is the simulated machine description (the paper's Table I).
 type System = config.System
 
