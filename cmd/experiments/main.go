@@ -1,22 +1,36 @@
 // Command experiments regenerates the paper's evaluation artifacts: every
-// figure of Section 5 and the Table I configuration, printed as text tables
-// in the same rows/series the paper reports.
+// figure of Section 5, the Table I configuration, and the design-space
+// sweep artifacts (sweep-history, sweep-l1), printed as text tables in the
+// same rows/series the paper reports.
 //
 // Simulation jobs fan out across cores (bounded by -parallel); rendered
 // tables are byte-identical for every parallelism level. Ctrl-C cancels
 // in-flight jobs.
 //
 // With -out DIR, the run is also stored as structured JSON (run.json plus
-// one <artifact>.json per artifact, schema-versioned); "experiments diff"
-// compares two stored runs metric by metric and exits nonzero on
-// out-of-tolerance drift, so sweeps can be diffed across commits.
+// one <artifact>.json per artifact, schema-versioned) together with every
+// raw per-job sim.Result collected from sweep grids (jobs/<key>.json, one
+// per grid cell); "experiments diff" compares two stored runs metric by
+// metric — per-job results included — and exits with a distinct code per
+// failure class, so sweeps can be gated across commits.
+//
+// The sweep mode runs an ad-hoc design-space sweep declared on the
+// command line: repeatable -axis flags name the axes (workload, engine,
+// history, budget, l1) and their values, the cross-product fans out
+// through the worker pool, and -out persists one raw result per grid cell.
 //
 // Usage:
 //
-//	experiments [-run all|table1|fig2|fig3|fig7|fig8|fig9|fig10] [-quick]
+//	experiments [-run all|table1|fig2|...|sweep-history|sweep-l1] [-quick]
 //	            [-warmup N] [-measure N] [-parallel N] [-tracedir DIR]
 //	            [-out DIR] [-v]
+//	experiments sweep -axis name=v1,v2,... [-axis ...] [-quick]
+//	            [-warmup N] [-measure N] [-parallel N] [-out DIR] [-v]
 //	experiments diff [-abs X] [-rel Y] DIR_A DIR_B
+//
+// diff exit codes: 0 = within tolerance, 1 = metric drift beyond
+// tolerance, 2 = usage or load error, 3 = artifact/job sets differ (a
+// comparison-setup problem, not metric drift).
 package main
 
 import (
@@ -34,41 +48,62 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "diff" {
-		os.Exit(diffMain(os.Args[2:]))
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "diff":
+			os.Exit(diffMain(os.Args[2:]))
+		case "sweep":
+			os.Exit(sweepMain(os.Args[2:]))
+		}
 	}
 	os.Exit(runMain())
 }
 
-func runMain() int {
-	runID := flag.String("run", "all", "artifact to regenerate: all, or one of "+strings.Join(pif.ExperimentIDs(), ", "))
-	quick := flag.Bool("quick", false, "reduced-scale run (shorter warmup and measurement)")
-	warmup := flag.Uint64("warmup", 0, "override warmup instructions (0 = default)")
-	measure := flag.Uint64("measure", 0, "override measured instructions (0 = default)")
-	parallel := flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS)")
-	traceDir := flag.String("tracedir", "", "spill generated retire streams to sharded trace stores under this directory and replay them (bounded memory; stores are reused across runs)")
-	out := flag.String("out", "", "write structured JSON results into this directory (run.json + <artifact>.json)")
-	verbose := flag.Bool("v", false, "print per-job timing as jobs complete")
-	flag.Parse()
+// scaleFlags registers the options shared by the run and sweep modes.
+// -tracedir is not among them: spill-and-replay serves the trace-based
+// figure analyses, and sweep grids are simulations that never consult it
+// — registering it there would promise behavior the mode does not have.
+func scaleFlags(fs *flag.FlagSet) (quick *bool, warmup, measure *uint64, parallel *int, out *string, verbose *bool) {
+	quick = fs.Bool("quick", false, "reduced-scale run (shorter warmup and measurement)")
+	warmup = fs.Uint64("warmup", 0, "override warmup instructions (0 = default)")
+	measure = fs.Uint64("measure", 0, "override measured instructions (0 = default)")
+	parallel = fs.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	out = fs.String("out", "", "write structured JSON results into this directory (run.json + <artifact>.json + jobs/<key>.json)")
+	verbose = fs.Bool("v", false, "print per-job timing as jobs complete")
+	return
+}
 
+// buildOptions resolves the shared flags into experiment options.
+func buildOptions(quick bool, warmup, measure uint64, parallel int, traceDir string, verbose bool) pif.ExperimentOptions {
 	opts := pif.DefaultExperimentOptions()
-	if *quick {
+	if quick {
 		opts = pif.QuickExperimentOptions()
 	}
-	if *warmup > 0 {
-		opts.WarmupInstrs = *warmup
+	if warmup > 0 {
+		opts.WarmupInstrs = warmup
 	}
-	if *measure > 0 {
-		opts.MeasureInstrs = *measure
+	if measure > 0 {
+		opts.MeasureInstrs = measure
 	}
-	opts.Parallel = *parallel
-	opts.TraceDir = *traceDir
-	if *verbose {
+	opts.Parallel = parallel
+	opts.TraceDir = traceDir
+	if verbose {
 		opts.OnProgress = func(p pif.JobProgress) {
-			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %-28s %8s\n",
+			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %-40s %8s\n",
 				p.Done, p.Total, p.Label, p.Elapsed.Round(time.Millisecond))
 		}
 	}
+	return opts
+}
+
+func runMain() int {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	runID := fs.String("run", "all", "artifact to regenerate: all, or one of "+strings.Join(pif.ExperimentIDs(), ", "))
+	traceDir := fs.String("tracedir", "", "spill generated retire streams to sharded trace stores under this directory and replay them (bounded memory; stores are reused across runs)")
+	quick, warmup, measure, parallel, out, verbose := scaleFlags(fs)
+	fs.Parse(os.Args[1:])
+
+	opts := buildOptions(*quick, *warmup, *measure, *parallel, *traceDir, *verbose)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -102,7 +137,7 @@ func runMain() int {
 	}
 	fmt.Println("artifact wall-clock:")
 	for _, tm := range timings {
-		fmt.Printf("  %-8s %8s\n", tm.ID, tm.Elapsed().Round(time.Millisecond))
+		fmt.Printf("  %-14s %8s\n", tm.ID, tm.Elapsed().Round(time.Millisecond))
 	}
 	fmt.Printf("(%d artifact(s) in %s; warmup=%d measure=%d instructions per workload; %d workers)\n",
 		len(reports), total.Round(time.Millisecond),
@@ -125,7 +160,93 @@ func runMain() int {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			return 1
 		}
-		fmt.Printf("(results stored in %s)\n", *out)
+		jobs := env.JobResults()
+		if err := pif.SaveJobResults(*out, jobs); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		fmt.Printf("(results stored in %s; %d raw per-job result(s) under %s)\n",
+			*out, len(jobs), filepath.Join(*out, "jobs"))
+	}
+	return 0
+}
+
+// axisFlags collects repeatable -axis specifications.
+type axisFlags []string
+
+func (a *axisFlags) String() string     { return strings.Join(*a, "; ") }
+func (a *axisFlags) Set(v string) error { *a = append(*a, v); return nil }
+
+// sweepMain runs an ad-hoc design-space sweep declared with -axis flags.
+func sweepMain(args []string) int {
+	fs := flag.NewFlagSet("experiments sweep", flag.ExitOnError)
+	var axes axisFlags
+	fs.Var(&axes, "axis", "sweep axis as name=v1,v2,... (workload, engine, history, budget, l1); repeatable, crossed in flag order")
+	name := fs.String("name", "sweep", "sweep name (prefixes cell keys and job labels)")
+	quick, warmup, measure, parallel, out, verbose := scaleFlags(fs)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: experiments sweep -axis name=v1,v2,... [-axis ...] [flags]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	opts := buildOptions(*quick, *warmup, *measure, *parallel, "", *verbose)
+	spec, err := pif.BuildSweepSpec(*name, opts, axes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments sweep:", err)
+		fs.Usage()
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	env := pif.NewExperimentEnv(ctx, opts)
+	start := time.Now()
+	grid, err := env.RunGrid(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments sweep:", err)
+		return 1
+	}
+	total := time.Since(start)
+
+	summary, err := grid.Summary()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments sweep:", err)
+		return 1
+	}
+	fmt.Printf("== sweep %s: %d cells ==\n", spec.Name, grid.Size())
+	fmt.Printf("%-52s %10s %10s %12s\n", "cell", "uipc", "coverage", "misses")
+	for _, c := range summary.Cells {
+		fmt.Printf("%-52s %10.4f %9.1f%% %12d\n", c.Label, c.UIPC, 100*c.Coverage, c.Misses)
+	}
+	fmt.Printf("(%d cell(s) in %s; warmup=%d measure=%d instructions per cell; %d workers)\n",
+		grid.Size(), total.Round(time.Millisecond),
+		opts.WarmupInstrs, opts.MeasureInstrs, env.Parallel())
+
+	if *out != "" {
+		art, err := pif.NewResultsArtifact(spec.Name, "ad-hoc design-space sweep", "", summary)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments sweep:", err)
+			return 1
+		}
+		run := pif.ResultsRun{
+			ID:         runName(*out),
+			CreatedAt:  time.Now().UTC(),
+			Options:    opts.RunOptions(),
+			TotalNanos: int64(total),
+		}
+		if err := pif.SaveResults(*out, run, []pif.ResultsArtifact{art}); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments sweep:", err)
+			return 1
+		}
+		jobs := env.JobResults()
+		if err := pif.SaveJobResults(*out, jobs); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments sweep:", err)
+			return 1
+		}
+		fmt.Printf("(results stored in %s; %d raw per-job result(s) under %s)\n",
+			*out, len(jobs), filepath.Join(*out, "jobs"))
 	}
 	return 0
 }
@@ -139,15 +260,19 @@ func runName(dir string) string {
 	return base
 }
 
-// diffMain compares two stored runs and reports per-metric drift; it
-// returns 1 when any metric is out of tolerance (the regression-gate exit
-// code) and 2 on usage or load errors.
+// diffMain compares two stored runs — artifacts and raw per-job results —
+// and reports per-metric drift. Exit codes separate the failure classes:
+// 0 when the runs agree within tolerance, 1 on metric drift beyond
+// tolerance (the regression-gate code), 2 on usage or load errors, and 3
+// when the two runs hold different artifact or job sets (nothing to
+// compare for the missing entries — a setup problem, not drift).
 func diffMain(args []string) int {
 	fs := flag.NewFlagSet("experiments diff", flag.ExitOnError)
 	abs := fs.Float64("abs", 1e-12, "absolute tolerance per metric")
 	rel := fs.Float64("rel", 1e-9, "relative tolerance per metric")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: experiments diff [-abs X] [-rel Y] DIR_A DIR_B")
+		fmt.Fprintln(os.Stderr, "exit codes: 0 within tolerance, 1 metric drift, 2 usage/load error, 3 artifact/job sets differ")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -155,22 +280,42 @@ func diffMain(args []string) int {
 		fs.Usage()
 		return 2
 	}
-	_, aArts, err := pif.LoadResults(fs.Arg(0))
+	dirA, dirB := fs.Arg(0), fs.Arg(1)
+	_, aArts, err := pif.LoadResults(dirA)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments diff:", err)
 		return 2
 	}
-	_, bArts, err := pif.LoadResults(fs.Arg(1))
+	_, bArts, err := pif.LoadResults(dirB)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments diff:", err)
+		return 2
+	}
+	aJobs, err := pif.LoadJobResults(dirA)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments diff:", err)
+		return 2
+	}
+	bJobs, err := pif.LoadJobResults(dirB)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments diff:", err)
 		return 2
 	}
 	tol := pif.ResultsTolerances{Default: pif.ResultsTolerance{Abs: *abs, Rel: *rel}}
 	d := pif.DiffResults(aArts, bArts, tol)
+	d.Merge(pif.DiffJobResults(aJobs, bJobs, tol))
 	fmt.Print(d.Render())
-	if d.OutOfTolerance() {
+	switch {
+	case d.HasMissing():
+		fmt.Printf("MISSING: %s and %s hold different artifact/job sets (%d only in A, %d only in B); rerun both sides with the same artifacts before gating on drift\n",
+			dirA, dirB, len(d.OnlyInA), len(d.OnlyInB))
+		if d.HasDrift() {
+			fmt.Println("(the common artifacts also drift beyond tolerance; fix the set mismatch first)")
+		}
+		return 3
+	case d.HasDrift():
 		fmt.Printf("DRIFT: %s and %s differ beyond tolerance (abs %g, rel %g)\n",
-			fs.Arg(0), fs.Arg(1), *abs, *rel)
+			dirA, dirB, *abs, *rel)
 		return 1
 	}
 	return 0

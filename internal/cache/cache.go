@@ -58,14 +58,16 @@ type line struct {
 
 // Stats counts cache events.
 type Stats struct {
-	Accesses       uint64 // demand probes
-	Hits           uint64
-	Misses         uint64
-	PrefetchHits   uint64 // demand hits on lines brought in by prefetch
-	PrefetchFills  uint64
-	DemandFills    uint64
-	Evictions      uint64
-	PrefetchUnused uint64 // prefetched lines evicted without a demand hit
+	// JSON names are stable snake_case: Stats is embedded in sim.Result,
+	// which the results store persists and diffs across commits.
+	Accesses       uint64 `json:"accesses"` // demand probes
+	Hits           uint64 `json:"hits"`
+	Misses         uint64 `json:"misses"`
+	PrefetchHits   uint64 `json:"prefetch_hits"` // demand hits on lines brought in by prefetch
+	PrefetchFills  uint64 `json:"prefetch_fills"`
+	DemandFills    uint64 `json:"demand_fills"`
+	Evictions      uint64 `json:"evictions"`
+	PrefetchUnused uint64 `json:"prefetch_unused"` // prefetched lines evicted without a demand hit
 }
 
 // HitRate returns hits/accesses.

@@ -4,14 +4,18 @@
 // workload suite, and returns both structured data (for tests and
 // downstream tooling) and rendered text (for the cmd/experiments CLI).
 //
-// Drivers do not loop serially: simulation-based figures enumerate
-// runner.Jobs and trace-based figures fan per-workload analyses out with
-// runner.ForEach, so a full regeneration scales across cores while the
-// rendered tables stay byte-identical to a serial run (results are
-// assembled in submission order).
+// Drivers do not loop serially: figures declare their variant tables as
+// design-space sweep specs (internal/sweep) whose grids fan out across
+// the worker pool — simulation grids through Env.RunGrid, trace-based
+// analyses through Env.EachGrid — so a full regeneration scales across
+// cores while the rendered tables stay byte-identical to a serial run
+// (grid results come back in row-major submission order). Every
+// simulated grid cell's raw sim.Result is collected for the results
+// store (Env.JobResults), so sweeps finer than one artifact can be
+// diffed across runs.
 //
-// See DESIGN.md §3 for the experiment index and §4 for the substitutions
-// made relative to the paper's testbed.
+// See DESIGN.md §3 for the experiment index, §4 for the substitutions
+// made relative to the paper's testbed, and §8 for the sweep engine.
 package experiments
 
 import (
@@ -30,6 +34,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -40,6 +45,11 @@ type Options struct {
 	// Workloads is the evaluated suite (defaults to the six standard
 	// workloads in the paper's order).
 	Workloads []workload.Profile
+	// SweepWorkloads is the suite the MANA-style design-space sweep
+	// artifacts (sweep-history, sweep-l1) run over; nil means the XL
+	// suite (workload.XLSuite), whose footprints keep storage budgets and
+	// cache geometries differentiating where the standard six saturate.
+	SweepWorkloads []workload.Profile
 	// System is the simulated machine (Table I).
 	System config.System
 	// WarmupInstrs executes before measurement in simulation-based
@@ -91,6 +101,18 @@ func QuickOptions() Options {
 	}
 }
 
+// SweepSuite resolves the suite the design-space sweep artifacts run
+// over: Options.SweepWorkloads when set, the XL suite otherwise. Every
+// consumer of the sweep suite (the artifact drivers, the CLI's default
+// workload axis) resolves through here, so the default lives in exactly
+// one place.
+func (o Options) SweepSuite() []workload.Profile {
+	if len(o.SweepWorkloads) > 0 {
+		return o.SweepWorkloads
+	}
+	return workload.XLSuite()
+}
+
 // Validate rejects unusable options.
 func (o Options) Validate() error {
 	if len(o.Workloads) == 0 {
@@ -123,6 +145,14 @@ type Env struct {
 	programs map[string]*memo[*workload.Program]
 	streams  map[string]*memo[trace.Stream]
 	spills   map[string]*memo[string] // workload name -> store directory
+
+	// Per-job results collected from every sweep grid run in this
+	// environment, keyed for the results store (jobs/<key>.json). jobIdx
+	// dedupes reruns of the same artifact (deterministic simulations make
+	// a rerun's result identical, so replacing in place is safe).
+	jobMu  sync.Mutex
+	jobIdx map[string]int
+	jobRes []report.JobResult
 }
 
 // NewEnv builds an environment; it panics on invalid options (experiment
@@ -146,6 +176,7 @@ func NewEnvContext(ctx context.Context, opts Options) *Env {
 		programs: make(map[string]*memo[*workload.Program]),
 		streams:  make(map[string]*memo[trace.Stream]),
 		spills:   make(map[string]*memo[string]),
+		jobIdx:   make(map[string]int),
 	}
 }
 
@@ -391,6 +422,63 @@ func (e *Env) ForEachWorkload(fn func(i int, wl workload.Profile) error) error {
 	})
 }
 
+// SweepWorkloads returns the suite the design-space sweep artifacts run
+// over (Options.SweepSuite).
+func (e *Env) SweepWorkloads() []workload.Profile {
+	return e.opts.SweepSuite()
+}
+
+// RunGrid expands a sweep spec and executes every cell as a simulation
+// job through the environment (cached program images, bounded pool,
+// context cancellation). On success the grid's raw per-job results are
+// recorded for the results store — `experiments -out` persists them as
+// jobs/<key>.json so any grid cell of any artifact can be diffed across
+// runs.
+func (e *Env) RunGrid(s sweep.Spec) (*sweep.Grid, error) {
+	g, err := sweep.Run(e, s)
+	if err != nil {
+		return g, err
+	}
+	jrs, err := g.ReportJobs()
+	if err != nil {
+		return g, err
+	}
+	e.recordJobs(jrs)
+	return g, nil
+}
+
+// EachGrid expands a sweep spec and fans a per-cell analysis out across
+// the environment's worker pool (the non-simulation counterpart of
+// RunGrid, for trace-based grid measurements).
+func (e *Env) EachGrid(s sweep.Spec, fn func(c *sweep.Cell) error) (*sweep.Grid, error) {
+	return sweep.Each(e, s, fn)
+}
+
+// recordJobs merges per-job results into the environment's collection,
+// replacing earlier results with the same key (artifact reruns).
+func (e *Env) recordJobs(jrs []report.JobResult) {
+	e.jobMu.Lock()
+	defer e.jobMu.Unlock()
+	for _, jr := range jrs {
+		if i, ok := e.jobIdx[jr.Key]; ok {
+			e.jobRes[i] = jr
+			continue
+		}
+		e.jobIdx[jr.Key] = len(e.jobRes)
+		e.jobRes = append(e.jobRes, jr)
+	}
+}
+
+// JobResults returns every raw per-job result collected from sweep grids
+// run in this environment, in first-run order.
+func (e *Env) JobResults() []report.JobResult {
+	e.jobMu.Lock()
+	defer e.jobMu.Unlock()
+	out := make([]report.JobResult, len(e.jobRes))
+	copy(out, e.jobRes)
+	return out
+}
+
 // SimConfig returns the simulation configuration implied by the options.
 func (o Options) SimConfig() sim.Config {
 	return sim.Config{
@@ -441,12 +529,22 @@ func (o Options) RunOptions() report.RunOptions {
 	for i, wl := range o.Workloads {
 		names[i] = wl.Name
 	}
+	// Record the sweep suite only when explicitly overridden: an absent
+	// field means "the default" (the XL suite — or, for runs that never
+	// executed a sweep artifact, nothing at all). Unconditionally stamping
+	// the default here would claim XL workloads ran in runs where they
+	// did not.
+	var sweepNames []string
+	for _, wl := range o.SweepWorkloads {
+		sweepNames = append(sweepNames, wl.Name)
+	}
 	return report.RunOptions{
-		Workloads:     names,
-		WarmupInstrs:  o.WarmupInstrs,
-		MeasureInstrs: o.MeasureInstrs,
-		Parallel:      o.Parallel,
-		System:        o.System,
+		Workloads:      names,
+		SweepWorkloads: sweepNames,
+		WarmupInstrs:   o.WarmupInstrs,
+		MeasureInstrs:  o.MeasureInstrs,
+		Parallel:       o.Parallel,
+		System:         o.System,
 	}
 }
 

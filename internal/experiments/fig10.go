@@ -3,9 +3,8 @@ package experiments
 import (
 	"repro/internal/core"
 	"repro/internal/prefetch"
-	"repro/internal/runner"
-	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // Fig10Result holds the competitive comparison: L1 miss coverage and
@@ -36,79 +35,57 @@ const NextLineDegree = 4
 // TIFS and PIF run with unlimited history, matching the paper's
 // competitive comparison "without history storage limitations".
 //
-// Every (workload × engine) pair is one runner job; the five variants per
-// workload occupy consecutive submission slots, so assembling rows in
-// submission order reproduces the serial driver's tables exactly.
+// The competitive comparison is a (workload × engine) sweep spec: the
+// engine axis carries the five variants (the perfect-L1 value also
+// mutates the sim options), and both panels are projections of the
+// executed grid.
 func Fig10(e *Env) (Fig10Result, error) {
 	opts := e.Options()
 	res := Fig10Result{}
-
-	scfg := opts.SimConfig()
-	perfCfg := scfg
-	perfCfg.PerfectL1 = true
 
 	pifCfg := core.DefaultConfig()
 	pifCfg.HistoryRegions = 1 << 22 // effectively unlimited
 	pifCfg.IndexEntries = 1 << 22
 	tifsCfg := prefetch.DefaultTIFSConfig() // HistoryBlocks 0 = unlimited
 
-	variants := []struct {
-		name string
-		cfg  sim.Config
-		mk   prefetch.Factory
-	}{
-		{"None", scfg, func() prefetch.Prefetcher { return prefetch.None{} }},
-		{"Next-Line", scfg, func() prefetch.Prefetcher { return prefetch.NewNextLine(NextLineDegree) }},
-		{"TIFS", scfg, func() prefetch.Prefetcher { return prefetch.NewTIFS(tifsCfg) }},
-		{"PIF", scfg, func() prefetch.Prefetcher { return core.New(pifCfg) }},
-		{"Perfect", perfCfg, func() prefetch.Prefetcher { return prefetch.None{} }},
-	}
-
-	var jobs []runner.Job
-	for _, wl := range opts.Workloads {
-		for _, v := range variants {
-			jobs = append(jobs, runner.Job{
-				Label:         "fig10/" + wl.Name + "/" + v.name,
-				Workload:      wl,
-				Config:        v.cfg,
-				NewPrefetcher: v.mk,
-			})
+	mkValue := func(name string, mk prefetch.Factory, perfect bool) sweep.Value {
+		return sweep.Value{
+			Key:  sweep.KeyOf(name),
+			Name: name,
+			Apply: func(s *sweep.Settings) {
+				s.Factory = mk
+				s.Sim.PerfectL1 = perfect
+			},
 		}
 	}
-	results, err := e.RunJobs(jobs)
+	engines := sweep.Axis{Name: "engine", Values: []sweep.Value{
+		mkValue("None", func() prefetch.Prefetcher { return prefetch.None{} }, false),
+		mkValue("Next-Line", func() prefetch.Prefetcher { return prefetch.NewNextLine(NextLineDegree) }, false),
+		mkValue("TIFS", func() prefetch.Prefetcher { return prefetch.NewTIFS(tifsCfg) }, false),
+		mkValue("PIF", func() prefetch.Prefetcher { return core.New(pifCfg) }, false),
+		mkValue("Perfect", func() prefetch.Prefetcher { return prefetch.None{} }, true),
+	}}
+
+	g, err := e.RunGrid(sweep.Spec{
+		Name: "fig10",
+		Base: opts.SimConfig(),
+		Axes: []sweep.Axis{sweep.WorkloadAxis("workload", opts.Workloads), engines},
+	})
 	if err != nil {
 		return res, err
 	}
 
 	for wi, wl := range opts.Workloads {
-		row := results[wi*len(variants) : (wi+1)*len(variants)]
-		base, nl, tifs, pif, perf := row[0].Sim, row[1].Sim, row[2].Sim, row[3].Sim, row[4].Sim
-
-		cov := func(r sim.Result) float64 {
-			if base.CorrectMisses == 0 {
-				return 0
-			}
-			c := 1 - float64(r.CorrectMisses)/float64(base.CorrectMisses)
-			if c < 0 {
-				c = 0
-			}
-			return c
-		}
-		spd := func(r sim.Result) float64 {
-			if base.UIPC == 0 {
-				return 0
-			}
-			return r.UIPC / base.UIPC
-		}
+		base, nl, tifs, pif, perf := g.SimAt(wi, 0), g.SimAt(wi, 1), g.SimAt(wi, 2), g.SimAt(wi, 3), g.SimAt(wi, 4)
 
 		res.Workloads = append(res.Workloads, wl.Name)
-		res.NextLineCov = append(res.NextLineCov, cov(nl))
-		res.TIFSCov = append(res.TIFSCov, cov(tifs))
-		res.PIFCov = append(res.PIFCov, cov(pif))
-		res.NextLineSpeedup = append(res.NextLineSpeedup, spd(nl))
-		res.TIFSSpeedup = append(res.TIFSSpeedup, spd(tifs))
-		res.PIFSpeedup = append(res.PIFSpeedup, spd(pif))
-		res.PerfectSpeedup = append(res.PerfectSpeedup, spd(perf))
+		res.NextLineCov = append(res.NextLineCov, coverageVs(base, nl))
+		res.TIFSCov = append(res.TIFSCov, coverageVs(base, tifs))
+		res.PIFCov = append(res.PIFCov, coverageVs(base, pif))
+		res.NextLineSpeedup = append(res.NextLineSpeedup, speedupVs(base, nl))
+		res.TIFSSpeedup = append(res.TIFSSpeedup, speedupVs(base, tifs))
+		res.PIFSpeedup = append(res.PIFSpeedup, speedupVs(base, pif))
+		res.PerfectSpeedup = append(res.PerfectSpeedup, speedupVs(base, perf))
 	}
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/prefetch"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -175,13 +176,22 @@ func Fig8Right(e *Env) (Fig8RightResult, error) {
 		res.TL0[i] = make([]float64, ns)
 		res.TL1[i] = make([]float64, ns)
 	}
-	// The full (workload × region size) sweep as one flat task list.
-	err := e.ForEach(nw*ns, func(k int) error {
-		wi, si := k/ns, k%ns
+	// The (workload × region size) design space as a sweep spec; the cells
+	// are trace-based analyses rather than simulations, so the grid fans
+	// out through EachGrid and each cell writes its own result slot.
+	_, err := e.EachGrid(sweep.Spec{
+		Name: "fig8R",
+		Base: opts.SimConfig(),
+		Axes: []sweep.Axis{
+			sweep.WorkloadAxis("workload", opts.Workloads),
+			sweep.ParamAxis("size", "size", func(v int) string { return fmt.Sprintf("%d", v) }, nil, Fig8RegionSizes),
+		},
+	}, func(c *sweep.Cell) error {
+		wi, si := c.Index/ns, c.Index%ns
 		cfg := core.DefaultConfig()
-		cfg.Geometry = fig8GeometryFor(Fig8RegionSizes[si])
+		cfg.Geometry = fig8GeometryFor(int(c.Settings.Params["size"]))
 		var err error
-		res.TL0[wi][si], res.TL1[wi][si], err = predictorCoverageByTL(e, opts.Workloads[wi], cfg)
+		res.TL0[wi][si], res.TL1[wi][si], err = predictorCoverageByTL(e, c.Settings.Workload, cfg)
 		return err
 	})
 	return res, err

@@ -5,8 +5,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/prefetch"
-	"repro/internal/runner"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // Fig9MaxLog2 is the largest stream-length bucket rendered (the paper's
@@ -26,35 +26,39 @@ type Fig9LeftResult struct {
 // lifetime) contributes its advance count at the log2 bucket of its
 // length, so long streams' larger contribution is visible directly.
 //
-// Each workload is one runner job; the per-job PIF instance is built by
-// the job's factory with a stream-end hook bound to the job's private
-// histogram, so concurrent jobs never share engine or histogram state.
+// The sweep spec has a single workload axis whose values also carry the
+// cell's engine factory: each cell's PIF instance is built with a
+// stream-end hook bound to that cell's private histogram, so concurrent
+// jobs never share engine or histogram state.
 func Fig9Left(e *Env) (Fig9LeftResult, error) {
 	opts := e.Options()
 	res := Fig9LeftResult{}
-	scfg := opts.SimConfig()
 
 	hists := make([]*stats.Histogram, len(opts.Workloads))
-	jobs := make([]runner.Job, len(opts.Workloads))
+	ax := sweep.Axis{Name: "workload"}
 	for i, wl := range opts.Workloads {
 		hist := stats.NewHistogram()
 		hists[i] = hist
-		jobs[i] = runner.Job{
-			Label:    "fig9L/" + wl.Name,
-			Workload: wl,
-			Config:   scfg,
-			NewPrefetcher: func() prefetch.Prefetcher {
-				pif := core.New(core.DefaultConfig())
-				pif.SetStreamEndHook(func(advances uint64) {
-					if advances > 0 {
-						hist.ObserveN(stats.Log2Bucket(advances), advances)
-					}
-				})
-				return pif
+		wl := wl
+		ax.Values = append(ax.Values, sweep.Value{
+			Key:  sweep.KeyOf(wl.Name),
+			Name: wl.Name,
+			Apply: func(s *sweep.Settings) {
+				s.Workload = wl
+				s.Factory = func() prefetch.Prefetcher {
+					pif := core.New(core.DefaultConfig())
+					pif.SetStreamEndHook(func(advances uint64) {
+						if advances > 0 {
+							hist.ObserveN(stats.Log2Bucket(advances), advances)
+						}
+					})
+					return pif
+				}
 			},
-		}
+		})
 	}
-	if _, err := e.RunJobs(jobs); err != nil {
+	spec := sweep.Spec{Name: "fig9L", Base: opts.SimConfig(), Axes: []sweep.Axis{ax}}
+	if _, err := e.RunGrid(spec); err != nil {
 		return res, err
 	}
 
@@ -123,27 +127,29 @@ type Fig9Result struct {
 // Fig9Right reproduces Figure 9 (right): predictor coverage as the history
 // buffer capacity varies. Coverage rises monotonically with storage and
 // saturates — the paper's engineering argument for a 32K-region buffer.
-// The full (workload × history size) sweep is enumerated as one flat job
-// list, so load balances across the worker pool.
+// The (workload × history size) design space is one sweep spec; the grid
+// fans out across the worker pool and the table is a projection of it.
 func Fig9Right(e *Env) (Fig9RightResult, error) {
 	opts := e.Options()
 	res := Fig9RightResult{Sizes: Fig9HistorySizes}
-	scfg := opts.SimConfig()
 
-	var jobs []runner.Job
-	for _, wl := range opts.Workloads {
-		for _, size := range Fig9HistorySizes {
-			cfg := core.DefaultConfig()
-			cfg.HistoryRegions = size
-			jobs = append(jobs, runner.Job{
-				Label:         fmt.Sprintf("fig9R/%s/%dK", wl.Name, size>>10),
-				Workload:      wl,
-				Config:        scfg,
-				NewPrefetcher: func() prefetch.Prefetcher { return core.New(cfg) },
-			})
-		}
+	hist := sweep.Axis{Name: "history"}
+	for _, size := range Fig9HistorySizes {
+		cfg := core.DefaultConfig()
+		cfg.HistoryRegions = size
+		hist.Values = append(hist.Values, sweep.Value{
+			Key:  fmt.Sprintf("%dk", size>>10),
+			Name: fmt.Sprintf("%dK", size>>10),
+			Apply: func(s *sweep.Settings) {
+				s.Factory = func() prefetch.Prefetcher { return core.New(cfg) }
+			},
+		})
 	}
-	results, err := e.RunJobs(jobs)
+	g, err := e.RunGrid(sweep.Spec{
+		Name: "fig9R",
+		Base: opts.SimConfig(),
+		Axes: []sweep.Axis{sweep.WorkloadAxis("workload", opts.Workloads), hist},
+	})
 	if err != nil {
 		return res, err
 	}
@@ -151,7 +157,7 @@ func Fig9Right(e *Env) (Fig9RightResult, error) {
 	for wi, wl := range opts.Workloads {
 		row := make([]float64, len(Fig9HistorySizes))
 		for si := range Fig9HistorySizes {
-			row[si] = results[wi*len(Fig9HistorySizes)+si].Sim.Coverage()
+			row[si] = g.SimAt(wi, si).Coverage()
 		}
 		res.Workloads = append(res.Workloads, wl.Name)
 		res.Coverage = append(res.Coverage, row)

@@ -1,0 +1,323 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/prefetch"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// sweepEnv is a dedicated reduced-scale environment for the sweep shape
+// tests: the golden suite already exercises both sweep artifacts at full
+// QuickOptions scale, so re-running the XL grids at that scale here would
+// only burn -race budget. The shape assertions hold from ~1M warmup up.
+var (
+	sweepEnvOnce sync.Once
+	sweepEnvVal  *Env
+)
+
+func sweepTestEnv(t *testing.T) *Env {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment tests are skipped in -short mode")
+	}
+	sweepEnvOnce.Do(func() {
+		opts := QuickOptions()
+		opts.WarmupInstrs = 1_500_000
+		opts.MeasureInstrs = 500_000
+		sweepEnvVal = NewEnv(opts)
+	})
+	return sweepEnvVal
+}
+
+func TestSweepHistoryShape(t *testing.T) {
+	e := sweepTestEnv(t)
+	r, err := SweepHistory(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Workloads) != len(workload.XLSuite()) {
+		t.Fatalf("workloads = %v", r.Workloads)
+	}
+	last := len(r.BudgetsKB) - 1
+	for i, w := range r.Workloads {
+		// Coverage and speedup grow with storage and saturate: the largest
+		// budget must beat the smallest decisively on both engines.
+		if r.PIFCov[i][last] <= r.PIFCov[i][0] {
+			t.Errorf("%s: PIF coverage flat across budgets (%.3f -> %.3f)", w, r.PIFCov[i][0], r.PIFCov[i][last])
+		}
+		if r.TIFSCov[i][last] <= r.TIFSCov[i][0] {
+			t.Errorf("%s: TIFS coverage flat across budgets (%.3f -> %.3f)", w, r.TIFSCov[i][0], r.TIFSCov[i][last])
+		}
+		// At equal storage budget PIF dominates TIFS from the mid-sweep on
+		// (the MANA-style comparison this artifact exists for).
+		for bi := 1; bi < len(r.BudgetsKB); bi++ {
+			if r.PIFCov[i][bi] < r.TIFSCov[i][bi] {
+				t.Errorf("%s: PIF coverage %.3f < TIFS %.3f at %dKB", w, r.PIFCov[i][bi], r.TIFSCov[i][bi], r.BudgetsKB[bi])
+			}
+		}
+		// Speedups never fall below ~parity and track coverage.
+		for bi := range r.BudgetsKB {
+			if r.PIFSpeedup[i][bi] < 0.99 || r.TIFSSpeedup[i][bi] < 0.99 {
+				t.Errorf("%s: speedup below parity at %dKB (PIF %.3f, TIFS %.3f)",
+					w, r.BudgetsKB[bi], r.PIFSpeedup[i][bi], r.TIFSSpeedup[i][bi])
+			}
+		}
+		if r.PIFSpeedup[i][last] <= r.PIFSpeedup[i][0] {
+			t.Errorf("%s: PIF speedup flat across budgets", w)
+		}
+	}
+	text := r.Render()
+	for _, want := range []string{"sweep-history", "PIF/8K", "TIFS/2048K"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestSweepL1Shape(t *testing.T) {
+	e := sweepTestEnv(t)
+	r, err := SweepL1(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(r.SizesKB) - 1
+	for i, w := range r.Workloads {
+		// A bigger L1-I helps the baseline monotonically (XL footprints
+		// dwarf every swept size, so no ceiling effects).
+		for si := 1; si < len(r.SizesKB); si++ {
+			if r.BaseUIPC[i][si] < r.BaseUIPC[i][si-1]-0.005 {
+				t.Errorf("%s: baseline UIPC fell with L1 growth (%dKB %.3f -> %dKB %.3f)",
+					w, r.SizesKB[si-1], r.BaseUIPC[i][si-1], r.SizesKB[si], r.BaseUIPC[i][si])
+			}
+		}
+		// PIF beats the same-size baseline everywhere.
+		for si := range r.SizesKB {
+			if r.PIFSpeedup[i][si] <= 1.0 {
+				t.Errorf("%s: PIF speedup %.3f <= 1 at %dKB", w, r.PIFSpeedup[i][si], r.SizesKB[si])
+			}
+		}
+		// The headline: PIF at the smallest L1-I beats the no-prefetch
+		// baseline at the largest — prefetching compensates for capacity.
+		if r.PIFUIPC[i][0] <= r.BaseUIPC[i][last] {
+			t.Errorf("%s: PIF at %dKB (%.3f) does not beat baseline at %dKB (%.3f)",
+				w, r.SizesKB[0], r.PIFUIPC[i][0], r.SizesKB[last], r.BaseUIPC[i][last])
+		}
+		// And PIF's advantage shrinks as the cache grows.
+		if r.PIFSpeedup[i][last] >= r.PIFSpeedup[i][0] {
+			t.Errorf("%s: PIF speedup did not shrink with L1 growth (%.3f -> %.3f)",
+				w, r.PIFSpeedup[i][0], r.PIFSpeedup[i][last])
+		}
+	}
+}
+
+// TestSweepRespectsOverrideSuite locks Options.SweepWorkloads: a custom
+// suite replaces the XL default in both sweep artifacts.
+func TestSweepRespectsOverrideSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test skipped in -short mode")
+	}
+	opts := QuickOptions()
+	opts.SweepWorkloads = []workload.Profile{workload.DSSQry2()}
+	opts.WarmupInstrs = 200_000
+	opts.MeasureInstrs = 100_000
+	e := NewEnv(opts)
+	r, err := SweepL1(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Workloads) != 1 || r.Workloads[0] != "DSS Qry2" {
+		t.Fatalf("workloads = %v", r.Workloads)
+	}
+}
+
+// TestEnvCollectsJobResults locks the per-job persistence feed: grids run
+// through the environment surface one raw result per cell, keyed and
+// deduplicated across artifact reruns.
+func TestEnvCollectsJobResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test skipped in -short mode")
+	}
+	opts := QuickOptions()
+	opts.Workloads = []workload.Profile{workload.DSSQry2()}
+	opts.WarmupInstrs = 200_000
+	opts.MeasureInstrs = 100_000
+	e := NewEnv(opts)
+	if _, err := Fig9Right(e); err != nil {
+		t.Fatal(err)
+	}
+	jobs := e.JobResults()
+	want := len(Fig9HistorySizes) // one workload x sizes
+	if len(jobs) != want {
+		t.Fatalf("collected %d job results, want %d", len(jobs), want)
+	}
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if !strings.HasPrefix(j.Key, "fig9R.") {
+			t.Errorf("unexpected key %q", j.Key)
+		}
+		if seen[j.Key] {
+			t.Errorf("duplicate key %q", j.Key)
+		}
+		seen[j.Key] = true
+		if len(j.Data) == 0 || !strings.Contains(string(j.Data), `"uipc"`) {
+			t.Errorf("job %s carries no raw sim result", j.Key)
+		}
+		if j.Point["workload"] != "dss-qry2" {
+			t.Errorf("job %s point = %v", j.Key, j.Point)
+		}
+	}
+	// A rerun replaces rather than duplicates.
+	if _, err := Fig9Right(e); err != nil {
+		t.Fatal(err)
+	}
+	if again := e.JobResults(); len(again) != want {
+		t.Fatalf("rerun grew job results to %d", len(again))
+	}
+}
+
+func TestBuildSweep(t *testing.T) {
+	opts := QuickOptions()
+	spec, err := BuildSweep("s", opts, []string{"workload=xl", "engine=pif,tifs", "budget=8,32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 2*2*2 {
+		t.Fatalf("size = %d", g.Size())
+	}
+	if _, err := g.Jobs(); err != nil {
+		t.Fatal(err)
+	}
+	// Budget resolved into per-engine factories.
+	c, err := g.At("workload", "oltp-xl", "engine", "pif", "budget", "8kb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Settings.Factory == nil || c.Settings.PrefetcherName != "" {
+		t.Fatalf("budget not resolved to a factory: %+v", c.Settings)
+	}
+
+	// Default workload axis (sweep suite) and default engine (pif).
+	spec, err = BuildSweep("s", opts, []string{"l1=32K,64K"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != len(workload.XLSuite())*2 {
+		t.Fatalf("default workload axis size = %d", g.Size())
+	}
+	if g.Cells[0].Settings.PrefetcherName != "pif" {
+		t.Fatalf("default engine = %q", g.Cells[0].Settings.PrefetcherName)
+	}
+	if got := g.Cells[0].Settings.Sim.System.L1ISizeBytes; got != 32<<10 {
+		t.Fatalf("l1 axis not applied: %d", got)
+	}
+
+	// Errors: unknown axis, bad engine, bad workload, dup axis, bad size,
+	// impossible geometry, history+budget conflict.
+	for _, specs := range [][]string{
+		{"nope=1"},
+		{"engine=warpdrive"},
+		{"workload=SAP HANA"},
+		{"engine=pif", "engine=tifs"},
+		{"l1=banana"},
+		{"l1=33K"}, // 33KB / 2-way / 64B: set count not a power of two
+		{"engine=pif", "budget=8", "history=1K"},
+		{"engine=pif-unlimited", "budget=8"}, // history-backed variant the hook cannot size
+		{},
+	} {
+		spec, err := BuildSweep("s", opts, specs)
+		if err == nil {
+			_, err = spec.Expand()
+		}
+		if err == nil {
+			t.Errorf("BuildSweep(%v) accepted", specs)
+		}
+	}
+
+	// Workload names and suite aliases mix and dedupe.
+	spec, err = BuildSweep("s", opts, []string{"workload=DSS Qry2,xl,DSS Qry2", "engine=none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 3 {
+		t.Fatalf("mixed workload axis size = %d", g.Size())
+	}
+}
+
+// TestBuildSweepHistoryEntries covers the entries-based history axis.
+func TestBuildSweepHistoryEntries(t *testing.T) {
+	spec, err := BuildSweep("s", QuickOptions(), []string{"workload=xl", "engine=pif,none", "history=1K,32K"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pif cells resolve factories; none cells ignore the param and keep
+	// the registry name, so mixed-engine grids stay runnable.
+	pifCell, err := g.At("workload", "web-xl", "engine", "pif", "history", "1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pifCell.Settings.Factory == nil {
+		t.Fatal("history not resolved for pif")
+	}
+	noneCell, err := g.At("workload", "web-xl", "engine", "none", "history", "1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noneCell.Settings.PrefetcherName != "none" {
+		t.Fatalf("none cell = %+v", noneCell.Settings)
+	}
+	if _, err := g.Jobs(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestApplyEngineParamsDirect covers the Finish hook in isolation.
+func TestApplyEngineParamsDirect(t *testing.T) {
+	s := &sweep.Settings{PrefetcherName: "tifs", Params: map[string]float64{"budget_kb": 32}}
+	if err := ApplyEngineParams(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Factory == nil || s.PrefetcherName != "" {
+		t.Fatalf("tifs budget unresolved: %+v", s)
+	}
+	s = &sweep.Settings{PrefetcherName: "pif", Params: map[string]float64{"budget_kb": 32, "history": 1024}}
+	if err := ApplyEngineParams(s); err == nil {
+		t.Fatal("budget+history accepted")
+	}
+	s = &sweep.Settings{PrefetcherName: "nextline", Params: map[string]float64{"budget_kb": 32}}
+	if err := ApplyEngineParams(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.PrefetcherName != "nextline" {
+		t.Fatalf("history-less engine mutated: %+v", s)
+	}
+	// History-backed engines this hook cannot size must error rather than
+	// silently running identical cells at every swept budget.
+	s = &sweep.Settings{PrefetcherName: "pif-unlimited", Params: map[string]float64{"budget_kb": 32}}
+	if err := ApplyEngineParams(s); err == nil {
+		t.Fatal("pif-unlimited with a budget accepted")
+	}
+	s = &sweep.Settings{Factory: func() prefetch.Prefetcher { return prefetch.None{} }, Params: map[string]float64{"history": 1024}}
+	if err := ApplyEngineParams(s); err == nil {
+		t.Fatal("explicit factory with a history param accepted")
+	}
+}

@@ -6,7 +6,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/isa"
-	"repro/internal/workload"
+	"repro/internal/sweep"
 )
 
 // Table1Workload is one row of Table I (right): a workload profile plus
@@ -37,10 +37,15 @@ type Table1Result struct {
 // one place.
 func Table1(e *Env) (Table1Result, error) {
 	opts := e.Options()
-	// Warm the program cache in parallel; the assembly below then reads
-	// the cached images in suite order.
-	if err := e.ForEachWorkload(func(i int, wl workload.Profile) error {
-		_, err := e.Program(wl)
+	// Warm the program cache in parallel — a one-axis sweep whose cells
+	// build program images; the assembly below then reads the cached
+	// images in suite order.
+	if _, err := e.EachGrid(sweep.Spec{
+		Name: "table1",
+		Base: opts.SimConfig(),
+		Axes: []sweep.Axis{sweep.WorkloadAxis("workload", opts.Workloads)},
+	}, func(c *sweep.Cell) error {
+		_, err := e.Program(c.Settings.Workload)
 		return err
 	}); err != nil {
 		return Table1Result{}, err

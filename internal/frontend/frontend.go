@@ -57,10 +57,12 @@ func DefaultConfig() Config {
 
 // Stats counts front-end events.
 type Stats struct {
-	Fetches          uint64 // correct-path accesses emitted
-	WrongPathFetches uint64
-	Mispredicts      uint64
-	Branches         uint64
+	// JSON names are stable snake_case: Stats is embedded in sim.Result,
+	// which the results store persists and diffs across commits.
+	Fetches          uint64 `json:"fetches"` // correct-path accesses emitted
+	WrongPathFetches uint64 `json:"wrong_path_fetches"`
+	Mispredicts      uint64 `json:"mispredicts"`
+	Branches         uint64 `json:"branches"`
 }
 
 // Frontend converts retire-order records into the fetch access stream.

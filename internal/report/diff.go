@@ -91,7 +91,20 @@ type Diff struct {
 // OutOfTolerance reports whether the diff should fail a gate: any
 // structural mismatch, missing artifact, or metric beyond its tolerance.
 func (d Diff) OutOfTolerance() bool {
-	if len(d.OnlyInA) > 0 || len(d.OnlyInB) > 0 || len(d.Mismatches) > 0 {
+	return d.HasMissing() || d.HasDrift()
+}
+
+// HasMissing reports artifacts or jobs present on one side only — the two
+// runs regenerated different artifact sets, which is a comparison-setup
+// problem rather than metric drift (distinct exit code in the CLI).
+func (d Diff) HasMissing() bool {
+	return len(d.OnlyInA) > 0 || len(d.OnlyInB) > 0
+}
+
+// HasDrift reports out-of-tolerance metric drift or structural mismatch
+// within matched artifacts — the regression-gate condition.
+func (d Diff) HasDrift() bool {
+	if len(d.Mismatches) > 0 {
 		return true
 	}
 	for _, m := range d.Metrics {
@@ -114,10 +127,10 @@ func (d Diff) Clean() bool {
 func (d Diff) Render() string {
 	var b strings.Builder
 	for _, id := range d.OnlyInA {
-		fmt.Fprintf(&b, "FAIL  artifact %s: only in A\n", id)
+		fmt.Fprintf(&b, "MISSING  %s: present only in A (not regenerated or not persisted in B)\n", id)
 	}
 	for _, id := range d.OnlyInB {
-		fmt.Fprintf(&b, "FAIL  artifact %s: only in B\n", id)
+		fmt.Fprintf(&b, "MISSING  %s: present only in B (not regenerated or not persisted in A)\n", id)
 	}
 	for _, m := range d.Mismatches {
 		fmt.Fprintf(&b, "FAIL  %s\n", m)

@@ -68,10 +68,13 @@ type Run struct {
 
 // RunOptions is the serializable subset of the experiment options.
 type RunOptions struct {
-	Workloads     []string `json:"workloads"`
-	WarmupInstrs  uint64   `json:"warmup_instrs"`
-	MeasureInstrs uint64   `json:"measure_instrs"`
-	Parallel      int      `json:"parallel,omitempty"`
+	Workloads []string `json:"workloads"`
+	// SweepWorkloads is the suite the design-space sweep artifacts ran
+	// over (additive field; absent in runs stored before sweeps existed).
+	SweepWorkloads []string `json:"sweep_workloads,omitempty"`
+	WarmupInstrs   uint64   `json:"warmup_instrs"`
+	MeasureInstrs  uint64   `json:"measure_instrs"`
+	Parallel       int      `json:"parallel,omitempty"`
 	// System is the simulated machine description (config.System), kept as
 	// an open-ended value so this package stays schema-generic.
 	System any `json:"system,omitempty"`
@@ -105,6 +108,12 @@ func validID(id string) bool {
 	}
 	return true
 }
+
+// ValidArtifactID reports whether id is usable as an artifact ID (see
+// validID) — exported so callers that will later persist an artifact
+// under a caller-chosen ID (e.g. the sweep CLI's grid summary) can
+// reject a bad ID before doing the work the artifact would record.
+func ValidArtifactID(id string) bool { return validID(id) }
 
 // encode marshals v deterministically (sorted map keys via encoding/json,
 // no HTML escaping) with optional indentation. The returned bytes end in a

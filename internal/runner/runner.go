@@ -7,7 +7,9 @@
 //
 // Every experiment driver in internal/experiments enumerates Jobs (or
 // uses ForEach for trace-based per-workload analyses) instead of looping
-// serially; see DESIGN.md §5 for the engine's design.
+// serially — since PR 4 they do so by declaring design-space sweep specs
+// (internal/sweep) whose expanded grids feed this pool. See DESIGN.md §5
+// for the engine's design and §8 for the sweep layer above it.
 package runner
 
 import (
@@ -165,6 +167,14 @@ func (p Pool) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
+				// The producer stops dispatching on cancellation, but an
+				// index may already be in flight when the context fires;
+				// re-checking here keeps long grids prompt — a mid-grid
+				// cancel never starts another simulation, and the skipped
+				// job reports ctx.Err() instead of a zero result.
+				if ctx.Err() != nil {
+					continue
+				}
 				ran[i] = true
 				results[i] = p.runOne(ctx, i, jobs[i])
 				if p.OnProgress != nil {
@@ -282,6 +292,12 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
+				// Same mid-grid promptness guarantee as Pool.Run: a task
+				// dispatched in the cancellation race window is skipped,
+				// never started.
+				if ctx.Err() != nil {
+					continue
+				}
 				errs[i] = fn(i)
 			}
 		}()

@@ -49,28 +49,31 @@ func DefaultConfig() Config {
 	}
 }
 
-// Result is the outcome of one run.
+// Result is the outcome of one run. The JSON field names are stable
+// snake_case: raw per-job results are persisted schema-versioned by the
+// results store (internal/report, results/<run-id>/jobs/<key>.json) and
+// diffed across commits, so renaming a field is a schema change.
 type Result struct {
-	Workload   string
-	Prefetcher string
+	Workload   string `json:"workload"`
+	Prefetcher string `json:"prefetcher"`
 
-	Instructions uint64
-	Cycles       uint64
+	Instructions uint64 `json:"instructions"`
+	Cycles       uint64 `json:"cycles"`
 	// UIPC is user instructions committed per cycle (the paper's
 	// throughput metric).
-	UIPC float64
+	UIPC float64 `json:"uipc"`
 
-	L1 cache.Stats
-	FE frontend.Stats
+	L1 cache.Stats    `json:"l1"`
+	FE frontend.Stats `json:"fe"`
 
 	// Correct-path demand fetch accounting (wrong-path excluded).
-	CorrectAccesses uint64
-	CorrectMisses   uint64
-	CoveredMisses   uint64 // demand hits on prefetched lines
+	CorrectAccesses uint64 `json:"correct_accesses"`
+	CorrectMisses   uint64 `json:"correct_misses"`
+	CoveredMisses   uint64 `json:"covered_misses"` // demand hits on prefetched lines
 	// StallCycles is the exposed fetch latency.
-	StallCycles uint64
+	StallCycles uint64 `json:"stall_cycles"`
 	// PrefetchesIssued counts issuer fills.
-	PrefetchesIssued uint64
+	PrefetchesIssued uint64 `json:"prefetches_issued"`
 }
 
 // Coverage returns the fraction of would-be misses eliminated by

@@ -1,0 +1,79 @@
+package sweep
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// benchSpec is a 6x8x5 = 240-cell spec shaped like the real figure
+// sweeps (workload x history x engine).
+func benchSpec() Spec {
+	var wls []workload.Profile
+	for i := 0; i < 6; i++ {
+		wls = append(wls, tinyProfile(fmt.Sprintf("Bench %d", i), int64(i+1)))
+	}
+	hist := Axis{Name: "history"}
+	for i := 0; i < 8; i++ {
+		k := 1 << (10 + i)
+		hist.Values = append(hist.Values, Value{
+			Key:   fmt.Sprintf("%dk", k>>10),
+			Apply: func(s *Settings) { s.Params["history"] = float64(k) },
+		})
+	}
+	return Spec{
+		Name: "bench",
+		Base: tinySim(),
+		Axes: []Axis{
+			WorkloadAxis("workload", wls),
+			hist,
+			EngineAxis("engine", "none", "nextline", "tifs", "pif", "pif-nosep"),
+		},
+	}
+}
+
+// BenchmarkSweepExpand measures pure grid expansion: keying, point
+// construction, and settings application for a 240-cell design space.
+// Compare per-cell cost against BenchmarkSweepRun to confirm expansion is
+// negligible relative to simulation.
+func BenchmarkSweepExpand(b *testing.B) {
+	spec := benchSpec()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := spec.Expand()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.Size() != 240 {
+			b.Fatalf("size = %d", g.Size())
+		}
+	}
+}
+
+// BenchmarkSweepRun measures an executed grid end to end (expansion +
+// job construction + pool fan-out + tiny simulations): a 2x2 grid of
+// 20K-instruction cells. Expansion's share of this time is the headroom
+// argument for declaring sweeps instead of hand-rolling loops.
+func BenchmarkSweepRun(b *testing.B) {
+	spec := Spec{
+		Name: "bench-run",
+		Base: tinySim(),
+		Axes: []Axis{
+			WorkloadAxis("workload", []workload.Profile{tinyProfile("Bench A", 1), tinyProfile("Bench B", 2)}),
+			EngineAxis("engine", "none", "pif"),
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := Run(PoolEngine{Workers: 4}, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.Results[0].Sim.Instructions == 0 {
+			b.Fatal("no simulation ran")
+		}
+	}
+}

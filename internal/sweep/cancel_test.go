@@ -1,0 +1,121 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// TestRunCancellationMidGrid locks the cancellation contract for long
+// sweeps: canceling the context mid-grid (1) returns ctx.Err() promptly,
+// (2) never starts a job dispatched after the cancellation point — the
+// pool workers re-check ctx.Done() between jobs — and (3) leaks no
+// goroutines (worker pool, producer, and simulator all unwind).
+func TestRunCancellationMidGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test skipped in -short mode")
+	}
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// A long single-file grid: 64 cells through one worker, so a cancel
+	// after the first completion leaves most of the grid undispatched.
+	ax := Axis{Name: "seed"}
+	for i := 0; i < 64; i++ {
+		i := i
+		ax.Values = append(ax.Values, Value{
+			Key: fmt.Sprintf("s%d", i),
+			Apply: func(s *Settings) {
+				s.Workload = tinyProfile(fmt.Sprintf("Tiny %d", i), int64(i+1))
+			},
+		})
+	}
+	spec := Spec{Name: "cancel", Base: tinySim(), BasePrefetcher: "none", Axes: []Axis{ax}}
+
+	eng := PoolEngine{
+		Ctx:     ctx,
+		Workers: 1,
+		OnProgress: func(p runner.Progress) {
+			if p.Done == 1 {
+				cancel()
+			}
+		},
+	}
+	start := time.Now()
+	g, err := Run(eng, spec)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %s — workers are not observing ctx.Done() between jobs", elapsed)
+	}
+	if g == nil || len(g.Results) != 64 {
+		t.Fatalf("grid results missing")
+	}
+	var ran, skipped int
+	for _, r := range g.Results {
+		if errors.Is(r.Err, context.Canceled) {
+			skipped++
+		} else if r.Err == nil && r.Sim.Instructions > 0 {
+			ran++
+		}
+	}
+	if ran == 0 || skipped == 0 {
+		t.Fatalf("ran = %d, skipped = %d; want a mid-grid split", ran, skipped)
+	}
+	if ran > 4 {
+		t.Errorf("%d jobs ran after a cancel at job 1 through 1 worker (in-flight slack should be ~1)", ran)
+	}
+
+	// Leak check: every pool goroutine must unwind. The count can lag a
+	// canceled run briefly (workers draining the index channel), so poll.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked after canceled sweep: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestEachCancellation covers the analysis path the same way: a canceled
+// context stops ForEach-driven grids between cells.
+func TestEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ax := Axis{Name: "n"}
+	for i := 0; i < 128; i++ {
+		ax.Values = append(ax.Values, Value{Key: fmt.Sprintf("n%d", i)})
+	}
+	spec := Spec{Name: "cancel-each", Base: tinySim(), Axes: []Axis{ax}}
+
+	var visited int32
+	_, err := Each(PoolEngine{Ctx: ctx, Workers: 1}, spec, func(c *Cell) error {
+		visited++
+		if visited == 1 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Each = %v, want context.Canceled", err)
+	}
+	if visited > 4 {
+		t.Errorf("%d cells visited after cancel at cell 1", visited)
+	}
+}

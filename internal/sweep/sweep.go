@@ -1,0 +1,387 @@
+// Package sweep is the declarative design-space exploration engine of the
+// evaluation harness. A Spec names parameter axes — workloads, prefetcher
+// factories and config variants, config.System mutations, sim options —
+// and Expand crosses them into a Grid of keyed cells, one per point of the
+// design space. Run turns every cell into a runner.Job and fans the grid
+// out through the existing worker pool; Each runs an arbitrary per-cell
+// analysis the same way (for trace-based measurements that are not
+// simulations). Results come back addressable by axis values, in row-major
+// submission order, so tables projected from a grid are byte-identical to
+// the hand-rolled serial loops they replace.
+//
+// The experiment drivers in internal/experiments define their variant
+// tables as Specs (fig9, fig10, table1, fig8 right, and the MANA-style
+// sweep-history / sweep-l1 artifacts); the `experiments sweep` CLI mode
+// builds Specs from -axis flags. Every simulated cell's raw sim.Result can
+// be persisted per job through internal/report (Grid.ReportJobs), so
+// sweeps finer than one artifact are diffable across commits. See
+// DESIGN.md §8.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/prefetch"
+	"repro/internal/report"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Settings is the accumulated configuration of one cell: every axis value
+// along the cell's point applies its mutation in axis order, then the
+// Spec's Finish hook (if any) resolves derived state such as an engine
+// factory built from swept parameters.
+type Settings struct {
+	// Workload is the simulated workload profile (required for Run).
+	Workload workload.Profile
+	// Sim is the simulation configuration, including the config.System
+	// machine description; axis values mutate it freely (PerfectL1, L1-I
+	// geometry, latencies, ...).
+	Sim sim.Config
+	// Params carries named scalar axis values (history budgets, region
+	// sizes, ...) for the Finish hook or an Each analysis to interpret.
+	Params map[string]float64
+	// Factory, when non-nil, constructs the cell's private prefetch
+	// engine. Exactly one of Factory and PrefetcherName must be set by the
+	// time a cell becomes a job.
+	Factory prefetch.Factory
+	// PrefetcherName names a prefetch-registry engine instead of an
+	// explicit factory.
+	PrefetcherName string
+}
+
+// Value is one keyed setting of an axis. Key is the cell-key coordinate
+// (file-name safe; see KeyOf); Name is the human label used in job labels
+// and rendered tables (defaults to Key); Apply writes the setting into the
+// cell under construction.
+type Value struct {
+	Key   string
+	Name  string
+	Apply func(*Settings)
+}
+
+// label returns the value's display name.
+func (v Value) label() string {
+	if v.Name != "" {
+		return v.Name
+	}
+	return v.Key
+}
+
+// Axis is one named dimension of the design space: an ordered list of
+// keyed values.
+type Axis struct {
+	Name   string
+	Values []Value
+}
+
+// WorkloadAxis builds the canonical workload axis: one value per profile,
+// keyed by the sanitized workload name, applying the profile to the cell.
+func WorkloadAxis(name string, wls []workload.Profile) Axis {
+	ax := Axis{Name: name}
+	for _, wl := range wls {
+		wl := wl
+		ax.Values = append(ax.Values, Value{
+			Key:   KeyOf(wl.Name),
+			Name:  wl.Name,
+			Apply: func(s *Settings) { s.Workload = wl },
+		})
+	}
+	return ax
+}
+
+// EngineAxis builds a prefetch-engine axis from registry names; each value
+// sets the cell's PrefetcherName (a Finish hook may replace it with a
+// parameterized factory).
+func EngineAxis(name string, engines ...string) Axis {
+	ax := Axis{Name: name}
+	for _, eng := range engines {
+		eng := eng
+		ax.Values = append(ax.Values, Value{
+			Key:   KeyOf(eng),
+			Name:  eng,
+			Apply: func(s *Settings) { s.PrefetcherName = eng },
+		})
+	}
+	return ax
+}
+
+// ParamAxis builds a scalar axis: each value stores ints[i] under param in
+// Settings.Params, keyed and labeled by key(ints[i]) (label falls back to
+// the key when label is nil).
+func ParamAxis(name, param string, key, label func(v int) string, ints []int) Axis {
+	ax := Axis{Name: name}
+	for _, v := range ints {
+		v := v
+		val := Value{
+			Key:   key(v),
+			Apply: func(s *Settings) { s.Params[param] = float64(v) },
+		}
+		if label != nil {
+			val.Name = label(v)
+		}
+		ax.Values = append(ax.Values, val)
+	}
+	return ax
+}
+
+// Spec declares a design-space sweep.
+type Spec struct {
+	// Name identifies the sweep; it prefixes cell keys and default job
+	// labels and must be a valid job-key component (see report.ValidJobKey).
+	Name string
+	// Base is the starting simulation configuration of every cell (system,
+	// warmup, measured interval); axis values mutate private copies.
+	Base sim.Config
+	// BasePrefetcher optionally names the registry engine cells start
+	// with; an engine axis or Finish hook overrides it.
+	BasePrefetcher string
+	// Axes are the swept dimensions, crossed in order: the last axis
+	// varies fastest (row-major expansion).
+	Axes []Axis
+	// Label, when non-nil, overrides the default job label
+	// ("<name>/<value name>/<value name>...").
+	Label func(c *Cell) string
+	// Finish, when non-nil, runs after all axis mutations of a cell and
+	// resolves derived state (e.g. building an engine factory from swept
+	// Params). Returning an error aborts expansion.
+	Finish func(s *Settings) error
+}
+
+// Point locates one cell: axis name -> value key.
+type Point map[string]string
+
+// Cell is one point of the expanded design space.
+type Cell struct {
+	// Index is the cell's row-major position (and job submission slot).
+	Index int
+	// Point maps each axis name to the cell's value key on that axis.
+	Point Point
+	// Key is the cell's unique, file-name-safe identity:
+	// "<spec>.<axis>-<key>_<axis>-<key>...". It names the persisted
+	// per-job result (results/<run-id>/jobs/<key>.json).
+	Key string
+	// Label is the human-readable job label.
+	Label string
+	// Settings is the cell's resolved configuration.
+	Settings Settings
+}
+
+// KeyOf sanitizes a name into a key: lowercased, with every character
+// outside [a-z0-9] mapped to '-' ("OLTP DB2" -> "oltp-db2"). Keys built
+// this way satisfy report.ValidJobKey when joined by Expand.
+func KeyOf(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '-'
+		}
+	}, name)
+}
+
+// Grid is an expanded (and, after Run, executed) design space: cells in
+// row-major axis order, addressable by axis values.
+type Grid struct {
+	// Spec echoes the expanded specification.
+	Spec Spec
+	// Cells holds one cell per design point, row-major (the last axis
+	// varies fastest).
+	Cells []Cell
+	// Results holds the simulation outcomes parallel to Cells; populated
+	// by Run, nil after a plain Expand or an Each.
+	Results []runner.Result
+
+	sizes   []int            // per-axis value counts
+	axisIdx map[string]int   // axis name -> position
+	valIdx  []map[string]int // per-axis: value key -> position
+}
+
+// Expand validates the spec and crosses its axes into a grid of cells.
+// Every axis value's Apply runs in axis order on a private Settings copy
+// seeded from Base, then Finish resolves derived state.
+func (s Spec) Expand() (*Grid, error) {
+	if s.Name == "" || !report.ValidJobKey(s.Name) {
+		return nil, fmt.Errorf("sweep: invalid spec name %q", s.Name)
+	}
+	if len(s.Axes) == 0 {
+		return nil, fmt.Errorf("sweep %s: no axes", s.Name)
+	}
+	g := &Grid{
+		Spec:    s,
+		sizes:   make([]int, len(s.Axes)),
+		axisIdx: make(map[string]int, len(s.Axes)),
+		valIdx:  make([]map[string]int, len(s.Axes)),
+	}
+	total := 1
+	for i, ax := range s.Axes {
+		if ax.Name == "" || !report.ValidJobKey(ax.Name) {
+			return nil, fmt.Errorf("sweep %s: invalid axis name %q", s.Name, ax.Name)
+		}
+		if _, dup := g.axisIdx[ax.Name]; dup {
+			return nil, fmt.Errorf("sweep %s: duplicate axis %q", s.Name, ax.Name)
+		}
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("sweep %s: axis %q has no values", s.Name, ax.Name)
+		}
+		g.axisIdx[ax.Name] = i
+		g.sizes[i] = len(ax.Values)
+		g.valIdx[i] = make(map[string]int, len(ax.Values))
+		for j, v := range ax.Values {
+			if v.Key == "" || !report.ValidJobKey(v.Key) {
+				return nil, fmt.Errorf("sweep %s: axis %q value %d has invalid key %q", s.Name, ax.Name, j, v.Key)
+			}
+			if _, dup := g.valIdx[i][v.Key]; dup {
+				return nil, fmt.Errorf("sweep %s: axis %q has duplicate value key %q", s.Name, ax.Name, v.Key)
+			}
+			g.valIdx[i][v.Key] = j
+		}
+		total *= len(ax.Values)
+	}
+
+	g.Cells = make([]Cell, total)
+	coords := make([]int, len(s.Axes))
+	for idx := 0; idx < total; idx++ {
+		c := &g.Cells[idx]
+		c.Index = idx
+		c.Point = make(Point, len(s.Axes))
+		c.Settings = Settings{
+			Sim:            s.Base,
+			Params:         map[string]float64{},
+			PrefetcherName: s.BasePrefetcher,
+		}
+		var key, label strings.Builder
+		key.WriteString(s.Name)
+		label.WriteString(s.Name)
+		for i, ax := range s.Axes {
+			v := ax.Values[coords[i]]
+			c.Point[ax.Name] = v.Key
+			sep := "_"
+			if i == 0 {
+				sep = "."
+			}
+			fmt.Fprintf(&key, "%s%s-%s", sep, ax.Name, v.Key)
+			label.WriteString("/")
+			label.WriteString(v.label())
+			if v.Apply != nil {
+				v.Apply(&c.Settings)
+			}
+		}
+		if s.Finish != nil {
+			if err := s.Finish(&c.Settings); err != nil {
+				return nil, fmt.Errorf("sweep %s: cell %s: %w", s.Name, key.String(), err)
+			}
+		}
+		c.Key = key.String()
+		c.Label = label.String()
+		if s.Label != nil {
+			c.Label = s.Label(c)
+		}
+		if !report.ValidJobKey(c.Key) {
+			return nil, fmt.Errorf("sweep %s: cell key %q is not a valid job key", s.Name, c.Key)
+		}
+		// Row-major odometer: the last axis varies fastest.
+		for i := len(coords) - 1; i >= 0; i-- {
+			coords[i]++
+			if coords[i] < g.sizes[i] {
+				break
+			}
+			coords[i] = 0
+		}
+	}
+	return g, nil
+}
+
+// Jobs converts every cell into a runner.Job in row-major order. It fails
+// if any cell lacks both a factory and a registry engine name, or names no
+// workload.
+func (g *Grid) Jobs() ([]runner.Job, error) {
+	jobs := make([]runner.Job, len(g.Cells))
+	for i := range g.Cells {
+		c := &g.Cells[i]
+		if c.Settings.Workload.Name == "" {
+			return nil, fmt.Errorf("sweep %s: cell %s names no workload (add a WorkloadAxis)", g.Spec.Name, c.Key)
+		}
+		if c.Settings.Factory == nil && c.Settings.PrefetcherName == "" {
+			return nil, fmt.Errorf("sweep %s: cell %s names no prefetcher (add an engine axis, BasePrefetcher, or Finish)", g.Spec.Name, c.Key)
+		}
+		jobs[i] = runner.Job{
+			Label:          c.Label,
+			Workload:       c.Settings.Workload,
+			Config:         c.Settings.Sim,
+			NewPrefetcher:  c.Settings.Factory,
+			PrefetcherName: c.Settings.PrefetcherName,
+		}
+	}
+	return jobs, nil
+}
+
+// Engine abstracts the execution environment a sweep runs through. It is
+// implemented by *experiments.Env (which attaches cached program images)
+// and by PoolEngine (a bare worker pool).
+type Engine interface {
+	// RunJobs executes simulation jobs and returns results in submission
+	// order.
+	RunJobs(jobs []runner.Job) ([]runner.Result, error)
+	// ForEach runs fn(i) for every i in [0, n) across a worker pool; fn
+	// must confine its writes to its own index.
+	ForEach(n int, fn func(i int) error) error
+}
+
+// Run expands the spec and executes every cell as a simulation job through
+// the engine's pool. The grid's Results are attached even when the run
+// fails partway (canceled contexts, job errors), so callers can salvage
+// completed cells; the error reports the first failure.
+func Run(eng Engine, s Spec) (*Grid, error) {
+	g, err := s.Expand()
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := g.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	g.Results, err = eng.RunJobs(jobs)
+	return g, err
+}
+
+// Each expands the spec and runs fn once per cell across the engine's
+// worker pool — the analysis counterpart to Run for grid measurements that
+// are not simulations (trace-based coverage studies, program builds). fn
+// must confine its writes to state owned by its cell.
+func Each(eng Engine, s Spec, fn func(c *Cell) error) (*Grid, error) {
+	g, err := s.Expand()
+	if err != nil {
+		return nil, err
+	}
+	return g, eng.ForEach(len(g.Cells), func(i int) error { return fn(&g.Cells[i]) })
+}
+
+// PoolEngine is a minimal Engine over the bare runner pool, for sweeps run
+// outside an experiments environment (no program-image cache: each job
+// builds its own).
+type PoolEngine struct {
+	// Ctx governs cancellation (nil = background).
+	Ctx context.Context
+	// Workers bounds the pool (<= 0 = GOMAXPROCS).
+	Workers int
+	// OnProgress, when non-nil, receives one serialized callback per
+	// completed job.
+	OnProgress func(runner.Progress)
+}
+
+// RunJobs implements Engine.
+func (p PoolEngine) RunJobs(jobs []runner.Job) ([]runner.Result, error) {
+	return runner.Pool{Workers: p.Workers, OnProgress: p.OnProgress}.Run(p.Ctx, jobs)
+}
+
+// ForEach implements Engine.
+func (p PoolEngine) ForEach(n int, fn func(i int) error) error {
+	return runner.ForEach(p.Ctx, p.Workers, n, fn)
+}

@@ -1,0 +1,312 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// tinyProfile is a minimal valid workload for fast engine tests.
+func tinyProfile(name string, seed int64) workload.Profile {
+	return workload.Profile{
+		Name: name, Suite: "T", Seed: seed,
+		Funcs: 40, FuncBlocksMin: 1, FuncBlocksMax: 4,
+		SharedFuncs: 4, TxTypes: 2, TxSkew: 0.6, TxVariants: 2,
+		CallFanout: 2, MonoCallFrac: 0.8, CallSitesPerFunc: 1.5, SharedCallBias: 0.2, MaxCallDepth: 4,
+		LoopsPerFunc: 0.4, LoopBodyBlocksMax: 3, LoopIterMin: 2, LoopIterMax: 5,
+		CondSkipsPerFunc: 1.0, SkipTakenProb: 0.3, SkipBlocksMax: 2,
+	}
+}
+
+// tinySim is a fast simulation configuration.
+func tinySim() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.WarmupInstrs = 10_000
+	cfg.MeasureInstrs = 10_000
+	return cfg
+}
+
+// testSpec is a 2x2x2 spec exercising every axis kind: workloads, a
+// registry-engine axis, and a scalar param axis consumed by Finish.
+func testSpec() Spec {
+	return Spec{
+		Name: "t",
+		Base: tinySim(),
+		Axes: []Axis{
+			WorkloadAxis("workload", []workload.Profile{tinyProfile("Tiny A", 1), tinyProfile("Tiny B", 2)}),
+			EngineAxis("engine", "none", "nextline"),
+			ParamAxis("degree", "degree",
+				func(v int) string { return fmt.Sprintf("%d", v) }, nil, []int{1, 2}),
+		},
+	}
+}
+
+func TestKeyOf(t *testing.T) {
+	for in, want := range map[string]string{
+		"OLTP DB2":  "oltp-db2",
+		"Web XL":    "web-xl",
+		"Next-Line": "next-line",
+		"pif":       "pif",
+		"a_b.c":     "a-b-c",
+	} {
+		if got := KeyOf(in); got != want {
+			t.Errorf("KeyOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestExpandShape(t *testing.T) {
+	g, err := testSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 8 {
+		t.Fatalf("Size = %d, want 8", g.Size())
+	}
+	// Row-major: the last axis varies fastest.
+	wantKeys := []string{
+		"t.workload-tiny-a_engine-none_degree-1",
+		"t.workload-tiny-a_engine-none_degree-2",
+		"t.workload-tiny-a_engine-nextline_degree-1",
+		"t.workload-tiny-a_engine-nextline_degree-2",
+		"t.workload-tiny-b_engine-none_degree-1",
+		"t.workload-tiny-b_engine-none_degree-2",
+		"t.workload-tiny-b_engine-nextline_degree-1",
+		"t.workload-tiny-b_engine-nextline_degree-2",
+	}
+	for i, want := range wantKeys {
+		if g.Cells[i].Key != want {
+			t.Errorf("cell %d key = %q, want %q", i, g.Cells[i].Key, want)
+		}
+	}
+	c := g.Cells[6]
+	if c.Label != "t/Tiny B/nextline/1" {
+		t.Errorf("label = %q", c.Label)
+	}
+	if c.Settings.Workload.Name != "Tiny B" {
+		t.Errorf("workload = %q", c.Settings.Workload.Name)
+	}
+	if c.Settings.PrefetcherName != "nextline" {
+		t.Errorf("engine = %q", c.Settings.PrefetcherName)
+	}
+	if c.Settings.Params["degree"] != 1 {
+		t.Errorf("degree = %v", c.Settings.Params)
+	}
+	if got := c.Point["workload"]; got != "tiny-b" {
+		t.Errorf("point workload = %q", got)
+	}
+}
+
+func TestExpandCoordsRoundTrip(t *testing.T) {
+	g, err := testSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Cells {
+		coords := g.Coords(i)
+		idx, err := g.IndexAt(coords...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != i {
+			t.Fatalf("Coords/IndexAt mismatch: %d -> %v -> %d", i, coords, idx)
+		}
+		pidx, err := g.Index(g.Cells[i].Point)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pidx != i {
+			t.Fatalf("Index(point) = %d, want %d", pidx, i)
+		}
+	}
+}
+
+func TestExpandRejectsBadSpecs(t *testing.T) {
+	base := tinySim()
+	wl := WorkloadAxis("workload", []workload.Profile{tinyProfile("Tiny A", 1)})
+	for name, spec := range map[string]Spec{
+		"empty name":    {Base: base, Axes: []Axis{wl}},
+		"bad name":      {Name: "a b", Base: base, Axes: []Axis{wl}},
+		"no axes":       {Name: "t", Base: base},
+		"empty axis":    {Name: "t", Base: base, Axes: []Axis{{Name: "x"}}},
+		"dup axis name": {Name: "t", Base: base, Axes: []Axis{wl, {Name: "workload", Values: wl.Values}}},
+		"bad axis name": {Name: "t", Base: base, Axes: []Axis{{Name: "a/b", Values: wl.Values}}},
+		"dup value key": {Name: "t", Base: base, Axes: []Axis{{Name: "x", Values: []Value{{Key: "v"}, {Key: "v"}}}}},
+		"bad value key": {Name: "t", Base: base, Axes: []Axis{{Name: "x", Values: []Value{{Key: "v v"}}}}},
+	} {
+		if _, err := spec.Expand(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestExpandFinishError(t *testing.T) {
+	spec := testSpec()
+	spec.Finish = func(s *Settings) error {
+		if s.Params["degree"] == 2 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	}
+	if _, err := spec.Expand(); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("Finish error not surfaced: %v", err)
+	}
+}
+
+func TestJobsValidation(t *testing.T) {
+	// A spec with no workload axis cannot become jobs.
+	spec := Spec{
+		Name:           "t",
+		Base:           tinySim(),
+		BasePrefetcher: "none",
+		Axes:           []Axis{EngineAxis("engine", "none")},
+	}
+	g, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Jobs(); err == nil || !strings.Contains(err.Error(), "workload") {
+		t.Fatalf("missing workload not reported: %v", err)
+	}
+	// A spec with no engine anywhere cannot become jobs either.
+	spec = Spec{
+		Name: "t",
+		Base: tinySim(),
+		Axes: []Axis{WorkloadAxis("workload", []workload.Profile{tinyProfile("Tiny A", 1)})},
+	}
+	g, err = spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Jobs(); err == nil || !strings.Contains(err.Error(), "prefetcher") {
+		t.Fatalf("missing engine not reported: %v", err)
+	}
+}
+
+func TestRunGridAddressing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test skipped in -short mode")
+	}
+	spec := testSpec()
+	// Consume the degree param so it affects the cell (nextline degree).
+	spec.Finish = func(s *Settings) error {
+		if s.PrefetcherName == "nextline" {
+			deg := int(s.Params["degree"])
+			s.Factory = func() prefetch.Prefetcher { return prefetch.NewNextLine(deg) }
+			s.PrefetcherName = ""
+		}
+		return nil
+	}
+	g, err := Run(PoolEngine{Ctx: context.Background(), Workers: 4}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Results) != g.Size() {
+		t.Fatalf("results = %d, want %d", len(g.Results), g.Size())
+	}
+	// Positional and by-value addressing agree.
+	r1 := g.ResultAt(1, 1, 0)
+	r2, err := g.Result("workload", "tiny-b", "engine", "nextline", "degree", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Index != r2.Index || r1.Sim != r2.Sim {
+		t.Fatalf("addressing mismatch: %d vs %d", r1.Index, r2.Index)
+	}
+	if r1.Sim.Instructions == 0 {
+		t.Fatal("cell did not simulate")
+	}
+	// Unknown coordinates fail cleanly.
+	if _, err := g.Result("workload", "nope", "engine", "none", "degree", "1"); err == nil {
+		t.Fatal("unknown value accepted")
+	}
+	if _, err := g.Result("workload", "tiny-a"); err == nil {
+		t.Fatal("underspecified point accepted")
+	}
+
+	// Per-job conversion carries keys, points, and raw results.
+	jobs, err := g.ReportJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != g.Size() {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	if jobs[6].Key != g.Cells[6].Key || jobs[6].Point["engine"] != "nextline" {
+		t.Fatalf("job 6 = %+v", jobs[6])
+	}
+	if len(jobs[6].Data) == 0 {
+		t.Fatal("job 6 has no data")
+	}
+
+	sum, err := g.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Name != "t" || len(sum.Cells) != 8 || len(sum.Axes) != 3 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestEachVisitsEveryCell(t *testing.T) {
+	spec := testSpec()
+	visited := make([]int, 8)
+	g, err := Each(PoolEngine{Workers: 4}, spec, func(c *Cell) error {
+		visited[c.Index]++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Results != nil {
+		t.Fatal("Each attached results")
+	}
+	for i, n := range visited {
+		if n != 1 {
+			t.Fatalf("cell %d visited %d times", i, n)
+		}
+	}
+}
+
+func TestEachPropagatesError(t *testing.T) {
+	spec := testSpec()
+	_, err := Each(PoolEngine{Workers: 2}, spec, func(c *Cell) error {
+		if c.Index == 5 {
+			return fmt.Errorf("cell boom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "cell boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestRunDeterminism locks the engine's core guarantee: serial and wide
+// pools produce identical result grids.
+func TestRunDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test skipped in -short mode")
+	}
+	run := func(workers int) []sim.Result {
+		g, err := Run(PoolEngine{Workers: workers}, testSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]sim.Result, g.Size())
+		for i := range out {
+			out[i] = g.Results[i].Sim
+		}
+		return out
+	}
+	serial, wide := run(1), run(8)
+	for i := range serial {
+		if serial[i] != wide[i] {
+			t.Fatalf("cell %d differs between serial and 8-wide run", i)
+		}
+	}
+}

@@ -222,9 +222,52 @@ func StandardSuite() []Profile {
 	}
 }
 
-// ByName returns the standard profile with the given name.
+// The XL suite: two synthetic profiles with instruction footprints at
+// least 4x the largest of the standard six (several megabytes against a
+// 64KB L1-I), sized for the MANA-style design-space sweeps — history
+// budgets and cache geometries that look saturated under the standard
+// footprints keep differentiating when the working set grows by another
+// factor of four.
+
+// OLTPXL models a consolidated OLTP install (many schemas and stored
+// procedures resident in one server image): the DB2 shape scaled to a
+// ~7MB footprint with a broader transaction mix.
+func OLTPXL() Profile {
+	return Profile{
+		Name: "OLTP XL", Suite: "OLTP", Seed: 107,
+		Funcs: 26000, FuncBlocksMin: 1, FuncBlocksMax: 8,
+		SharedFuncs: 260, TxTypes: 9, TxSkew: 0.45, TxVariants: 8,
+		CallFanout: 5, MonoCallFrac: 0.78, CallSitesPerFunc: 2.1, SharedCallBias: 0.32, MaxCallDepth: 6,
+		LoopsPerFunc: 0.5, LoopBodyBlocksMax: 4, LoopIterMin: 2, LoopIterMax: 12,
+		CondSkipsPerFunc: 1.7, SkipTakenProb: 0.34, SkipBlocksMax: 3,
+		InterruptEvery: 9000, HandlerFuncs: 14, HandlerBlocksMax: 7,
+	}
+}
+
+// WebXL models a large consolidated web tier (one image serving many
+// virtual hosts): the Apache shape scaled to a ~7MB footprint of very many
+// small handlers with a long-tailed URL mix.
+func WebXL() Profile {
+	return Profile{
+		Name: "Web XL", Suite: "Web", Seed: 108,
+		Funcs: 40000, FuncBlocksMin: 1, FuncBlocksMax: 5,
+		SharedFuncs: 300, TxTypes: 12, TxSkew: 0.35, TxVariants: 10,
+		CallFanout: 7, MonoCallFrac: 0.70, CallSitesPerFunc: 2.0, SharedCallBias: 0.38, MaxCallDepth: 6,
+		LoopsPerFunc: 0.35, LoopBodyBlocksMax: 3, LoopIterMin: 2, LoopIterMax: 8,
+		CondSkipsPerFunc: 1.5, SkipTakenProb: 0.3, SkipBlocksMax: 3,
+		InterruptEvery: 6000, HandlerFuncs: 18, HandlerBlocksMax: 8,
+	}
+}
+
+// XLSuite returns the extended-footprint workloads exercised by the
+// design-space sweep artifacts (sweep-history, sweep-l1).
+func XLSuite() []Profile {
+	return []Profile{OLTPXL(), WebXL()}
+}
+
+// ByName returns the standard or XL profile with the given name.
 func ByName(name string) (Profile, error) {
-	for _, p := range StandardSuite() {
+	for _, p := range append(StandardSuite(), XLSuite()...) {
 		if p.Name == name {
 			return p, nil
 		}

@@ -62,6 +62,51 @@ func TestStandardSuiteHasSix(t *testing.T) {
 	}
 }
 
+func TestXLSuite(t *testing.T) {
+	xl := XLSuite()
+	if len(xl) != 2 {
+		t.Fatalf("XL suite size = %d, want 2", len(xl))
+	}
+	for _, p := range xl {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		got, err := ByName(p.Name)
+		if err != nil || got.Name != p.Name {
+			t.Errorf("ByName(%q) = %v, %v", p.Name, got.Name, err)
+		}
+	}
+}
+
+// TestXLFootprints locks the XL suite's reason to exist: each XL program
+// image must be at least 4x the largest standard footprint, so the
+// design-space sweeps keep differentiating where the standard six
+// saturate.
+func TestXLFootprints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("program builds skipped in -short mode")
+	}
+	maxStd := 0
+	for _, p := range StandardSuite() {
+		prog, err := BuildProgram(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prog.FootprintBlks > maxStd {
+			maxStd = prog.FootprintBlks
+		}
+	}
+	for _, p := range XLSuite() {
+		prog, err := BuildProgram(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prog.FootprintBlks < 4*maxStd {
+			t.Errorf("%s footprint %d blocks < 4x largest standard (%d)", p.Name, prog.FootprintBlks, maxStd)
+		}
+	}
+}
+
 func TestBuildProgramDeterministic(t *testing.T) {
 	a, err := BuildProgram(OLTPDB2())
 	if err != nil {

@@ -12,6 +12,9 @@ import (
 func determinismOptions(parallel int) ExperimentOptions {
 	opts := QuickExperimentOptions()
 	opts.Workloads = Workloads()[:2]
+	// One workload for the sweep artifacts keeps the -race runtime sane
+	// while still interleaving their grids with the figure jobs.
+	opts.SweepWorkloads = Workloads()[:1]
 	opts.WarmupInstrs = 400_000
 	opts.MeasureInstrs = 200_000
 	opts.Parallel = parallel

@@ -37,6 +37,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -87,7 +88,8 @@ func PrefetcherByName(name string) (Prefetcher, error) { return prefetch.NewByNa
 type Workload = workload.Profile
 
 // The six standard workloads of the paper's Table I (synthetic stand-ins;
-// see DESIGN.md §4).
+// see DESIGN.md §4) plus the extended-footprint XL suite exercised by the
+// design-space sweep artifacts.
 var (
 	OLTPDB2    = workload.OLTPDB2
 	OLTPOracle = workload.OLTPOracle
@@ -95,12 +97,18 @@ var (
 	DSSQry17   = workload.DSSQry17
 	WebApache  = workload.WebApache
 	WebZeus    = workload.WebZeus
+	OLTPXL     = workload.OLTPXL
+	WebXL      = workload.WebXL
 )
 
 // Workloads returns the six standard workloads in the paper's order.
 func Workloads() []Workload { return workload.StandardSuite() }
 
-// WorkloadByName resolves one of the standard workloads ("OLTP DB2", ...).
+// XLWorkloads returns the extended-footprint suite (≥4x the standard
+// instruction footprints) used by the design-space sweeps.
+func XLWorkloads() []Workload { return workload.XLSuite() }
+
+// WorkloadByName resolves a standard or XL workload ("OLTP DB2", ...).
 func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
 
 // Stream is an in-memory retire-order instruction trace.
@@ -299,6 +307,64 @@ type ResultsTolerances = report.Tolerances
 // ResultsDiff is the per-metric comparison of two stored runs.
 type ResultsDiff = report.Diff
 
+// SweepSpec declares a design-space sweep: named parameter axes
+// (workloads, engine variants, system mutations, sim options) whose
+// cross-product expands into a grid of keyed simulation jobs.
+type SweepSpec = sweep.Spec
+
+// SweepAxis is one named dimension of a sweep: ordered, keyed values.
+type SweepAxis = sweep.Axis
+
+// SweepValue is one keyed setting of an axis.
+type SweepValue = sweep.Value
+
+// SweepSettings is the accumulated configuration of one grid cell.
+type SweepSettings = sweep.Settings
+
+// SweepPoint locates one grid cell (axis name -> value key).
+type SweepPoint = sweep.Point
+
+// SweepCell is one point of an expanded design space.
+type SweepCell = sweep.Cell
+
+// SweepGrid is an expanded (and, after a run, executed) design space,
+// addressable by axis values.
+type SweepGrid = sweep.Grid
+
+// SweepEngine abstracts the execution environment a sweep runs through
+// (implemented by *ExperimentEnv and SweepPoolEngine).
+type SweepEngine = sweep.Engine
+
+// SweepPoolEngine runs sweeps over a bare worker pool, outside an
+// experiment environment.
+type SweepPoolEngine = sweep.PoolEngine
+
+// SweepWorkloadAxis builds the canonical workload axis of a sweep.
+func SweepWorkloadAxis(name string, wls []Workload) SweepAxis {
+	return sweep.WorkloadAxis(name, wls)
+}
+
+// SweepEngineAxis builds a prefetch-engine axis from registry names.
+func SweepEngineAxis(name string, engines ...string) SweepAxis {
+	return sweep.EngineAxis(name, engines...)
+}
+
+// RunSweep expands a spec and executes every cell through the engine's
+// worker pool, returning the grid with results attached.
+func RunSweep(eng SweepEngine, spec SweepSpec) (*SweepGrid, error) {
+	return sweep.Run(eng, spec)
+}
+
+// ExpandSweep expands a spec into its grid of cells without running it.
+func ExpandSweep(spec SweepSpec) (*SweepGrid, error) { return spec.Expand() }
+
+// BuildSweepSpec constructs an ad-hoc sweep spec from CLI-style axis
+// specifications ("workload=xl", "engine=pif,tifs", "budget=32,256", ...);
+// see the `experiments sweep` mode.
+func BuildSweepSpec(name string, opts ExperimentOptions, axisSpecs []string) (SweepSpec, error) {
+	return experiments.BuildSweep(name, opts, axisSpecs)
+}
+
 // ExperimentArtifacts converts regenerated reports into schema artifacts,
 // preserving order.
 func ExperimentArtifacts(reps []ExperimentReport) ([]ResultsArtifact, error) {
@@ -325,3 +391,37 @@ func DiffResults(a, b []ResultsArtifact, tol ResultsTolerances) ResultsDiff {
 // DefaultResultTolerances absorbs float noise (1e-12 absolute, 1e-9
 // relative) while failing on any behavioral shift.
 func DefaultResultTolerances() ResultsTolerances { return report.DefaultTolerances() }
+
+// ResultsJobResult is the schema-versioned persisted form of one raw
+// per-job simulation result (one sweep-grid cell), stored as
+// results/<run-id>/jobs/<key>.json.
+type ResultsJobResult = report.JobResult
+
+// NewResultsArtifact builds a schema-stamped artifact from any
+// JSON-marshalable result (e.g. a sweep grid summary).
+func NewResultsArtifact(id, title, text string, data any) (ResultsArtifact, error) {
+	return report.NewArtifact(id, title, text, data)
+}
+
+// NewJobResult builds a schema-stamped per-job result.
+func NewJobResult(key, label string, point map[string]string, data any) (ResultsJobResult, error) {
+	return report.NewJobResult(key, label, point, data)
+}
+
+// SaveJobResults writes one jobs/<key>.json per raw per-job result inside
+// a run directory (no-op for an empty slice).
+func SaveJobResults(runDir string, jobs []ResultsJobResult) error {
+	return report.SaveJobResults(runDir, jobs)
+}
+
+// LoadJobResults reads a run directory's raw per-job results, sorted by
+// key (empty when the run persisted none).
+func LoadJobResults(runDir string) ([]ResultsJobResult, error) {
+	return report.LoadJobResults(runDir)
+}
+
+// DiffJobResults compares two per-job result sets at per-job granularity
+// under the given tolerances (metric paths rooted at "jobs/<key>").
+func DiffJobResults(a, b []ResultsJobResult, tol ResultsTolerances) ResultsDiff {
+	return report.DiffJobResults(a, b, tol)
+}

@@ -101,7 +101,7 @@ func TestDefaultConfigsSane(t *testing.T) {
 
 func TestExperimentRegistryPublic(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 7 {
+	if len(ids) != 9 {
 		t.Fatalf("ExperimentIDs = %v", ids)
 	}
 	opts := QuickExperimentOptions()
@@ -121,13 +121,68 @@ func TestRunAllExperimentsTiny(t *testing.T) {
 	}
 	opts := QuickExperimentOptions()
 	opts.Workloads = opts.Workloads[2:3] // DSS Qry2 only
+	opts.SweepWorkloads = opts.Workloads // keep the sweep artifacts tiny too
 	opts.WarmupInstrs = 800_000
 	opts.MeasureInstrs = 300_000
 	reports, err := RunAllExperiments(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 7 {
+	if len(reports) != 9 {
 		t.Fatalf("reports = %d", len(reports))
+	}
+}
+
+// TestSweepPublicAPI exercises the sweep facade end to end the way a
+// downstream user would: declare a spec, run it over a pool engine,
+// address the grid, and persist/reload/diff per-job results.
+func TestSweepPublicAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test skipped in -short mode")
+	}
+	cfg := DefaultSimConfig()
+	cfg.WarmupInstrs = 100_000
+	cfg.MeasureInstrs = 100_000
+	spec := SweepSpec{
+		Name: "api",
+		Base: cfg,
+		Axes: []SweepAxis{
+			SweepWorkloadAxis("workload", []Workload{DSSQry2()}),
+			SweepEngineAxis("engine", "none", "pif"),
+		},
+	}
+	g, err := RunSweep(SweepPoolEngine{Workers: 2}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 2 {
+		t.Fatalf("size = %d", g.Size())
+	}
+	base, err := g.Result("workload", "dss-qry2", "engine", "none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pifR, err := g.Result("workload", "dss-qry2", "engine", "pif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pifR.Sim.UIPC <= base.Sim.UIPC {
+		t.Errorf("PIF UIPC %.3f <= baseline %.3f", pifR.Sim.UIPC, base.Sim.UIPC)
+	}
+
+	jobs, err := g.ReportJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := SaveJobResults(dir, jobs); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadJobResults(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DiffJobResults(jobs, loaded, DefaultResultTolerances()); d.OutOfTolerance() {
+		t.Fatalf("round-tripped jobs drifted:\n%s", d.Render())
 	}
 }
