@@ -16,16 +16,23 @@
 //
 // The sweep mode runs an ad-hoc design-space sweep declared on the
 // command line: repeatable -axis flags name the axes (workload, engine,
-// history, budget, l1) and their values, the cross-product fans out
-// through the worker pool, and -out persists one raw result per grid cell.
+// history, budget, l1, source) and their values, the cross-product fans
+// out through the execution backend, and -out persists one raw result
+// per grid cell. A source axis (or the -source shorthand) selects where
+// each cell's instruction stream comes from — live execution, the
+// workload's spilled trace store (-tracedir), or a record window of a
+// store ("slice@off:len", optionally "@DIR" for a store recorded by
+// tracegen) — so sweeps fan out over trace slices without re-executing
+// workloads.
 //
 // Usage:
 //
-//	experiments [-run all|table1|fig2|...|sweep-history|sweep-l1] [-quick]
-//	            [-warmup N] [-measure N] [-parallel N] [-tracedir DIR]
-//	            [-out DIR] [-v]
-//	experiments sweep -axis name=v1,v2,... [-axis ...] [-quick]
-//	            [-warmup N] [-measure N] [-parallel N] [-out DIR] [-v]
+//	experiments [-run all|table1|fig2|...|sweep-history|sweep-window]
+//	            [-quick] [-warmup N] [-measure N] [-parallel N]
+//	            [-tracedir DIR] [-out DIR] [-v]
+//	experiments sweep -axis name=v1,v2,... [-axis ...] [-source SPEC]
+//	            [-quick] [-warmup N] [-measure N] [-parallel N]
+//	            [-tracedir DIR] [-out DIR] [-v]
 //	experiments diff [-abs X] [-rel Y] DIR_A DIR_B
 //
 // diff exit codes: 0 = within tolerance, 1 = metric drift beyond
@@ -60,21 +67,22 @@ func main() {
 }
 
 // scaleFlags registers the options shared by the run and sweep modes.
-// -tracedir is not among them: spill-and-replay serves the trace-based
-// figure analyses, and sweep grids are simulations that never consult it
-// — registering it there would promise behavior the mode does not have.
-func scaleFlags(fs *flag.FlagSet) (quick *bool, warmup, measure *uint64, parallel *int, out *string, verbose *bool) {
+// -tracedir is among them since the unified pipeline API: the run mode
+// spills trace-based figure analyses through it, and the sweep mode
+// resolves store/slice record sources against it.
+func scaleFlags(fs *flag.FlagSet) (quick *bool, warmup, measure *uint64, parallel *int, traceDir, out *string, verbose *bool) {
 	quick = fs.Bool("quick", false, "reduced-scale run (shorter warmup and measurement)")
 	warmup = fs.Uint64("warmup", 0, "override warmup instructions (0 = default)")
 	measure = fs.Uint64("measure", 0, "override measured instructions (0 = default)")
 	parallel = fs.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	traceDir = fs.String("tracedir", "", "trace-store pool: spill generated retire streams to sharded stores under this directory and replay them (bounded memory; stores are reused across runs; env-backed store/slice sources slice these stores instead of the in-memory stream)")
 	out = fs.String("out", "", "write structured JSON results into this directory (run.json + <artifact>.json + jobs/<key>.json)")
 	verbose = fs.Bool("v", false, "print per-job timing as jobs complete")
 	return
 }
 
 // buildOptions resolves the shared flags into experiment options.
-func buildOptions(quick bool, warmup, measure uint64, parallel int, traceDir string, verbose bool) pif.ExperimentOptions {
+func buildOptions(quick bool, warmup, measure uint64, parallel int, storeDir string, verbose bool) pif.ExperimentOptions {
 	opts := pif.DefaultExperimentOptions()
 	if quick {
 		opts = pif.QuickExperimentOptions()
@@ -86,7 +94,7 @@ func buildOptions(quick bool, warmup, measure uint64, parallel int, traceDir str
 		opts.MeasureInstrs = measure
 	}
 	opts.Parallel = parallel
-	opts.TraceDir = traceDir
+	opts.StoreDir = storeDir
 	if verbose {
 		opts.OnProgress = func(p pif.JobProgress) {
 			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %-40s %8s\n",
@@ -99,8 +107,7 @@ func buildOptions(quick bool, warmup, measure uint64, parallel int, traceDir str
 func runMain() int {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
 	runID := fs.String("run", "all", "artifact to regenerate: all, or one of "+strings.Join(pif.ExperimentIDs(), ", "))
-	traceDir := fs.String("tracedir", "", "spill generated retire streams to sharded trace stores under this directory and replay them (bounded memory; stores are reused across runs)")
-	quick, warmup, measure, parallel, out, verbose := scaleFlags(fs)
+	quick, warmup, measure, parallel, traceDir, out, verbose := scaleFlags(fs)
 	fs.Parse(os.Args[1:])
 
 	opts := buildOptions(*quick, *warmup, *measure, *parallel, *traceDir, *verbose)
@@ -181,27 +188,31 @@ func (a *axisFlags) Set(v string) error { *a = append(*a, v); return nil }
 func sweepMain(args []string) int {
 	fs := flag.NewFlagSet("experiments sweep", flag.ExitOnError)
 	var axes axisFlags
-	fs.Var(&axes, "axis", "sweep axis as name=v1,v2,... (workload, engine, history, budget, l1); repeatable, crossed in flag order")
+	fs.Var(&axes, "axis", "sweep axis as name=v1,v2,... (workload, engine, history, budget, l1, source); repeatable, crossed in flag order")
 	name := fs.String("name", "sweep", "sweep name (prefixes cell keys and job labels)")
-	quick, warmup, measure, parallel, out, verbose := scaleFlags(fs)
+	source := fs.String("source", "", "record source for every cell: live, store, slice@off:len, store@DIR, or slice@off:len@DIR (shorthand for a one-value source axis; store/slice without @DIR replay the workload's spilled store under -tracedir, or its in-memory stream when -tracedir is unset)")
+	quick, warmup, measure, parallel, traceDir, out, verbose := scaleFlags(fs)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: experiments sweep -axis name=v1,v2,... [-axis ...] [flags]")
+		fmt.Fprintln(os.Stderr, "usage: experiments sweep -axis name=v1,v2,... [-axis ...] [-source SPEC] [flags]")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
 
-	opts := buildOptions(*quick, *warmup, *measure, *parallel, "", *verbose)
-	spec, err := pif.BuildSweepSpec(*name, opts, axes)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments sweep:", err)
-		fs.Usage()
-		return 2
+	opts := buildOptions(*quick, *warmup, *measure, *parallel, *traceDir, *verbose)
+	if *source != "" {
+		axes = append(axes, "source="+*source)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	env := pif.NewExperimentEnv(ctx, opts)
+	spec, err := pif.BuildSweepSpec(env, *name, axes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments sweep:", err)
+		fs.Usage()
+		return 2
+	}
 	start := time.Now()
 	grid, err := env.RunGrid(spec)
 	if err != nil {

@@ -12,12 +12,16 @@
 //	       [-parallel N] [-perfect] [-warmup N] [-measure N] [-history N]
 //	       [-sabs N] [-window N] [-degree N] [-v]
 //	pifsim -trace apache.store [-prefetcher pif,tifs|all] ...
+//	pifsim -trace apache.store -source slice@8M:2M [-prefetcher ...] ...
 //
-// With -trace DIR the simulation replays a sharded on-disk trace store
-// (written by tracegen -shard-records) instead of executing the workload:
-// the store names the workload, each job streams the trace chunk by chunk
-// (peak memory one chunk, not the trace length), and the store must hold
-// at least warmup+measure records.
+// The -source flag selects where the instruction stream comes from:
+// "live" (default — execute the workload program), "store" (replay the
+// sharded on-disk trace store named by -trace from record 0; implied by
+// -trace alone), or "slice@off:len" (replay only the record window
+// [off, off+len) of the store, located through the store index without
+// decoding the prefix — off and len accept K/M suffixes). Replay jobs
+// stream the trace chunk by chunk (peak memory one chunk, not the trace
+// length); the replayed range must hold at least warmup+measure records.
 package main
 
 import (
@@ -36,6 +40,7 @@ import (
 func main() {
 	wlNames := flag.String("workload", "OLTP DB2", "comma-separated workload names, or \"all\" (see -list)")
 	traceDir := flag.String("trace", "", "replay a sharded trace store directory instead of executing a workload")
+	sourceSpec := flag.String("source", "", "record source: live, store, or slice@off:len (store and slice replay the -trace store; default live, or store when -trace is set)")
 	list := flag.Bool("list", false, "list workloads and prefetchers and exit")
 	pfNames := flag.String("prefetcher", "pif", "comma-separated prefetchers (pif, tifs, nextline, none, ...), or \"all\"")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
@@ -72,8 +77,41 @@ func main() {
 	cfg.MeasureInstrs = *measure
 	cfg.PerfectL1 = *perfect
 
+	// Resolve the record source: -trace alone implies a full-store
+	// replay; -source store/slice requires the store.
+	src := *sourceSpec
+	if src == "" {
+		src = "live"
+		if *traceDir != "" {
+			src = "store"
+		}
+	}
+	var win *pif.TraceWindow
+	switch {
+	case src == "live":
+		if *traceDir != "" {
+			fmt.Fprintln(os.Stderr, "pifsim: -source live contradicts -trace (drop one)")
+			os.Exit(1)
+		}
+	case src == "store":
+	case strings.HasPrefix(src, "slice@"):
+		w, werr := pif.ParseTraceWindow(strings.TrimPrefix(src, "slice@"))
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "pifsim:", werr)
+			os.Exit(1)
+		}
+		win = &w
+	default:
+		fmt.Fprintf(os.Stderr, "pifsim: unknown -source %q (have live, store, slice@off:len)\n", src)
+		os.Exit(1)
+	}
+
 	var jobs []pif.Job
-	if *traceDir != "" {
+	if src != "live" {
+		if *traceDir == "" {
+			fmt.Fprintf(os.Stderr, "pifsim: -source %s needs -trace DIR\n", src)
+			os.Exit(1)
+		}
 		// The store names the workload; an explicit -workload alongside
 		// -trace would be silently ignored, so reject the combination.
 		workloadSet := false
@@ -86,7 +124,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "pifsim: -workload and -trace are mutually exclusive (the store names its workload)")
 			os.Exit(1)
 		}
-		jobs, err = traceJobs(*traceDir, cfg, engines)
+		jobs, err = traceJobs(*traceDir, win, cfg, engines)
 	} else {
 		var workloads []pif.Workload
 		workloads, err = resolveWorkloads(*wlNames)
@@ -145,10 +183,11 @@ type engine struct {
 }
 
 // traceJobs builds one replay job per engine over the sharded store at
-// dir. The store names the workload (its profile supplies the front-end
-// seed); every job opens a private reader, so jobs fan out concurrently
-// over the same trace.
-func traceJobs(dir string, cfg pif.SimConfig, engines []engine) ([]pif.Job, error) {
+// dir (full-store replay, or one record window when window is non-nil).
+// The store names the workload (its profile supplies the front-end
+// seed); jobs carry a Source factory, so every job opens a private
+// reader and jobs fan out concurrently over the same trace.
+func traceJobs(dir string, window *pif.TraceWindow, cfg pif.SimConfig, engines []engine) ([]pif.Job, error) {
 	ix, err := pif.ReadTraceIndex(dir)
 	if err != nil {
 		return nil, err
@@ -157,25 +196,42 @@ func traceJobs(dir string, cfg pif.SimConfig, engines []engine) ([]pif.Job, erro
 	if err != nil {
 		return nil, fmt.Errorf("trace store %s: %w", dir, err)
 	}
-	if need := cfg.WarmupInstrs + cfg.MeasureInstrs; ix.Records() < need {
-		return nil, fmt.Errorf("trace store %s holds %d records, need %d (warmup+measure)",
-			dir, ix.Records(), need)
-	}
-	if !ix.PhaseCompatible(cfg.WarmupInstrs, cfg.MeasureInstrs) {
-		return nil, fmt.Errorf(
-			"trace store %s was recorded with phase split %v; replaying -warmup %d -measure %d would silently diverge from a live run (re-record with tracegen -warmup %d, or match the recorded split)",
-			dir, ix.Phases, cfg.WarmupInstrs, cfg.MeasureInstrs, cfg.WarmupInstrs)
+	need := cfg.WarmupInstrs + cfg.MeasureInstrs
+	var source pif.Source
+	label := "(trace)"
+	if window != nil {
+		// A slice is its own experiment — the window, not the recorded
+		// phase split, defines what is replayed — so only the window's
+		// record budget is validated here.
+		if err := ix.CheckWindow(*window); err != nil {
+			return nil, err
+		}
+		if window.Len < need {
+			return nil, fmt.Errorf("window %s holds %d records, need %d (warmup+measure)",
+				window, window.Len, need)
+		}
+		source = pif.SliceSource(dir, *window)
+		label = fmt.Sprintf("(slice@%s)", window)
+	} else {
+		if ix.Records() < need {
+			return nil, fmt.Errorf("trace store %s holds %d records, need %d (warmup+measure)",
+				dir, ix.Records(), need)
+		}
+		if !ix.PhaseCompatible(cfg.WarmupInstrs, cfg.MeasureInstrs) {
+			return nil, fmt.Errorf(
+				"trace store %s was recorded with phase split %v; replaying -warmup %d -measure %d would silently diverge from a live run (re-record with tracegen -warmup %d, or match the recorded split)",
+				dir, ix.Phases, cfg.WarmupInstrs, cfg.MeasureInstrs, cfg.WarmupInstrs)
+		}
+		source = pif.StoreSource(dir)
 	}
 	var jobs []pif.Job
 	for _, eng := range engines {
 		jobs = append(jobs, pif.Job{
-			Label:         wl.Name + "(trace)/" + eng.name,
+			Label:         wl.Name + label + "/" + eng.name,
 			Workload:      wl,
 			Config:        cfg,
 			NewPrefetcher: eng.factory,
-			NewSource: func() (pif.TraceIterator, error) {
-				return pif.OpenTraceStore(dir)
-			},
+			Source:        source,
 		})
 	}
 	return jobs, nil

@@ -14,6 +14,8 @@
 //	tracegen -workload "Web Apache" -n 10000000 -o apache.pift
 //	tracegen -workload "Web Apache" -n 10000000 -shard-records 1000000 -o apache.store
 //	tracegen -workload "Web Apache" -warmup 8000000 -n 2000000 -shard-records 1000000 -o apache.store
+//	tracegen -source store -i apache.store -shard-records 250000 -o apache-fine.store
+//	tracegen -source slice@8M:2M -i apache.store -o apache-window.store
 //	tracegen -dump -i apache.pift | head
 //	tracegen -dump -i apache.store | head
 //
@@ -22,6 +24,17 @@
 // warmup-then-measure call pattern: replaying such a store with
 // "pifsim -trace ... -warmup W -measure N" is byte-identical to the live
 // simulation.
+//
+// The -source flag selects where the records come from. The default,
+// "live", executes the named workload. "store" replays an existing store
+// (-i) into a new one — a re-shard, e.g. to a finer chunk size for
+// distribution — preserving the recorded workload name and phase split.
+// "slice@off:len" extracts only the record window [off, off+len) of the
+// input store (located through the index, decoding no more chunks than
+// the window touches) into a new store: the unit of work for shipping
+// trace windows to other machines, and the on-disk twin of the
+// simulator's slice-replay sources. Derived stores are always sharded
+// (-shard-records 0 selects the default chunk size).
 package main
 
 import (
@@ -30,6 +43,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	pif "repro"
 	"repro/internal/trace"
@@ -38,10 +52,11 @@ import (
 
 func main() {
 	wlName := flag.String("workload", "OLTP DB2", "workload name")
+	source := flag.String("source", "live", "record source: live (execute -workload), store (re-shard the -i store), or slice@off:len (extract a window of the -i store)")
 	n := flag.Uint64("n", 10_000_000, "instructions to generate")
 	warmup := flag.Uint64("warmup", 0, "record this many warmup instructions as a separate executor phase before -n; a store recorded with -warmup W -n M replays byte-identically in 'pifsim -trace -warmup W -measure M'")
 	out := flag.String("o", "", "output trace file or store directory (required unless -dump)")
-	shard := flag.Uint64("shard-records", 0, "write a sharded store with this many records per chunk (0 = single file)")
+	shard := flag.Uint64("shard-records", 0, "records per chunk of sharded output (live generation: 0 = a single-file trace; -source store/slice always derive a sharded store, 0 = default chunk size)")
 	dump := flag.Bool("dump", false, "read a trace and print records as text")
 	in := flag.String("i", "", "input trace file or store directory for -dump")
 	limit := flag.Uint64("limit", 20, "records to print with -dump (0 = all)")
@@ -58,10 +73,87 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracegen: -o is required")
 		os.Exit(1)
 	}
+	if *source != "live" {
+		// Deriving from an existing store: the generation flags would be
+		// silently ignored, so reject explicit ones.
+		for _, f := range []string{"workload", "n", "warmup"} {
+			set := false
+			flag.Visit(func(fl *flag.Flag) {
+				if fl.Name == f {
+					set = true
+				}
+			})
+			if set {
+				fmt.Fprintf(os.Stderr, "tracegen: -%s and -source %s are mutually exclusive (the input store defines the records)\n", f, *source)
+				os.Exit(1)
+			}
+		}
+		if err := derive(*source, *in, *out, *shard); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := generate(*wlName, *warmup, *n, *out, *shard); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
+}
+
+// derive writes a new sharded store from an existing one: a full
+// re-shard for -source store, a window extraction for -source slice.
+func derive(source, in, out string, shardRecords uint64) error {
+	if in == "" {
+		return fmt.Errorf("-source %s needs -i STORE", source)
+	}
+	ix, err := trace.ReadIndex(in)
+	if err != nil {
+		return err
+	}
+	var (
+		it     trace.Iterator
+		phases []uint64
+		closer io.Closer
+	)
+	switch {
+	case source == "store":
+		r, err := trace.OpenStore(in)
+		if err != nil {
+			return err
+		}
+		it, closer = r, r
+		// A pure re-shard preserves the recorded phase split: replay
+		// compatibility checks keep working against the derived store.
+		phases = ix.Phases
+	case strings.HasPrefix(source, "slice@"):
+		w, err := trace.ParseWindow(strings.TrimPrefix(source, "slice@"))
+		if err != nil {
+			return err
+		}
+		sr, err := trace.OpenSlice(in, w)
+		if err != nil {
+			return err
+		}
+		it, closer = sr, sr
+		// A window has no meaningful relation to the recorded executor
+		// phases; the derived store records none.
+	default:
+		return fmt.Errorf("unknown -source %q (have live, store, slice@off:len)", source)
+	}
+	n, err := trace.BuildStore(out, ix.Workload, shardRecords, it, phases...)
+	if cerr := closer.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	outIx, err := trace.ReadIndex(out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("derived %d records for %q from %s to %s (%d chunk(s))\n",
+		n, ix.Workload, in, out, len(outIx.Chunks))
+	return nil
 }
 
 // recordSink is the write surface shared by the single-file Writer and

@@ -62,14 +62,26 @@ type Options struct {
 	// per-workload analyses; <= 0 means GOMAXPROCS. Results are identical
 	// for every value.
 	Parallel int
-	// TraceDir, when non-empty, spills each workload's generated
-	// retire-order stream to a sharded on-disk trace store under this
-	// directory and replays it for every trace-based analysis, so peak
-	// memory is bounded by one store chunk instead of the full stream
-	// length. Stores are keyed by workload and instruction count and are
-	// reused across artifacts and across processes (the paper's
+	// Backend, when non-nil, executes every simulation grid of this
+	// environment through the given runner.Backend instead of a private
+	// in-process pool (runs are serialized; results are identical for
+	// every backend). Nil selects a fresh LocalBackend per grid, sized
+	// by Parallel.
+	Backend runner.Backend
+	// StoreDir, when non-empty, is the environment's trace-store pool:
+	// each workload's generated retire-order stream is spilled to a
+	// sharded on-disk trace store under this directory and replayed for
+	// every trace-based analysis and every store/slice record source, so
+	// peak memory is bounded by one store chunk instead of the full
+	// stream length. Stores are keyed by workload and instruction count
+	// and are reused across artifacts and across processes (the paper's
 	// collect-once, replay-many methodology). Results are byte-identical
 	// with and without spilling.
+	StoreDir string
+	// TraceDir is the former name of StoreDir.
+	//
+	// Deprecated: set StoreDir; TraceDir is consulted only when StoreDir
+	// is empty.
 	TraceDir string
 	// TraceChunkRecords is the records-per-chunk of spilled stores
 	// (0 = trace.DefaultChunkRecords).
@@ -99,6 +111,15 @@ func QuickOptions() Options {
 		WarmupInstrs:  4_000_000,
 		MeasureInstrs: 1_000_000,
 	}
+}
+
+// storeDir resolves the trace-store pool directory, folding the
+// deprecated TraceDir alias into the new name ("" = in-memory streams).
+func (o Options) storeDir() string {
+	if o.StoreDir != "" {
+		return o.StoreDir
+	}
+	return o.TraceDir
 }
 
 // SweepSuite resolves the suite the design-space sweep artifacts run
@@ -145,6 +166,10 @@ type Env struct {
 	programs map[string]*memo[*workload.Program]
 	streams  map[string]*memo[trace.Stream]
 	spills   map[string]*memo[string] // workload name -> store directory
+
+	// backendMu serializes grid runs through a shared Options.Backend
+	// (backends serve one run at a time).
+	backendMu sync.Mutex
 
 	// Per-job results collected from every sweep grid run in this
 	// environment, keyed for the results store (jobs/<key>.json). jobIdx
@@ -206,11 +231,11 @@ func (e *Env) Program(p workload.Profile) (*workload.Program, error) {
 // Stream returns the (cached) retire-order stream covering warmup plus
 // measurement for a workload. Streams are immutable after construction
 // and safe for concurrent readers. When the environment spills traces to
-// disk (Options.TraceDir), every call rereads the store rather than
+// disk (Options.StoreDir), every call rereads the store rather than
 // pinning the whole stream in memory — streaming consumers should use
 // EachRecord instead.
 func (e *Env) Stream(p workload.Profile) (trace.Stream, error) {
-	if e.opts.TraceDir != "" {
+	if e.opts.storeDir() != "" {
 		r, err := e.openSpilled(p)
 		if err != nil {
 			return nil, err
@@ -259,7 +284,7 @@ func (e *Env) storeDirFor(p workload.Profile) string {
 	}, p.Name)
 	h := fnv.New32a()
 	h.Write([]byte(p.Name))
-	return filepath.Join(e.opts.TraceDir, fmt.Sprintf("%s-%08x-%d", sanitized, h.Sum32(), total))
+	return filepath.Join(e.opts.storeDir(), fmt.Sprintf("%s-%08x-%d", sanitized, h.Sum32(), total))
 }
 
 // Spill generates the workload's warmup+measure retire stream into a
@@ -267,10 +292,10 @@ func (e *Env) storeDirFor(p workload.Profile) string {
 // returns the store directory. An existing store with the same workload
 // name and record count is reused as-is — the trace is collected once
 // and replayed by every artifact, and by later processes pointed at the
-// same TraceDir. Spill requires Options.TraceDir.
+// same StoreDir. Spill requires Options.StoreDir.
 func (e *Env) Spill(p workload.Profile) (string, error) {
-	if e.opts.TraceDir == "" {
-		return "", fmt.Errorf("experiments: Spill(%q) without Options.TraceDir", p.Name)
+	if e.opts.storeDir() == "" {
+		return "", fmt.Errorf("experiments: Spill(%q) without Options.StoreDir", p.Name)
 	}
 	e.mu.Lock()
 	m, ok := e.spills[p.Name]
@@ -300,10 +325,10 @@ func (e *Env) buildSpill(p workload.Profile) (string, error) {
 	// so a crashed or raced build never leaves a half-written store
 	// behind the final name (ReadIndex above is the validity gate either
 	// way, even across processes sharing one TraceDir).
-	if err := os.MkdirAll(e.opts.TraceDir, 0o755); err != nil {
+	if err := os.MkdirAll(e.opts.storeDir(), 0o755); err != nil {
 		return "", err
 	}
-	tmp, err := os.MkdirTemp(e.opts.TraceDir, filepath.Base(dir)+".tmp-")
+	tmp, err := os.MkdirTemp(e.opts.storeDir(), filepath.Base(dir)+".tmp-")
 	if err != nil {
 		return "", err
 	}
@@ -345,7 +370,7 @@ func (e *Env) buildSpill(p workload.Profile) (string, error) {
 // otherwise. It is the streaming access path every trace-based driver
 // uses; results are identical either way.
 func (e *Env) EachRecord(p workload.Profile, fn func(trace.Record)) error {
-	if e.opts.TraceDir == "" {
+	if e.opts.storeDir() == "" {
 		s, err := e.Stream(p)
 		if err != nil {
 			return err
@@ -391,12 +416,15 @@ func (e *Env) openSpilled(p workload.Profile) (*trace.StoreReader, error) {
 	return r, nil
 }
 
-// RunJobs executes simulation jobs through the environment's worker pool,
-// attaching the cached program image for each job's workload, and returns
-// results in submission order.
+// RunJobs executes simulation jobs through the environment's execution
+// backend (Options.Backend, or a private in-process LocalBackend),
+// attaching the cached program image for each live-executing job's
+// workload, and returns results in submission order.
 func (e *Env) RunJobs(jobs []runner.Job) ([]runner.Result, error) {
 	for i := range jobs {
-		if jobs[i].Program == nil {
+		// Replay jobs never touch the program; building (or adopting) an
+		// image for them would only waste cache space.
+		if jobs[i].Program == nil && jobs[i].Source == nil && jobs[i].NewSource == nil {
 			prog, err := e.Program(jobs[i].Workload)
 			if err != nil {
 				return nil, err
@@ -404,8 +432,71 @@ func (e *Env) RunJobs(jobs []runner.Job) ([]runner.Result, error) {
 			jobs[i].Program = prog
 		}
 	}
-	pool := runner.Pool{Workers: e.opts.Parallel, OnProgress: e.opts.OnProgress}
-	return pool.Run(e.ctx, jobs)
+	if e.opts.Backend != nil {
+		// A shared backend serves one run at a time (the Backend
+		// contract); concurrent grids in one environment serialize here.
+		e.backendMu.Lock()
+		defer e.backendMu.Unlock()
+		return runner.RunOn(e.ctx, e.opts.Backend, jobs, e.opts.OnProgress)
+	}
+	b := runner.NewLocalBackend(e.opts.Parallel)
+	defer b.Close()
+	return runner.RunOn(e.ctx, b, jobs, e.opts.OnProgress)
+}
+
+// SourceFor returns the environment's record source for a workload's
+// warmup+measure stream: a store source over the spilled sharded store
+// when the environment persists traces (Options.StoreDir), a source over
+// the cached in-memory stream otherwise. Results are byte-identical
+// either way; the source is resolved lazily at Open, so building the
+// grid costs nothing.
+func (e *Env) SourceFor(p workload.Profile) sim.Source {
+	total := e.opts.WarmupInstrs + e.opts.MeasureInstrs
+	return e.windowSource(p, trace.Window{Off: 0, Len: total}, "store")
+}
+
+// WindowSource returns the record source replaying only window w of the
+// workload's warmup+measure stream: a slice of the spilled store
+// (sim.SliceSource on StoreReader.Seek) when the environment persists
+// traces, a sub-range of the cached in-memory stream otherwise. A window
+// outside the recorded range is a hard error at open time. Sweeping many
+// windows of one workload replays one recorded trace — the workload is
+// never re-executed per cell.
+func (e *Env) WindowSource(p workload.Profile, w trace.Window) sim.Source {
+	return e.windowSource(p, w, "slice")
+}
+
+// windowSource builds the lazy dual-path source behind SourceFor and
+// WindowSource.
+func (e *Env) windowSource(p workload.Profile, w trace.Window, kind string) sim.Source {
+	return sim.SourceFunc(func(ctx context.Context) (trace.Iterator, sim.SourceInfo, error) {
+		if p.Name == "" {
+			return nil, sim.SourceInfo{}, fmt.Errorf("experiments: %s source has no workload (apply a workload axis before resolving sources)", kind)
+		}
+		if e.opts.storeDir() != "" {
+			dir, err := e.Spill(p)
+			if err != nil {
+				return nil, sim.SourceInfo{}, err
+			}
+			if kind == "store" {
+				return sim.StoreSource(dir).Open(ctx)
+			}
+			return sim.SliceSource(dir, w).Open(ctx)
+		}
+		s, err := e.Stream(p)
+		if err != nil {
+			return nil, sim.SourceInfo{}, err
+		}
+		if w.Len == 0 || w.End() > uint64(len(s)) || w.End() < w.Off {
+			return nil, sim.SourceInfo{}, fmt.Errorf("experiments: window %s of %q out of range (stream holds %d records)", w, p.Name, len(s))
+		}
+		return s[w.Off:w.End()].Iter(), sim.SourceInfo{
+			Kind:     kind,
+			Workload: p.Name,
+			Records:  w.Len,
+			Window:   w,
+		}, nil
+	})
 }
 
 // ForEach runs fn(i) for every i in [0, n) across the environment's

@@ -41,7 +41,7 @@ func TestOptionsValidate(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig10", "fig2", "fig3", "fig7", "fig8", "fig9", "sweep-history", "sweep-l1", "table1"}
+	want := []string{"fig10", "fig2", "fig3", "fig7", "fig8", "fig9", "sweep-history", "sweep-l1", "sweep-window", "table1"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v, want %v", got, want)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/sweep"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -357,6 +359,14 @@ func init() {
 	})
 }
 
+// axisErr builds the usage error for one malformed -axis token: every
+// axis-spec failure names the exact flag value the user typed, so a long
+// command line pinpoints its offending token instead of reporting a
+// generic failure.
+func axisErr(token, format string, args ...any) error {
+	return fmt.Errorf("experiments: -axis %q: %s", token, fmt.Sprintf(format, args...))
+}
+
 // BuildSweep constructs an ad-hoc sweep spec from CLI axis specifications
 // of the form "name=v1,v2,...", applied in flag order. Supported axes:
 //
@@ -370,11 +380,25 @@ func init() {
 //     K/M suffix meaning KB multiples; mutually exclusive with history.
 //   - l1=<sizes>: L1-I capacity with an optional K/M suffix in bytes
 //     ("32K", "64K"); bare numbers mean KB.
+//   - source=<record sources>: where each cell's instruction stream
+//     comes from — "live" (execute the workload), "store" (replay the
+//     workload's recorded stream: the spilled store when the options
+//     name a store pool, the cached in-memory stream otherwise —
+//     byte-identical either way), "slice@off:len"
+//     (replay one window of it, K/M suffixes allowed), or either of the
+//     latter with an explicit store directory appended ("store@DIR",
+//     "slice@off:len@DIR", e.g. a store recorded by tracegen). A slice
+//     cell replays its whole window from a cold start — warmup 0, the
+//     window length as the measured interval — so several windows of one
+//     recorded trace are comparable regardless of the run's
+//     warmup/measure split (the sweep-window artifact's convention).
 //
 // The resulting spec validates each cell's system configuration at
 // expansion time, so an impossible geometry fails before any simulation
-// starts.
-func BuildSweep(name string, opts Options, axisSpecs []string) (sweep.Spec, error) {
+// starts. Malformed axis specs are usage errors quoting the offending
+// -axis token.
+func BuildSweep(e *Env, name string, axisSpecs []string) (sweep.Spec, error) {
+	opts := e.Options()
 	if len(axisSpecs) == 0 {
 		return sweep.Spec{}, fmt.Errorf("experiments: sweep needs at least one -axis")
 	}
@@ -396,7 +420,7 @@ func BuildSweep(name string, opts Options, axisSpecs []string) (sweep.Spec, erro
 			return sweep.Spec{}, err
 		}
 		if seen[axName] {
-			return sweep.Spec{}, fmt.Errorf("experiments: duplicate -axis %s", axName)
+			return sweep.Spec{}, axisErr(as, "duplicate axis %q (each axis may appear once)", axName)
 		}
 		seen[axName] = true
 		var ax sweep.Axis
@@ -404,38 +428,48 @@ func BuildSweep(name string, opts Options, axisSpecs []string) (sweep.Spec, erro
 		case "workload":
 			wls, err := resolveWorkloads(vals)
 			if err != nil {
-				return sweep.Spec{}, err
+				return sweep.Spec{}, axisErr(as, "%v", err)
 			}
 			ax = sweep.WorkloadAxis("workload", wls)
 		case "engine":
 			for _, v := range vals {
 				if _, err := prefetch.Lookup(v); err != nil {
-					return sweep.Spec{}, fmt.Errorf("experiments: -axis engine: %w", err)
+					return sweep.Spec{}, axisErr(as, "%v", err)
 				}
 			}
 			ax = sweep.EngineAxis("engine", vals...)
 		case "history":
 			ints, err := parseSizes(vals, 1)
 			if err != nil {
-				return sweep.Spec{}, fmt.Errorf("experiments: -axis history: %w", err)
+				return sweep.Spec{}, axisErr(as, "%v", err)
 			}
 			ax = sweep.ParamAxis("history", "history",
 				func(v int) string { return strconv.Itoa(v) }, nil, ints)
 		case "budget":
 			ints, err := parseSizes(vals, 1)
 			if err != nil {
-				return sweep.Spec{}, fmt.Errorf("experiments: -axis budget: %w", err)
+				return sweep.Spec{}, axisErr(as, "%v", err)
 			}
 			ax = budgetAxis(ints)
 		case "l1":
 			// Bare numbers mean KB; suffixed values are bytes ("64K").
 			ints, err := parseSizes(vals, 1024)
 			if err != nil {
-				return sweep.Spec{}, fmt.Errorf("experiments: -axis l1: %w", err)
+				return sweep.Spec{}, axisErr(as, "%v", err)
 			}
 			ax = l1Axis(ints)
+		case "source":
+			choices := make([]sweep.SourceChoice, 0, len(vals))
+			for _, v := range vals {
+				c, err := e.sourceChoice(v)
+				if err != nil {
+					return sweep.Spec{}, axisErr(as, "%v", err)
+				}
+				choices = append(choices, c)
+			}
+			ax = sweep.SourceAxis("source", choices)
 		default:
-			return sweep.Spec{}, fmt.Errorf("experiments: unknown sweep axis %q (have workload, engine, history, budget, l1)", axName)
+			return sweep.Spec{}, axisErr(as, "unknown axis %q (have workload, engine, history, budget, l1, source)", axName)
 		}
 		spec.Axes = append(spec.Axes, ax)
 	}
@@ -453,17 +487,90 @@ func BuildSweep(name string, opts Options, axisSpecs []string) (sweep.Spec, erro
 	return spec, nil
 }
 
+// sourceChoice parses one value of the CLI source axis ("live", "store",
+// "slice@off:len", "store@DIR", "slice@off:len@DIR") into a keyed sweep
+// source. Env-backed sources ("store", "slice@off:len") replay the
+// cell's workload from the environment's spilled store and resolve the
+// workload lazily at open time, so the source axis composes with the
+// workload axis in either flag order; explicit-directory sources replay
+// the given store (its recorded workload must match the cell's — the
+// simulator enforces it).
+func (e *Env) sourceChoice(v string) (sweep.SourceChoice, error) {
+	key := sweep.KeyOf(v)
+	parts := strings.Split(v, "@")
+	switch parts[0] {
+	case "live":
+		if len(parts) > 1 {
+			return sweep.SourceChoice{}, fmt.Errorf("source %q: live takes no arguments", v)
+		}
+		return sweep.SourceChoice{Key: key, Name: v}, nil
+	case "store":
+		if len(parts) > 2 {
+			return sweep.SourceChoice{}, fmt.Errorf("source %q is not store or store@DIR", v)
+		}
+		if len(parts) == 2 {
+			dir := parts[1]
+			return sweep.SourceChoice{Key: key, Name: v, New: func(s *sweep.Settings) sim.Source {
+				return sim.StoreSource(dir)
+			}}, nil
+		}
+		return sweep.SourceChoice{Key: key, Name: v, New: func(s *sweep.Settings) sim.Source {
+			return e.lazySource(s, trace.Window{}, false)
+		}}, nil
+	case "slice":
+		if len(parts) < 2 || len(parts) > 3 {
+			return sweep.SourceChoice{}, fmt.Errorf("source %q is not slice@off:len or slice@off:len@DIR", v)
+		}
+		w, err := trace.ParseWindow(parts[1])
+		if err != nil {
+			return sweep.SourceChoice{}, fmt.Errorf("source %q: %v", v, err)
+		}
+		// A slice cell measures its whole window from a cold start: the
+		// window, not the run's warmup/measure split, defines the
+		// interval, so any number of windows of one trace fit one grid.
+		coldWindow := func(s *sweep.Settings) {
+			s.Sim.WarmupInstrs = 0
+			s.Sim.MeasureInstrs = w.Len
+		}
+		if len(parts) == 3 {
+			dir := parts[2]
+			return sweep.SourceChoice{Key: key, Name: v, New: func(s *sweep.Settings) sim.Source {
+				coldWindow(s)
+				return sim.SliceSource(dir, w)
+			}}, nil
+		}
+		return sweep.SourceChoice{Key: key, Name: v, New: func(s *sweep.Settings) sim.Source {
+			coldWindow(s)
+			return e.lazySource(s, w, true)
+		}}, nil
+	default:
+		return sweep.SourceChoice{}, fmt.Errorf("unknown source %q (have live, store, slice@off:len, each optionally @DIR)", v)
+	}
+}
+
+// lazySource defers a cell's env-backed source to open time, when the
+// cell's settings (in particular the workload, possibly applied by a
+// later axis) are final.
+func (e *Env) lazySource(s *sweep.Settings, w trace.Window, slice bool) sim.Source {
+	return sim.SourceFunc(func(ctx context.Context) (trace.Iterator, sim.SourceInfo, error) {
+		if slice {
+			return e.WindowSource(s.Workload, w).Open(ctx)
+		}
+		return e.SourceFor(s.Workload).Open(ctx)
+	})
+}
+
 // splitAxisSpec parses "name=v1,v2" into its parts.
 func splitAxisSpec(s string) (string, []string, error) {
 	name, rest, ok := strings.Cut(s, "=")
 	if !ok || name == "" || rest == "" {
-		return "", nil, fmt.Errorf("experiments: -axis %q is not name=v1,v2,...", s)
+		return "", nil, axisErr(s, "not of the form name=v1,v2,...")
 	}
 	var vals []string
 	for _, v := range strings.Split(rest, ",") {
 		v = strings.TrimSpace(v)
 		if v == "" {
-			return "", nil, fmt.Errorf("experiments: -axis %q has an empty value", s)
+			return "", nil, axisErr(s, "empty value in list %q", rest)
 		}
 		vals = append(vals, v)
 	}

@@ -181,7 +181,7 @@ func TestEnvCollectsJobResults(t *testing.T) {
 
 func TestBuildSweep(t *testing.T) {
 	opts := QuickOptions()
-	spec, err := BuildSweep("s", opts, []string{"workload=xl", "engine=pif,tifs", "budget=8,32"})
+	spec, err := BuildSweep(NewEnv(opts), "s", []string{"workload=xl", "engine=pif,tifs", "budget=8,32"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +205,7 @@ func TestBuildSweep(t *testing.T) {
 	}
 
 	// Default workload axis (sweep suite) and default engine (pif).
-	spec, err = BuildSweep("s", opts, []string{"l1=32K,64K"})
+	spec, err = BuildSweep(NewEnv(opts), "s", []string{"l1=32K,64K"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func TestBuildSweep(t *testing.T) {
 		{"engine=pif-unlimited", "budget=8"}, // history-backed variant the hook cannot size
 		{},
 	} {
-		spec, err := BuildSweep("s", opts, specs)
+		spec, err := BuildSweep(NewEnv(opts), "s", specs)
 		if err == nil {
 			_, err = spec.Expand()
 		}
@@ -246,7 +246,7 @@ func TestBuildSweep(t *testing.T) {
 	}
 
 	// Workload names and suite aliases mix and dedupe.
-	spec, err = BuildSweep("s", opts, []string{"workload=DSS Qry2,xl,DSS Qry2", "engine=none"})
+	spec, err = BuildSweep(NewEnv(opts), "s", []string{"workload=DSS Qry2,xl,DSS Qry2", "engine=none"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +261,7 @@ func TestBuildSweep(t *testing.T) {
 
 // TestBuildSweepHistoryEntries covers the entries-based history axis.
 func TestBuildSweepHistoryEntries(t *testing.T) {
-	spec, err := BuildSweep("s", QuickOptions(), []string{"workload=xl", "engine=pif,none", "history=1K,32K"})
+	spec, err := BuildSweep(NewEnv(QuickOptions()), "s", []string{"workload=xl", "engine=pif,none", "history=1K,32K"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,5 +319,116 @@ func TestApplyEngineParamsDirect(t *testing.T) {
 	s = &sweep.Settings{Factory: func() prefetch.Prefetcher { return prefetch.None{} }, Params: map[string]float64{"history": 1024}}
 	if err := ApplyEngineParams(s); err == nil {
 		t.Fatal("explicit factory with a history param accepted")
+	}
+}
+
+// TestBuildSweepAxisErrors is the usage-error contract of the sweep CLI:
+// every malformed -axis spec — unknown axis name, duplicate axis, empty
+// value lists, bad values, bad source specs — must fail with an error
+// quoting the offending token, so a long command line pinpoints its
+// mistake.
+func TestBuildSweepAxisErrors(t *testing.T) {
+	env := NewEnv(QuickOptions())
+	for _, tc := range []struct {
+		specs []string
+		token string // the offending token the error must quote
+	}{
+		{[]string{"nope=1"}, `"nope=1"`},
+		{[]string{"workload=xl", "frobnicate=3,4"}, `"frobnicate=3,4"`},
+		{[]string{"engine="}, `"engine="`},
+		{[]string{"engine=pif,,tifs"}, `"engine=pif,,tifs"`},
+		{[]string{"=pif"}, `"=pif"`},
+		{[]string{"engine=pif", "engine=tifs"}, `"engine=tifs"`},
+		{[]string{"workload=std", "workload=xl"}, `"workload=xl"`},
+		{[]string{"budget=8,zz"}, `"budget=8,zz"`},
+		{[]string{"l1=banana"}, `"l1=banana"`},
+		{[]string{"engine=warpdrive"}, `"engine=warpdrive"`},
+		{[]string{"workload=SAP HANA"}, `"workload=SAP HANA"`},
+		{[]string{"source=warp"}, `"source=warp"`},
+		{[]string{"source=slice@banana"}, `"source=slice@banana"`},
+		{[]string{"source=slice"}, `"source=slice"`},
+		{[]string{"source=live@x"}, `"source=live@x"`},
+		{[]string{"source=slice@0:0"}, `"source=slice@0:0"`},
+	} {
+		_, err := BuildSweep(env, "s", tc.specs)
+		if err == nil {
+			t.Errorf("BuildSweep(%v) accepted", tc.specs)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.token) {
+			t.Errorf("BuildSweep(%v) error %q does not quote offending token %s", tc.specs, err, tc.token)
+		}
+	}
+}
+
+// TestBuildSweepSourceAxis covers the CLI source axis end to end at a
+// tiny scale: live and env-backed slice cells expand, run, persist, and
+// the slice cells replay deterministically.
+func TestBuildSweepSourceAxis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment tests are skipped in -short mode")
+	}
+	opts := QuickOptions()
+	opts.Workloads = opts.Workloads[:1]
+	opts.SweepWorkloads = opts.Workloads
+	opts.WarmupInstrs = 60_000
+	opts.MeasureInstrs = 30_000
+	opts.StoreDir = t.TempDir()
+	opts.TraceChunkRecords = 1 << 12
+
+	run := func() *sweep.Grid {
+		env := NewEnv(opts)
+		spec, err := BuildSweep(env, "s", []string{
+			"engine=nextline",
+			"source=live,slice@0:45000,slice@45000:45000",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := env.RunGrid(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	g := run()
+	if g.Size() != 3 {
+		t.Fatalf("size = %d", g.Size())
+	}
+	liveCell, err := g.At("workload", sweep.KeyOf(opts.Workloads[0].Name), "engine", "nextline", "source", "live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liveCell.Settings.Source != nil {
+		t.Error("live cell carries a source")
+	}
+	if liveCell.Settings.Sim.WarmupInstrs != opts.WarmupInstrs {
+		t.Errorf("live cell warmup = %d", liveCell.Settings.Sim.WarmupInstrs)
+	}
+	// Slice cells measure their whole window cold: warmup 0, the window
+	// length as the interval, so both windows of the one spilled trace
+	// are valid cells.
+	sliceCell, err := g.At("workload", sweep.KeyOf(opts.Workloads[0].Name), "engine", "nextline", "source", "slice-45000-45000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sliceCell.Settings.Source == nil {
+		t.Error("slice cell has no source")
+	}
+	if sliceCell.Settings.Sim.WarmupInstrs != 0 || sliceCell.Settings.Sim.MeasureInstrs != 45000 {
+		t.Errorf("slice cell interval = %d/%d, want 0/45000",
+			sliceCell.Settings.Sim.WarmupInstrs, sliceCell.Settings.Sim.MeasureInstrs)
+	}
+	for i, r := range g.Results {
+		if r.Err != nil {
+			t.Errorf("cell %d (%s): %v", i, g.Cells[i].Label, r.Err)
+		}
+	}
+	// Reruns replay the same windows byte-identically.
+	g2 := run()
+	for i := range g.Results {
+		if g.Results[i].Sim != g2.Results[i].Sim {
+			t.Errorf("cell %d: slice replay not deterministic across runs", i)
+		}
 	}
 }

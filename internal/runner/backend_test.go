@@ -1,0 +1,235 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestLocalBackendProtocol exercises the raw Submit/Results/Close
+// protocol without the RunOn driver: every submitted job yields exactly
+// one result echoing its index, and Close drains in-flight work before
+// closing the stream.
+func TestLocalBackendProtocol(t *testing.T) {
+	b := NewLocalBackend(2)
+	jobs := testJobs(t, 4)
+	collected := make(chan map[int]Result, 1)
+	go func() {
+		out := map[int]Result{}
+		for r := range b.Results() {
+			out[r.Index] = r
+		}
+		collected <- out
+	}()
+	for i, j := range jobs {
+		// Indices are caller-chosen: tag with a stride to prove the
+		// backend echoes rather than invents them.
+		if err := b.Submit(context.Background(), i*10, j); err != nil {
+			t.Fatalf("Submit(%d): %v", i, err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	out := <-collected
+	if len(out) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(out), len(jobs))
+	}
+	for i, j := range jobs {
+		r, ok := out[i*10]
+		if !ok {
+			t.Fatalf("no result for index %d", i*10)
+		}
+		if r.Err != nil {
+			t.Errorf("job %d: %v", i, r.Err)
+		}
+		if r.Label != j.Label {
+			t.Errorf("job %d label = %q, want %q", i, r.Label, j.Label)
+		}
+	}
+}
+
+// countingBackend wraps a Backend and counts Submits — the stand-in for
+// an alternative Backend implementation, proving the interface (not the
+// concrete pool) is what drivers program against.
+type countingBackend struct {
+	Backend
+	submits atomic.Int32
+}
+
+func (c *countingBackend) Submit(ctx context.Context, idx int, j Job) error {
+	c.submits.Add(1)
+	return c.Backend.Submit(ctx, idx, j)
+}
+
+// TestRunOnCustomBackend drives RunOn through a wrapped backend and
+// asserts results are byte-identical to a plain Pool run of the same
+// jobs — backend selection cannot perturb simulation outcomes.
+func TestRunOnCustomBackend(t *testing.T) {
+	jobs := testJobs(t, 5)
+	inner := NewLocalBackend(3)
+	cb := &countingBackend{Backend: inner}
+	viaBackend, err := RunOn(context.Background(), cb, jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner.Close()
+	if got := cb.submits.Load(); got != int32(len(jobs)) {
+		t.Errorf("custom backend saw %d submits, want %d", got, len(jobs))
+	}
+	viaPool, err := Pool{Workers: 2}.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if viaBackend[i].Sim != viaPool[i].Sim {
+			t.Errorf("job %d: backend result differs from pool result", i)
+		}
+		if viaBackend[i].Index != i {
+			t.Errorf("job %d: index %d", i, viaBackend[i].Index)
+		}
+	}
+}
+
+// TestBackendReuseAcrossRuns asserts one backend can serve several
+// sequential RunOn batches (the experiments.Env sharing pattern).
+func TestBackendReuseAcrossRuns(t *testing.T) {
+	b := NewLocalBackend(2)
+	defer b.Close()
+	first, err := RunOn(context.Background(), b, testJobs(t, 3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunOn(context.Background(), b, testJobs(t, 3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if first[i].Sim != second[i].Sim {
+			t.Errorf("job %d: rerun on a reused backend diverged", i)
+		}
+	}
+}
+
+// TestJobSourceCompat is the runner half of the back-compat contract:
+// the deprecated NewSource factory and the new Source field must produce
+// identical sim.Result JSON for the same recorded store, and both must
+// match the live run.
+func TestJobSourceCompat(t *testing.T) {
+	wl := workload.OLTPDB2()
+	cfg := sim.Config{
+		System:        config.Default(),
+		WarmupInstrs:  120_000,
+		MeasureInstrs: 80_000,
+	}
+	prog, err := workload.BuildProgram(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "store")
+	it := workload.NewIterator(prog, cfg.WarmupInstrs, cfg.MeasureInstrs)
+	if _, err := trace.BuildStore(dir, wl.Name, 1<<14, it, cfg.WarmupInstrs, cfg.MeasureInstrs); err != nil {
+		t.Fatalf("BuildStore: %v", err)
+	}
+	it.Close()
+
+	jobs := []Job{
+		{Label: "live", Workload: wl, Config: cfg, PrefetcherName: "tifs"},
+		{Label: "new-source", Workload: wl, Config: cfg, PrefetcherName: "tifs",
+			Source: sim.StoreSource(dir)},
+		{Label: "deprecated-newsource", Workload: wl, Config: cfg, PrefetcherName: "tifs",
+			NewSource: func() (trace.Iterator, error) { return trace.OpenStore(dir) }},
+	}
+	results, err := Run(context.Background(), jobs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := json.Marshal(results[0].Sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{1, 2} {
+		got, err := json.Marshal(results[i].Sim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(live) != string(got) {
+			t.Errorf("%s differs from live:\nlive: %s\ngot:  %s", results[i].Label, live, got)
+		}
+	}
+}
+
+// TestRunOnCancel asserts RunOn's cancellation contract holds for a
+// directly driven backend: prompt return, ctx.Err() on every job that
+// never ran.
+func TestRunOnCancel(t *testing.T) {
+	b := NewLocalBackend(1)
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	results, err := RunOn(ctx, b, testJobs(t, 6), func(p Progress) {
+		if p.Done == 1 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	last := results[len(results)-1]
+	if !errors.Is(last.Err, context.Canceled) {
+		t.Errorf("tail job Err = %v, want context.Canceled", last.Err)
+	}
+}
+
+// refusingBackend accepts a fixed number of submissions, then fails —
+// the shape of a remote backend losing its connection mid-batch.
+type refusingBackend struct {
+	*LocalBackend
+	accept int
+	seen   atomic.Int32
+}
+
+var errRefused = errors.New("backend connection lost")
+
+func (b *refusingBackend) Submit(ctx context.Context, idx int, j Job) error {
+	if int(b.seen.Add(1)) > b.accept {
+		return errRefused
+	}
+	return b.LocalBackend.Submit(ctx, idx, j)
+}
+
+// TestRunOnSubmitRefusal asserts a backend refusing work mid-batch (with
+// the context still live) surfaces as RunOn's error, with every
+// never-accepted job carrying the refusal — unrun jobs must never pose
+// as completed zero-valued simulations.
+func TestRunOnSubmitRefusal(t *testing.T) {
+	inner := NewLocalBackend(2)
+	defer inner.Close()
+	b := &refusingBackend{LocalBackend: inner, accept: 2}
+	jobs := testJobs(t, 5)
+	results, err := RunOn(context.Background(), b, jobs, nil)
+	if !errors.Is(err, errRefused) {
+		t.Fatalf("err = %v, want the backend refusal", err)
+	}
+	var ran int
+	for i, r := range results {
+		if r.Err == nil && r.Sim.Instructions > 0 {
+			ran++
+		} else if !errors.Is(r.Err, errRefused) {
+			t.Errorf("job %d: Err = %v, want the refusal (never-run jobs must not look successful)", i, r.Err)
+		}
+	}
+	if ran != 2 {
+		t.Errorf("%d jobs ran, want the 2 accepted before the refusal", ran)
+	}
+}

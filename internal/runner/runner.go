@@ -1,21 +1,23 @@
-// Package runner is the job-based parallel execution engine of the
-// evaluation harness. A Job names one simulation (workload profile,
-// sim.Config, prefetcher factory); a Pool fans jobs out over a bounded
-// worker pool, supports context cancellation and progress callbacks, and
-// returns results in submission order — so tables rendered from a
+// Package runner is the job-execution layer of the evaluation harness.
+// A Job names one simulation (workload profile, sim.Config, prefetcher
+// factory, optional record source); a Backend executes submitted jobs —
+// LocalBackend over an in-process bounded worker pool today, a
+// multi-node service tomorrow — and RunOn drives any backend with the
+// harness's contract: context cancellation, serialized progress
+// callbacks, and results in submission order, so tables rendered from a
 // parallel run are byte-identical to a serial run of the same jobs.
 //
 // Every experiment driver in internal/experiments enumerates Jobs (or
 // uses ForEach for trace-based per-workload analyses) instead of looping
 // serially — since PR 4 they do so by declaring design-space sweep specs
-// (internal/sweep) whose expanded grids feed this pool. See DESIGN.md §5
-// for the engine's design and §8 for the sweep layer above it.
+// (internal/sweep) whose expanded grids feed the selected backend. See
+// DESIGN.md §5 for the execution engine, §8 for the sweep layer, and §9
+// for the Source/Backend pipeline API.
 package runner
 
 import (
 	"context"
 	"fmt"
-	"io"
 	"runtime"
 	"sync"
 	"time"
@@ -49,12 +51,18 @@ type Job struct {
 	// Program optionally shares a pre-built (immutable) program image
 	// across jobs of the same workload.
 	Program *workload.Program
-	// NewSource, when non-nil, opens a private retire-order record source
-	// for the job (e.g. a trace.StoreReader over a sharded on-disk store)
-	// and the simulation replays it instead of executing the program.
-	// Sources are stateful like prefetch engines, so jobs carry a factory;
-	// the pool opens one source per job and closes it (when it implements
-	// io.Closer) after the run.
+	// Source, when non-nil, supplies the job's record stream (a
+	// sim.StoreSource replaying a sharded store, a sim.SliceSource
+	// replaying one window of it, ...) instead of live execution.
+	// Sources are factories, not open iterators, so every job — and
+	// every retry on another backend node — opens its own.
+	Source sim.Source
+	// NewSource, when non-nil, opens a private retire-order record
+	// iterator for the job.
+	//
+	// Deprecated: use Source, which carries source metadata for
+	// validation and labeling. NewSource delegates through
+	// sim.OpenerSource and is ignored when Source is set.
 	NewSource func() (trace.Iterator, error)
 	// Observer, when non-nil, receives measured-interval callbacks. It is
 	// invoked from the job's worker goroutine and must be private to the
@@ -73,6 +81,18 @@ func (j Job) factory() (prefetch.Factory, error) {
 	return nil, fmt.Errorf("runner: job %q names no prefetcher", j.Label)
 }
 
+// source resolves the job's record source (nil = live execution),
+// folding the deprecated NewSource field through its shim.
+func (j Job) source() sim.Source {
+	if j.Source != nil {
+		return j.Source
+	}
+	if j.NewSource != nil {
+		return sim.OpenerSource(j.NewSource)
+	}
+	return nil
+}
+
 // Result is the outcome of one job.
 type Result struct {
 	// Index is the job's submission index; results are returned in
@@ -88,28 +108,19 @@ type Result struct {
 	Elapsed time.Duration
 }
 
-// Progress reports one completed job. Callbacks are serialized: the pool
+// Progress reports one finished job. Callbacks are serialized: RunOn
 // never invokes OnProgress concurrently.
 type Progress struct {
-	// Done is the number of completed jobs including this one; Total is
+	// Done is the number of finished jobs including this one; Total is
 	// the submitted job count.
 	Done, Total int
-	// Index and Label identify the completed job.
+	// Index and Label identify the finished job.
 	Index int
 	Label string
-	// Elapsed is the completed job's wall-clock duration.
+	// Elapsed is the finished job's wall-clock duration.
 	Elapsed time.Duration
 	// Err is the job's failure, if any.
 	Err error
-}
-
-// Pool executes jobs over a bounded set of workers.
-type Pool struct {
-	// Workers bounds concurrency; <= 0 means GOMAXPROCS.
-	Workers int
-	// OnProgress, when non-nil, is called (serially) after each job
-	// completes.
-	OnProgress func(Progress)
 }
 
 // Workers resolves a worker-count override: n if positive, GOMAXPROCS
@@ -121,17 +132,148 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// Run executes every job and returns the results in submission order.
-// The returned error is the context's error if the run was canceled,
-// otherwise the first (by submission order) job failure; the result
-// slice is always fully populated for jobs that ran. Jobs already
-// started when the context is canceled are aborted by sim.RunJob's
-// periodic cancellation check.
-func (p Pool) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+// Backend executes submitted simulation jobs. It is the *where to run*
+// axis of the pipeline API, orthogonal to what is simulated (the job's
+// Source) and with which engine (the job's prefetcher factory):
+// LocalBackend fans jobs out over an in-process worker pool, and a
+// multi-node backend shipping runner.Job/Result as its wire unit drops
+// in without touching any driver.
+//
+// The protocol: Submit enqueues jobs tagged with caller-chosen indices,
+// Results delivers one Result per successful Submit in completion order
+// (each echoing its index), and Close waits for in-flight jobs and then
+// closes the Results channel. A backend serves one run at a time —
+// RunOn is the canonical driver and callers sharing a backend across
+// runs must serialize them (experiments.Env does).
+type Backend interface {
+	// Submit enqueues job j tagged with index idx; the job's Result
+	// echoes idx. Submit may block while the backend is saturated; it
+	// returns ctx.Err() if the context is canceled first. Jobs accepted
+	// while ctx is already canceled may be skipped, delivering a Result
+	// carrying ctx.Err().
+	Submit(ctx context.Context, idx int, j Job) error
+	// Results is the completion stream: exactly one Result per
+	// successful Submit, in completion order. The channel is closed by
+	// Close after in-flight jobs drain.
+	Results() <-chan Result
+	// Close releases the backend's resources. It must be called after
+	// all Submits have returned; it is idempotent.
+	Close() error
+}
+
+// localJob is one submitted job inside a LocalBackend.
+type localJob struct {
+	ctx context.Context
+	idx int
+	job Job
+}
+
+// LocalBackend is the in-process Backend: a bounded pool of worker
+// goroutines executing jobs on the machine's cores. It is the only
+// backend implementation today and the reference for the Backend
+// contract.
+type LocalBackend struct {
+	jobs    chan localJob
+	results chan Result
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+// NewLocalBackend starts a local backend with the given worker count
+// (<= 0 means GOMAXPROCS). The backend must be Closed to release its
+// workers.
+func NewLocalBackend(workers int) *LocalBackend {
+	b := &LocalBackend{
+		jobs:    make(chan localJob),
+		results: make(chan Result),
+	}
+	n := Workers(workers)
+	b.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer b.wg.Done()
+			for lj := range b.jobs {
+				// A job dispatched in the cancellation race window is
+				// skipped, never started: a mid-grid cancel stays prompt
+				// and the skipped job reports ctx.Err(), so a caller
+				// salvaging per-job results cannot mistake it for a
+				// completed zero-valued simulation.
+				if err := lj.ctx.Err(); err != nil {
+					b.results <- Result{Index: lj.idx, Label: lj.job.Label, Err: err}
+					continue
+				}
+				b.results <- runJob(lj.ctx, lj.idx, lj.job)
+			}
+		}()
+	}
+	return b
+}
+
+// Submit implements Backend.
+func (b *LocalBackend) Submit(ctx context.Context, idx int, j Job) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case b.jobs <- localJob{ctx: ctx, idx: idx, job: j}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Results implements Backend.
+func (b *LocalBackend) Results() <-chan Result { return b.results }
+
+// Close implements Backend: no further Submits are accepted, in-flight
+// jobs drain, then the Results channel closes.
+func (b *LocalBackend) Close() error {
+	b.once.Do(func() {
+		close(b.jobs)
+		go func() {
+			b.wg.Wait()
+			close(b.results)
+		}()
+	})
+	return nil
+}
+
+// runJob executes a single job.
+func runJob(ctx context.Context, idx int, j Job) Result {
+	res := Result{Index: idx, Label: j.Label}
+	start := time.Now()
+	factory, err := j.factory()
+	if err != nil {
+		res.Err = err
+		res.Elapsed = time.Since(start)
+		return res
+	}
+	res.Sim, res.Err = sim.RunJob(ctx, sim.Job{
+		Config:        j.Config,
+		Workload:      j.Workload,
+		Program:       j.Program,
+		From:          j.source(),
+		NewPrefetcher: factory,
+		Observer:      j.Observer,
+	})
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// RunOn drives one batch of jobs through a backend: jobs are submitted
+// in order (tagged with their slice index) while completions are
+// collected concurrently, progress callbacks fire serially as results
+// arrive, and the final slice is in submission order. The returned error
+// is the context's error if the run was canceled, otherwise the first
+// (by submission order) job failure; the result slice is always fully
+// populated — jobs never submitted because of a cancellation carry
+// ctx.Err(), never a zero result. RunOn does not Close the backend.
+func RunOn(ctx context.Context, b Backend, jobs []Job, onProgress func(Progress)) ([]Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	results := make([]Result, len(jobs))
+	got := make([]bool, len(jobs))
 	for i := range results {
 		results[i] = Result{Index: i, Label: jobs[i].Label}
 	}
@@ -139,72 +281,79 @@ func (p Pool) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 		return results, ctx.Err()
 	}
 
-	workers := Workers(p.Workers)
-	if workers > len(jobs) {
-		workers = len(jobs)
+	// Submit from a side goroutine so collection never deadlocks against
+	// a saturated backend; report how many jobs were actually accepted
+	// and why submission stopped, so a backend refusing work mid-batch
+	// surfaces as an error instead of unrun jobs posing as completed
+	// zero-valued simulations.
+	type submitOutcome struct {
+		n   int
+		err error
 	}
-
-	idxCh := make(chan int)
+	submitted := make(chan submitOutcome, 1)
 	go func() {
-		defer close(idxCh)
+		out := submitOutcome{}
 		for i := range jobs {
-			select {
-			case idxCh <- i:
-			case <-ctx.Done():
-				return
+			if ctx.Err() != nil {
+				break
 			}
+			if err := b.Submit(ctx, i, jobs[i]); err != nil {
+				out.err = err
+				break
+			}
+			out.n++
 		}
+		submitted <- out
 	}()
 
-	var (
-		wg     sync.WaitGroup
-		progMu sync.Mutex
-		done   int
-	)
-	ran := make([]bool, len(jobs)) // per-index, written by exactly one worker
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idxCh {
-				// The producer stops dispatching on cancellation, but an
-				// index may already be in flight when the context fires;
-				// re-checking here keeps long grids prompt — a mid-grid
-				// cancel never starts another simulation, and the skipped
-				// job reports ctx.Err() instead of a zero result.
-				if ctx.Err() != nil {
-					continue
-				}
-				ran[i] = true
-				results[i] = p.runOne(ctx, i, jobs[i])
-				if p.OnProgress != nil {
-					progMu.Lock()
-					done++
-					p.OnProgress(Progress{
-						Done:    done,
-						Total:   len(jobs),
-						Index:   i,
-						Label:   results[i].Label,
-						Elapsed: results[i].Elapsed,
-						Err:     results[i].Err,
-					})
-					progMu.Unlock()
-				}
+	var done, want int
+	var submitErr error
+	want = -1
+	for want < 0 || done < want {
+		select {
+		case out := <-submitted:
+			want, submitErr = out.n, out.err
+		case r, ok := <-b.Results():
+			if !ok {
+				return results, fmt.Errorf("runner: backend closed its result stream mid-run (%d of %d results)", done, want)
 			}
-		}()
+			if r.Index < 0 || r.Index >= len(results) {
+				return results, fmt.Errorf("runner: backend returned result for unknown job index %d", r.Index)
+			}
+			results[r.Index] = r
+			got[r.Index] = true
+			done++
+			if onProgress != nil {
+				onProgress(Progress{
+					Done:    done,
+					Total:   len(jobs),
+					Index:   r.Index,
+					Label:   r.Label,
+					Elapsed: r.Elapsed,
+					Err:     r.Err,
+				})
+			}
+		}
 	}
-	wg.Wait()
 
 	if err := ctx.Err(); err != nil {
-		// Jobs never dispatched carry the cancellation error too, so a
-		// caller salvaging per-job results cannot mistake them for
-		// completed zero-valued simulations.
+		// Jobs never submitted carry the cancellation error too.
 		for i := range results {
-			if !ran[i] {
+			if !got[i] {
 				results[i].Err = err
 			}
 		}
 		return results, err
+	}
+	if submitErr != nil {
+		// The backend refused work with the context still live: every
+		// job it never accepted carries the refusal.
+		for i := range results {
+			if !got[i] {
+				results[i].Err = submitErr
+			}
+		}
+		return results, fmt.Errorf("runner: backend refused job %d (%s): %w", want, jobs[want].Label, submitErr)
 	}
 	for i := range results {
 		if results[i].Err != nil {
@@ -214,40 +363,25 @@ func (p Pool) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	return results, nil
 }
 
-// runOne executes a single job.
-func (p Pool) runOne(ctx context.Context, i int, j Job) Result {
-	res := Result{Index: i, Label: j.Label}
-	start := time.Now()
-	factory, err := j.factory()
-	if err != nil {
-		res.Err = err
-		res.Elapsed = time.Since(start)
-		return res
-	}
-	var source trace.Iterator
-	if j.NewSource != nil {
-		source, err = j.NewSource()
-		if err != nil {
-			res.Err = err
-			res.Elapsed = time.Since(start)
-			return res
-		}
-	}
-	res.Sim, res.Err = sim.RunJob(ctx, sim.Job{
-		Config:        j.Config,
-		Workload:      j.Workload,
-		Program:       j.Program,
-		Source:        source,
-		NewPrefetcher: factory,
-		Observer:      j.Observer,
-	})
-	if c, ok := source.(io.Closer); ok {
-		if cerr := c.Close(); cerr != nil && res.Err == nil {
-			res.Err = cerr
-		}
-	}
-	res.Elapsed = time.Since(start)
-	return res
+// Pool executes jobs over a bounded set of workers.
+//
+// Pool predates the Backend interface and remains as the convenience
+// front door for one-shot batches: Run starts a private LocalBackend,
+// drives it with RunOn, and tears it down.
+type Pool struct {
+	// Workers bounds concurrency; <= 0 means GOMAXPROCS.
+	Workers int
+	// OnProgress, when non-nil, is called (serially) after each job
+	// finishes.
+	OnProgress func(Progress)
+}
+
+// Run executes every job and returns the results in submission order
+// (see RunOn for the execution contract).
+func (p Pool) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	b := NewLocalBackend(p.Workers)
+	defer b.Close()
+	return RunOn(ctx, b, jobs, p.OnProgress)
 }
 
 // Run executes jobs with a default pool of the given width (<= 0 means
@@ -292,9 +426,9 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				// Same mid-grid promptness guarantee as Pool.Run: a task
-				// dispatched in the cancellation race window is skipped,
-				// never started.
+				// Same mid-grid promptness guarantee as the local
+				// backend: a task dispatched in the cancellation race
+				// window is skipped, never started.
 				if ctx.Err() != nil {
 					continue
 				}

@@ -11,32 +11,41 @@ import (
 	"repro/internal/workload"
 )
 
-// Job names one simulation: a workload, a configuration, and a factory
-// producing a fresh prefetch engine. Jobs are the unit of work of the
-// parallel execution engine (internal/runner): because every engine is
-// stateful, a job carries a factory rather than an instance, and RunJob
-// constructs everything it touches, so any number of jobs can run
-// concurrently — goroutine safety by construction, with no package-level
-// state anywhere in the simulation path.
+// Job names one simulation: a record source (live workload execution by
+// default), a configuration, and a factory producing a fresh prefetch
+// engine. Jobs are the unit of work of the execution backends
+// (internal/runner): because every engine is stateful, a job carries a
+// factory rather than an instance, and RunJob constructs everything it
+// touches, so any number of jobs can run concurrently — goroutine safety
+// by construction, with no package-level state anywhere in the
+// simulation path.
 type Job struct {
 	// Config parameterizes the run (system, warmup, measured interval).
 	Config Config
-	// Workload is the simulated workload profile.
+	// Workload is the simulated workload profile. It supplies the
+	// front-end seed and the result's name even when the record stream
+	// comes from a recorded source.
 	Workload workload.Profile
 	// Program optionally supplies a pre-built program image (e.g. from the
 	// experiments environment cache). Programs are immutable after
 	// construction, so one image may be shared by concurrent jobs. When
 	// nil, RunJob builds the image from Workload.
 	Program *workload.Program
-	// Source, when non-nil, supplies the retire-order stream instead of
-	// executing the workload program: warmup plus measured records are
-	// pulled from the iterator (a trace.StoreReader replaying a sharded
-	// store, a workload.Iterator, ...). The source must be private to the
-	// job and must hold at least WarmupInstrs+MeasureInstrs records — a
-	// source exhausted early is an error, never a silently short run. A
-	// replayed run is byte-identical to a live one when the trace was
-	// recorded with the same warmup/measure phase boundaries
-	// (workload.Executor.Iterator(warmup, measure)).
+	// From, when non-nil, supplies the job's record stream: RunJob opens
+	// the source, pulls warmup plus measured records from the returned
+	// iterator, and closes it (when it implements io.Closer) after the
+	// run. Store and slice sources replay recorded traces instead of
+	// executing the workload; a LiveSource with no explicit phases runs
+	// the executor directly, byte-identical to a job with no source at
+	// all. A source that cannot supply WarmupInstrs+MeasureInstrs records
+	// is a hard error — never a silently short run.
+	From Source
+	// Source, when non-nil, supplies the retire-order stream as an
+	// already-open iterator. The iterator must be private to the job and
+	// is not closed by RunJob.
+	//
+	// Deprecated: use From with StoreSource/SliceSource/OpenerSource,
+	// which carry source metadata and manage the iterator's lifetime.
 	Source trace.Iterator
 	// NewPrefetcher constructs the job's private prefetch engine.
 	NewPrefetcher func() prefetch.Prefetcher
@@ -51,11 +60,12 @@ type Job struct {
 // check off the per-instruction hot path.
 const cancelCheckMask = 1<<16 - 1
 
-// RunJob executes one simulation job: build (or adopt) the program image,
-// construct a fresh prefetcher, warm up, measure. The context is polled
-// periodically; on cancellation the run is aborted and ctx.Err() returned.
-// RunJob is safe for concurrent use — it shares no mutable state with
-// other runs beyond the read-only Program.
+// RunJob executes one simulation job: resolve the record source, build
+// (or adopt) the program image when executing live, construct a fresh
+// prefetcher, warm up, measure. The context is polled periodically; on
+// cancellation the run is aborted and ctx.Err() returned. RunJob is safe
+// for concurrent use — it shares no mutable state with other runs beyond
+// the read-only Program.
 func RunJob(ctx context.Context, j Job) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -66,9 +76,69 @@ func RunJob(ctx context.Context, j Job) (Result, error) {
 	if j.NewPrefetcher == nil {
 		return Result{}, fmt.Errorf("sim: job for %q has no prefetcher factory", j.Workload.Name)
 	}
-	if j.Source != nil {
-		return replayJob(ctx, j)
+	if j.From != nil && j.Source != nil {
+		return Result{}, fmt.Errorf("sim: job for %q sets both From and the deprecated Source iterator", j.Workload.Name)
 	}
+	if j.Source != nil {
+		// Deprecated pre-opened iterator path: the caller owns the
+		// iterator's lifetime.
+		return replayJob(ctx, j, j.Source)
+	}
+	if j.From != nil {
+		if ls, ok := j.From.(*liveSource); ok {
+			// A live source carries the full profile, so a job that
+			// names no workload adopts it (front-end seed included)
+			// instead of silently simulating with a zero profile.
+			if j.Workload.Name == "" {
+				j.Workload = ls.w
+			} else if j.Workload.Name != ls.w.Name {
+				return Result{}, fmt.Errorf("sim: job for %q has a live source for %q", j.Workload.Name, ls.w.Name)
+			}
+			if len(ls.phases) == 0 {
+				// Live fast path: run the executor directly under the
+				// job's own warmup/measure split — no iterator
+				// goroutine, and byte-identical to a job with no
+				// source at all.
+				return liveJob(ctx, j)
+			}
+		}
+		if j.Workload.Name == "" {
+			// Replay sources supply records but not a profile, and the
+			// profile's front-end seed shapes the result: running with
+			// the zero profile would silently diverge from every
+			// workload-named run of the same trace.
+			return Result{}, fmt.Errorf("sim: job with a record source names no workload profile (the profile supplies the front-end seed)")
+		}
+		it, info, err := j.From.Open(ctx)
+		if err != nil {
+			return Result{}, err
+		}
+		res, rerr := runOpened(ctx, j, it, info)
+		if c, ok := it.(io.Closer); ok {
+			if cerr := c.Close(); cerr != nil && rerr == nil {
+				rerr = cerr
+			}
+		}
+		return res, rerr
+	}
+	return liveJob(ctx, j)
+}
+
+// runOpened validates an opened source against the job and replays it.
+func runOpened(ctx context.Context, j Job, it trace.Iterator, info SourceInfo) (Result, error) {
+	if info.Workload != "" && j.Workload.Name != "" && info.Workload != j.Workload.Name {
+		return Result{}, fmt.Errorf("sim: job for %q replays a source recorded from %q (%s)",
+			j.Workload.Name, info.Workload, info)
+	}
+	if need := j.Config.WarmupInstrs + j.Config.MeasureInstrs; info.Records > 0 && info.Records < need {
+		return Result{}, fmt.Errorf("sim: %s supplies %d records, need %d (warmup+measure)",
+			info, info.Records, need)
+	}
+	return replayJob(ctx, j, it)
+}
+
+// liveJob executes the job by running the workload program.
+func liveJob(ctx context.Context, j Job) (Result, error) {
 	prog := j.Program
 	if prog == nil {
 		var err error
@@ -115,15 +185,15 @@ func RunJob(ctx context.Context, j Job) (Result, error) {
 	return s.result(j.Workload.Name), nil
 }
 
-// replayJob drives a job from its Source iterator instead of a live
+// replayJob drives a job from a record iterator instead of a live
 // executor: records stream through the same Simulator one at a time, so
 // peak memory is the source's own buffer (one store chunk, one executor
 // batch), never the trace length.
-func replayJob(ctx context.Context, j Job) (Result, error) {
+func replayJob(ctx context.Context, j Job, src trace.Iterator) (Result, error) {
 	s := New(j.Config, j.NewPrefetcher(), j.Workload.Seed)
 	feed := func(n uint64) error {
 		for i := uint64(0); i < n; i++ {
-			r, err := j.Source.Next()
+			r, err := src.Next()
 			if err != nil {
 				if errors.Is(err, io.EOF) {
 					return fmt.Errorf("sim: trace source for %q exhausted after %d of %d records: %w",

@@ -30,6 +30,12 @@ import (
 	"repro/internal/workload"
 )
 
+// Source axes make *what to simulate* a swept dimension alongside the
+// engine and system axes: a cell may execute its workload live, replay a
+// recorded trace store, or replay one window of it (sim.SliceSource on
+// StoreReader.Seek), so a design-space sweep can fan out over trace
+// slices without re-executing the workload per cell. See DESIGN.md §9.
+
 // Settings is the accumulated configuration of one cell: every axis value
 // along the cell's point applies its mutation in axis order, then the
 // Spec's Finish hook (if any) resolves derived state such as an engine
@@ -51,6 +57,10 @@ type Settings struct {
 	// PrefetcherName names a prefetch-registry engine instead of an
 	// explicit factory.
 	PrefetcherName string
+	// Source, when non-nil, supplies the cell's record stream (a trace
+	// store or a window of one) instead of live workload execution; set
+	// by a source axis or a Finish hook.
+	Source sim.Source
 }
 
 // Value is one keyed setting of an axis. Key is the cell-key coordinate
@@ -104,6 +114,44 @@ func EngineAxis(name string, engines ...string) Axis {
 			Key:   KeyOf(eng),
 			Name:  eng,
 			Apply: func(s *Settings) { s.PrefetcherName = eng },
+		})
+	}
+	return ax
+}
+
+// SourceChoice is one keyed value of a source axis: New builds the
+// cell's record source from its settings (nil means live execution).
+type SourceChoice struct {
+	// Key is the cell-key coordinate; Name the display label (defaults
+	// to Key).
+	Key, Name string
+	// New, when non-nil, constructs the cell's source. It receives a
+	// pointer to the cell's settings that stays valid for the grid's
+	// lifetime, so a returned source may defer reading them (workload,
+	// params) until it is opened — axis order does not matter. New may
+	// also adjust the settings it is handed (e.g. fit the measured
+	// interval to a trace window).
+	New func(s *Settings) sim.Source
+}
+
+// SourceAxis builds a record-source axis: each value installs a source
+// factory on the cell (the *what to simulate* dimension), so one grid
+// can compare live execution against trace-store or trace-slice replay,
+// or sweep a trace window across positions.
+func SourceAxis(name string, choices []SourceChoice) Axis {
+	ax := Axis{Name: name}
+	for _, c := range choices {
+		c := c
+		ax.Values = append(ax.Values, Value{
+			Key:  c.Key,
+			Name: c.Name,
+			Apply: func(s *Settings) {
+				if c.New != nil {
+					s.Source = c.New(s)
+				} else {
+					s.Source = nil
+				}
+			},
 		})
 	}
 	return ax
@@ -317,6 +365,7 @@ func (g *Grid) Jobs() ([]runner.Job, error) {
 			Config:         c.Settings.Sim,
 			NewPrefetcher:  c.Settings.Factory,
 			PrefetcherName: c.Settings.PrefetcherName,
+			Source:         c.Settings.Source,
 		}
 	}
 	return jobs, nil
@@ -363,14 +412,20 @@ func Each(eng Engine, s Spec, fn func(c *Cell) error) (*Grid, error) {
 	return g, eng.ForEach(len(g.Cells), func(i int) error { return fn(&g.Cells[i]) })
 }
 
-// PoolEngine is a minimal Engine over the bare runner pool, for sweeps run
-// outside an experiments environment (no program-image cache: each job
-// builds its own).
+// PoolEngine is a minimal Engine over a bare execution backend, for
+// sweeps run outside an experiments environment (no program-image cache:
+// each job builds its own).
 type PoolEngine struct {
 	// Ctx governs cancellation (nil = background).
 	Ctx context.Context
-	// Workers bounds the pool (<= 0 = GOMAXPROCS).
+	// Workers bounds the in-process backend (<= 0 = GOMAXPROCS); ignored
+	// when Backend is set.
 	Workers int
+	// Backend, when non-nil, executes the grid's jobs (any
+	// runner.Backend implementation; runs through one engine are
+	// serialized by the caller). Nil selects a private in-process
+	// LocalBackend per run, sized by Workers.
+	Backend runner.Backend
 	// OnProgress, when non-nil, receives one serialized callback per
 	// completed job.
 	OnProgress func(runner.Progress)
@@ -378,7 +433,12 @@ type PoolEngine struct {
 
 // RunJobs implements Engine.
 func (p PoolEngine) RunJobs(jobs []runner.Job) ([]runner.Result, error) {
-	return runner.Pool{Workers: p.Workers, OnProgress: p.OnProgress}.Run(p.Ctx, jobs)
+	if p.Backend != nil {
+		return runner.RunOn(p.Ctx, p.Backend, jobs, p.OnProgress)
+	}
+	b := runner.NewLocalBackend(p.Workers)
+	defer b.Close()
+	return runner.RunOn(p.Ctx, b, jobs, p.OnProgress)
 }
 
 // ForEach implements Engine.

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// windowStore writes a store of n synthetic records with chunkRecords
+// per chunk and returns its directory plus the full record sequence.
+func windowStore(t *testing.T, n int, chunkRecords uint64) (string, Stream) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "store")
+	w, err := CreateStore(dir, "win", chunkRecords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := make(Stream, 0, n)
+	pc := isa.Addr(0x4000)
+	for i := 0; i < n; i++ {
+		// A mix of small forward deltas and occasional large jumps, so
+		// windows cover non-trivial delta chains within chunks.
+		pc += 4
+		if i%97 == 0 {
+			pc += 0x10_000
+		}
+		r := Record{PC: pc, Flags: Flags(i % 3)}
+		full = append(full, r)
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, full
+}
+
+// TestParseWindow covers the off:len grammar and its failure modes.
+func TestParseWindow(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Window
+	}{
+		{"0:100", Window{0, 100}},
+		{"8192:1K", Window{8192, 1 << 10}},
+		{"2K:1M", Window{2 << 10, 1 << 20}},
+		{" 5 : 7 ", Window{5, 7}},
+	} {
+		got, err := ParseWindow(tc.in)
+		if err != nil {
+			t.Errorf("ParseWindow(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseWindow(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "100", "1:", ":5", "a:5", "5:b", "5:0", "-1:5", "1:1G"} {
+		if w, err := ParseWindow(bad); err == nil {
+			t.Errorf("ParseWindow(%q) accepted as %v", bad, w)
+		}
+	}
+	if got := (Window{3, 9}).String(); got != "3:9" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestSliceMatchesFullReplay is the window-addressing acceptance bar: for
+// windows inside one chunk, spanning a chunk boundary, spanning several
+// chunks, starting at record 0, and ending exactly at EOF, the slice's
+// record sequence must be byte-identical to the same sub-range of a full
+// store replay.
+func TestSliceMatchesFullReplay(t *testing.T) {
+	const n, perChunk = 10_000, 1 << 10 // ~10 chunks
+	dir, full := windowStore(t, n, perChunk)
+
+	for _, w := range []Window{
+		{0, 100},                     // prefix inside chunk 0
+		{37, perChunk - 37},          // ends exactly at a chunk boundary
+		{perChunk - 5, 10},           // spans one chunk boundary
+		{perChunk / 2, 3 * perChunk}, // spans several chunks
+		{n - 257, 257},               // suffix ending exactly at EOF
+		{5 * perChunk, perChunk},     // aligned interior chunk
+		{0, n},                       // the whole store
+	} {
+		sr, err := OpenSlice(dir, w)
+		if err != nil {
+			t.Fatalf("OpenSlice(%v): %v", w, err)
+		}
+		got, err := Collect(sr)
+		if err != nil {
+			t.Fatalf("slice %v: %v", w, err)
+		}
+		if cerr := sr.Close(); cerr != nil {
+			t.Fatalf("slice %v close: %v", w, cerr)
+		}
+		want := full[w.Off:w.End()]
+		if len(got) != len(want) {
+			t.Fatalf("slice %v yielded %d records, want %d", w, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("slice %v record %d = %+v, want %+v", w, i, got[i], want[i])
+			}
+		}
+		// A drained slice stays cleanly at EOF.
+		if _, err := sr.Next(); !errors.Is(err, io.EOF) {
+			t.Errorf("slice %v after drain: %v, want io.EOF", w, err)
+		}
+	}
+}
+
+// TestSliceOutOfRange asserts windows reaching past the store are hard
+// errors at open time, not short replays.
+func TestSliceOutOfRange(t *testing.T) {
+	const n = 5000
+	dir, _ := windowStore(t, n, 1<<10)
+	ix, err := ReadIndex(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []Window{
+		{0, n + 1},      // one past the end
+		{n, 1},          // starts at EOF
+		{n + 100, 50},   // entirely past the end
+		{n - 10, 11},    // last record overruns
+		{0, 0},          // empty window
+		{^uint64(0), 2}, // offset+len overflows
+	} {
+		if err := ix.CheckWindow(w); err == nil {
+			t.Errorf("CheckWindow(%v) accepted", w)
+		}
+		if sr, err := OpenSlice(dir, w); err == nil {
+			sr.Close()
+			t.Errorf("OpenSlice(%v) accepted", w)
+		}
+	}
+	// The boundary case just inside the range stays valid.
+	if err := ix.CheckWindow(Window{n - 1, 1}); err != nil {
+		t.Errorf("CheckWindow(last record): %v", err)
+	}
+}
+
+// TestSliceReaderMetadata covers the index/workload/window accessors used
+// by source wiring.
+func TestSliceReaderMetadata(t *testing.T) {
+	dir, _ := windowStore(t, 2000, 1<<10)
+	w := Window{100, 500}
+	sr, err := OpenSlice(dir, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	if sr.Workload() != "win" {
+		t.Errorf("Workload = %q", sr.Workload())
+	}
+	if sr.Window() != w {
+		t.Errorf("Window = %v", sr.Window())
+	}
+	if got := sr.Index().Records(); got != 2000 {
+		t.Errorf("Index records = %d", got)
+	}
+}

@@ -4,27 +4,51 @@
 // instruction stream in compact spatial-region form and replays recorded
 // streams to eliminate instruction-fetch stalls.
 //
+// The evaluation pipeline is built from three orthogonal, composable
+// axes — Source → Engine → Backend — feeding the report layer:
+//
+//   - a Source names what to simulate: live workload execution
+//     (LiveSource), a recorded sharded trace store (StoreSource), or one
+//     record window of it (SliceSource, TraceWindow), so sweeps fan out
+//     over trace slices without re-executing workloads;
+//   - a prefetch engine names what is being evaluated: the PIF
+//     prefetcher itself (NewPIF, DefaultPIFConfig) or the baselines it
+//     is compared against (NewTIFS, NewNextLine, NoPrefetch, and the
+//     registry names behind PrefetcherByName);
+//   - a Backend names where jobs run: the in-process LocalBackend today,
+//     any Submit/Results/Close implementation tomorrow (RunJobsOn, Pool,
+//     ExperimentOptions.Backend).
+//
 // The package re-exports the pieces a downstream user needs:
 //
-//   - the PIF prefetcher itself (New, Config) and the baseline prefetchers
-//     it is evaluated against (next-line, TIFS);
+//   - the simulator producing the paper's coverage and UIPC metrics
+//     (Simulate, SimulateSource, SimConfig);
 //   - the synthetic server-workload generator standing in for the paper's
-//     commercial suite (Workloads, GenerateStream);
-//   - the trace-driven simulator producing the paper's coverage and UIPC
-//     metrics (Simulate, SimConfig);
-//   - the parallel execution engine fanning simulation jobs out across
-//     cores with deterministic, submission-ordered results (RunJobs, Job,
-//     Pool);
-//   - the experiment drivers regenerating every table and figure of the
-//     paper's evaluation (RunExperiment, ExperimentIDs).
+//     commercial suite (Workloads, GenerateStream, GenerateIterator);
+//   - the sharded on-disk trace store and its slice addressing
+//     (CreateTraceStore, OpenTraceStore, OpenTraceSlice, BuildTraceStore);
+//   - the execution layer fanning simulation jobs out with
+//     deterministic, submission-ordered results (Job, RunJobs, Backend,
+//     LocalBackend, RunJobsOn);
+//   - the declarative design-space sweep engine (SweepSpec, RunSweep,
+//     BuildSweepSpec) and the experiment drivers regenerating every
+//     table and figure of the paper's evaluation (RunExperiment,
+//     ExperimentIDs), plus the schema-versioned results store used to
+//     diff runs (SaveResults, DiffResults).
 //
 // Quick start:
 //
 //	res, err := pif.Simulate(pif.DefaultSimConfig(), pif.OLTPDB2(), pif.NewPIF(pif.DefaultPIFConfig()))
 //	fmt.Printf("coverage=%.1f%% speedup base needed separately\n", res.Coverage()*100)
 //
-// See README.md for the architecture overview and DESIGN.md for the
-// substitutions made relative to the paper's testbed.
+// Replay one window of a recorded trace store instead:
+//
+//	w, _ := pif.ParseTraceWindow("8M:2M")
+//	res, err := pif.SimulateSource(cfg, wl, pif.SliceSource("apache.store", w), pif.NewPIF(pif.DefaultPIFConfig()))
+//
+// See README.md for the architecture overview and DESIGN.md (§9 for the
+// Source/Backend pipeline) for the substitutions made relative to the
+// paper's testbed.
 package pif
 
 import (
@@ -144,6 +168,57 @@ func GenerateIterator(w Workload, phases ...uint64) (*WorkloadIterator, error) {
 	return workload.NewIterator(prog, phases...), nil
 }
 
+// TraceWindow addresses a half-open record range [Off, Off+Len) of a
+// sharded trace store — the unit sweeps fan out over when a design point
+// needs only a slice of a recorded trace.
+type TraceWindow = trace.Window
+
+// ParseTraceWindow parses an "off:len" window spec (K/M suffixes are
+// 1024 multiples): "8192:1M" is the 1Mi-record window at record 8192.
+func ParseTraceWindow(s string) (TraceWindow, error) { return trace.ParseWindow(s) }
+
+// TraceSliceReader replays exactly one window of a sharded store,
+// seeking through the store index so only the window's chunks are
+// decoded. It implements TraceIterator.
+type TraceSliceReader = trace.SliceReader
+
+// OpenTraceSlice opens window w of the store at dir; a window outside
+// the recorded range is a hard error, never a short iterator.
+func OpenTraceSlice(dir string, w TraceWindow) (*TraceSliceReader, error) {
+	return trace.OpenSlice(dir, w)
+}
+
+// Source names *what to simulate* — a live workload execution, a
+// recorded trace store, or a window of one — independently of the
+// prefetch engine simulating it and the Backend running it. Jobs carry
+// Sources rather than open iterators, so every job (on any backend)
+// opens its own private stream.
+type Source = sim.Source
+
+// SourceInfo describes an opened source: kind, workload, record budget,
+// and (for on-disk sources) store path and window.
+type SourceInfo = sim.SourceInfo
+
+// LiveSource returns the source that executes w's program live. With no
+// phases it is usable only as a Job source (the job's config supplies
+// the warmup/measure split and the simulator runs the executor
+// directly); with explicit phases it opens a streaming iterator
+// reproducing Run(phases[0])+Run(phases[1])+... exactly.
+func LiveSource(w Workload, phases ...uint64) Source { return sim.LiveSource(w, phases...) }
+
+// StoreSource returns the source replaying the sharded trace store at
+// dir from record 0.
+func StoreSource(dir string) Source { return sim.StoreSource(dir) }
+
+// SliceSource returns the source replaying only window w of the sharded
+// store at dir (seeked through the index, so sweeping many windows of
+// one trace never re-executes the workload and never decodes more than
+// each window's chunks).
+func SliceSource(dir string, w TraceWindow) Source { return sim.SliceSource(dir, w) }
+
+// IteratorSource adapts a bare iterator factory to the Source interface.
+func IteratorSource(open func() (TraceIterator, error)) Source { return sim.OpenerSource(open) }
+
 // TraceIndex is a sharded trace store's metadata: workload, per-chunk
 // record counts, and per-chunk base PCs.
 type TraceIndex = trace.Index
@@ -177,9 +252,26 @@ func BuildTraceStore(dir, workload string, chunkRecords uint64, it TraceIterator
 	return trace.BuildStore(dir, workload, chunkRecords, it, phases...)
 }
 
+// SimulateSource runs one simulation fed by src — live execution, a
+// trace store, or a slice of one; w supplies the result name and
+// front-end seed. The source must supply at least warmup+measure
+// records; a short source is a hard error, never a short run.
+func SimulateSource(cfg SimConfig, w Workload, src Source, p Prefetcher) (SimResult, error) {
+	return sim.RunJob(context.Background(), sim.Job{
+		Config:        cfg,
+		Workload:      w,
+		From:          src,
+		NewPrefetcher: func() prefetch.Prefetcher { return p },
+	})
+}
+
 // SimulateTrace replays a recorded retire-order stream through the
 // simulator instead of executing the workload; w supplies the name and
 // front-end seed. The source must hold at least warmup+measure records.
+//
+// Deprecated: use SimulateSource with StoreSource/SliceSource (or
+// IteratorSource around a custom iterator), which validate source
+// metadata and manage the iterator's lifetime.
 func SimulateTrace(cfg SimConfig, w Workload, src TraceIterator, p Prefetcher) (SimResult, error) {
 	return sim.RunJob(context.Background(), sim.Job{
 		Config:        cfg,
@@ -223,13 +315,40 @@ type JobProgress = runner.Progress
 
 // Pool fans simulation jobs out over a bounded worker pool with context
 // cancellation and progress callbacks; results come back in submission
-// order, so rendered tables are byte-identical to serial runs.
+// order, so rendered tables are byte-identical to serial runs. It is the
+// one-shot convenience front door over Backend/RunJobsOn.
 type Pool = runner.Pool
 
 // RunJobs executes jobs over a pool of the given width (<= 0 means
 // GOMAXPROCS) and returns results in submission order.
 func RunJobs(ctx context.Context, jobs []Job, workers int) ([]JobResult, error) {
 	return runner.Run(ctx, jobs, workers)
+}
+
+// Backend names *where jobs run* — the third axis of the pipeline API,
+// orthogonal to the job's Source (what to simulate) and prefetcher
+// factory (with which engine). The protocol is Submit/Results/Close;
+// LocalBackend is the in-process implementation, and a multi-node
+// backend shipping Job/JobResult as its wire unit drops in without
+// touching any driver (select it via ExperimentOptions.Backend or
+// SweepPoolEngine.Backend).
+type Backend = runner.Backend
+
+// LocalBackend executes jobs over a bounded in-process worker pool.
+type LocalBackend = runner.LocalBackend
+
+// NewLocalBackend starts a local backend with the given worker count
+// (<= 0 means GOMAXPROCS); Close it to release the workers.
+func NewLocalBackend(workers int) *LocalBackend { return runner.NewLocalBackend(workers) }
+
+// JobProgressFunc receives one serialized callback per finished job.
+type JobProgressFunc = func(JobProgress)
+
+// RunJobsOn drives one batch of jobs through any backend: submission
+// while collecting, serialized progress callbacks, results in
+// submission order, cancellation via ctx. It does not Close the backend.
+func RunJobsOn(ctx context.Context, b Backend, jobs []Job, onProgress JobProgressFunc) ([]JobResult, error) {
+	return runner.RunOn(ctx, b, jobs, onProgress)
 }
 
 // ExperimentOptions scale the evaluation harness.
@@ -359,10 +478,13 @@ func RunSweep(eng SweepEngine, spec SweepSpec) (*SweepGrid, error) {
 func ExpandSweep(spec SweepSpec) (*SweepGrid, error) { return spec.Expand() }
 
 // BuildSweepSpec constructs an ad-hoc sweep spec from CLI-style axis
-// specifications ("workload=xl", "engine=pif,tifs", "budget=32,256", ...);
-// see the `experiments sweep` mode.
-func BuildSweepSpec(name string, opts ExperimentOptions, axisSpecs []string) (SweepSpec, error) {
-	return experiments.BuildSweep(name, opts, axisSpecs)
+// specifications ("workload=xl", "engine=pif,tifs", "budget=32,256",
+// "source=live,slice@0:1M", ...); see the `experiments sweep` mode. The
+// environment resolves env-backed record sources (spilled stores, trace
+// windows) and supplies the base configuration; malformed axis specs are
+// usage errors naming the offending token.
+func BuildSweepSpec(env *ExperimentEnv, name string, axisSpecs []string) (SweepSpec, error) {
+	return experiments.BuildSweep(env, name, axisSpecs)
 }
 
 // ExperimentArtifacts converts regenerated reports into schema artifacts,

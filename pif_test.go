@@ -1,6 +1,7 @@
 package pif
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -101,7 +102,7 @@ func TestDefaultConfigsSane(t *testing.T) {
 
 func TestExperimentRegistryPublic(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 9 {
+	if len(ids) != 10 {
 		t.Fatalf("ExperimentIDs = %v", ids)
 	}
 	opts := QuickExperimentOptions()
@@ -128,7 +129,7 @@ func TestRunAllExperimentsTiny(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 9 {
+	if len(reports) != 10 {
 		t.Fatalf("reports = %d", len(reports))
 	}
 }
@@ -184,5 +185,85 @@ func TestSweepPublicAPI(t *testing.T) {
 	}
 	if d := DiffJobResults(jobs, loaded, DefaultResultTolerances()); d.OutOfTolerance() {
 		t.Fatalf("round-tripped jobs drifted:\n%s", d.Render())
+	}
+}
+
+// TestSourceBackendPublicAPI exercises the unified pipeline facade end
+// to end the way a downstream user would: record a store, derive a
+// window, and run the same simulation through every Source constructor
+// and through an explicit Backend — all paths byte-identical.
+func TestSourceBackendPublicAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test skipped in -short mode")
+	}
+	wl := OLTPDB2()
+	cfg := DefaultSimConfig()
+	cfg.WarmupInstrs = 120_000
+	cfg.MeasureInstrs = 80_000
+	total := cfg.WarmupInstrs + cfg.MeasureInstrs
+
+	dir := t.TempDir() + "/store"
+	it, err := GenerateIterator(wl, cfg.WarmupInstrs, cfg.MeasureInstrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := BuildTraceStore(dir, wl.Name, 1<<14, it, cfg.WarmupInstrs, cfg.MeasureInstrs)
+	it.Close()
+	if err != nil || n != total {
+		t.Fatalf("BuildTraceStore = %d, %v", n, err)
+	}
+
+	live, err := Simulate(cfg, wl, NewTIFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ParseTraceWindow("0:200000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range map[string]Source{
+		"live":  LiveSource(wl),
+		"store": StoreSource(dir),
+		"slice": SliceSource(dir, w),
+	} {
+		got, err := SimulateSource(cfg, wl, src, NewTIFS())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got != live {
+			t.Errorf("%s source result differs from live", name)
+		}
+	}
+
+	// Same jobs through an explicit backend.
+	b := NewLocalBackend(2)
+	defer b.Close()
+	jobs := []Job{
+		{Label: "live", Workload: wl, Config: cfg, PrefetcherName: "tifs"},
+		{Label: "slice", Workload: wl, Config: cfg, PrefetcherName: "tifs", Source: SliceSource(dir, w)},
+	}
+	results, err := RunJobsOn(context.Background(), b, jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Sim != live {
+			t.Errorf("backend job %s differs from live", r.Label)
+		}
+	}
+
+	// A window past the recorded range is a hard error.
+	if _, err := SimulateSource(cfg, wl, SliceSource(dir, TraceWindow{Off: total, Len: 1}), NewTIFS()); err == nil {
+		t.Error("out-of-range slice accepted")
+	}
+
+	// The slice reader is exported for direct window replay.
+	sr, err := OpenTraceSlice(dir, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	if sr.Window() != w {
+		t.Errorf("slice window = %v", sr.Window())
 	}
 }
