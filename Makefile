@@ -1,0 +1,33 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; keep the two in sync.
+
+.PHONY: all build test race bench bench-check fmt vet
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+fmt:
+	gofmt -w .
+
+vet:
+	go vet ./...
+
+# bench regenerates the committed replay-performance artifact. Run it
+# (and commit the result) whenever the benchmark suite, its fixture, or
+# the replay hot path changes shape.
+bench:
+	go run ./cmd/benchreplay -out BENCH_replay.json
+
+# bench-check is the CI gate: re-measures the suite, verifies the
+# committed artifact is structurally fresh, and enforces the performance
+# floors (batch decode >= 2x per-record, ~0 allocs/record).
+bench-check:
+	go run ./cmd/benchreplay -check BENCH_replay.json

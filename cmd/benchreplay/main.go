@@ -1,0 +1,92 @@
+// Command benchreplay regenerates and validates BENCH_replay.json, the
+// committed replay-performance artifact: store decode throughput
+// (per-record vs batch), end-to-end simulation replay, sharded replay,
+// and sweep-grid expansion, all with allocation profiles.
+//
+// Usage:
+//
+//	benchreplay -out BENCH_replay.json        # regenerate the artifact
+//	benchreplay -check BENCH_replay.json      # CI: structural freshness +
+//	                                          # re-measured invariants
+//
+// -check reruns the suite, verifies the committed artifact structurally
+// matches the regeneration (schema, fixture configuration, benchmark
+// set — raw timings are machine-dependent and not compared), and
+// enforces the performance floors (batch decode >= 2x per-record,
+// ~0 allocs/record) on the fresh measurements.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+
+	_ "repro/internal/core" // register the PIF engine variants
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	out := flag.String("out", "", "write the regenerated artifact to this path")
+	check := flag.String("check", "", "validate the committed artifact at this path against a fresh run")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+	if (*out == "") == (*check == "") {
+		fmt.Fprintln(os.Stderr, "benchreplay: exactly one of -out or -check is required")
+		return 2
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchreplay: "+format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	fresh, err := bench.Run(bench.DefaultConfig(), logf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreplay:", err)
+		return 1
+	}
+	if err := bench.CheckInvariants(fresh); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreplay:", err)
+		return 1
+	}
+
+	if *check != "" {
+		data, err := os.ReadFile(*check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreplay:", err)
+			return 1
+		}
+		var committed bench.Artifact
+		if err := json.Unmarshal(data, &committed); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreplay: %s: %v\n", *check, err)
+			return 1
+		}
+		if err := bench.CheckFresh(committed, fresh); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreplay:", err)
+			return 1
+		}
+		fmt.Printf("benchreplay: %s is fresh; measured batch speedup %.2fx, sharded %.2fx\n",
+			*check, fresh.Derived.BatchSpeedup, fresh.Derived.ShardedSpeedup)
+		return 0
+	}
+
+	data, err := json.MarshalIndent(fresh, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreplay:", err)
+		return 1
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreplay:", err)
+		return 1
+	}
+	fmt.Printf("benchreplay: wrote %s (batch speedup %.2fx, sharded %.2fx)\n",
+		*out, fresh.Derived.BatchSpeedup, fresh.Derived.ShardedSpeedup)
+	return 0
+}

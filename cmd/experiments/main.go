@@ -52,6 +52,7 @@ import (
 	"time"
 
 	pif "repro"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -69,8 +70,10 @@ func main() {
 // scaleFlags registers the options shared by the run and sweep modes.
 // -tracedir is among them since the unified pipeline API: the run mode
 // spills trace-based figure analyses through it, and the sweep mode
-// resolves store/slice record sources against it.
-func scaleFlags(fs *flag.FlagSet) (quick *bool, warmup, measure *uint64, parallel *int, traceDir, out *string, verbose *bool) {
+// resolves store/slice record sources against it. The profiling flags
+// ride along too (-cpuprofile/-memprofile; callers Start after parsing
+// and defer Stop).
+func scaleFlags(fs *flag.FlagSet) (quick *bool, warmup, measure *uint64, parallel *int, traceDir, out *string, verbose *bool, profile *prof.Flags) {
 	quick = fs.Bool("quick", false, "reduced-scale run (shorter warmup and measurement)")
 	warmup = fs.Uint64("warmup", 0, "override warmup instructions (0 = default)")
 	measure = fs.Uint64("measure", 0, "override measured instructions (0 = default)")
@@ -78,6 +81,8 @@ func scaleFlags(fs *flag.FlagSet) (quick *bool, warmup, measure *uint64, paralle
 	traceDir = fs.String("tracedir", "", "trace-store pool: spill generated retire streams to sharded stores under this directory and replay them (bounded memory; stores are reused across runs; env-backed store/slice sources slice these stores instead of the in-memory stream)")
 	out = fs.String("out", "", "write structured JSON results into this directory (run.json + <artifact>.json + jobs/<key>.json)")
 	verbose = fs.Bool("v", false, "print per-job timing as jobs complete")
+	profile = new(prof.Flags)
+	profile.Register(fs)
 	return
 }
 
@@ -107,8 +112,14 @@ func buildOptions(quick bool, warmup, measure uint64, parallel int, storeDir str
 func runMain() int {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
 	runID := fs.String("run", "all", "artifact to regenerate: all, or one of "+strings.Join(pif.ExperimentIDs(), ", "))
-	quick, warmup, measure, parallel, traceDir, out, verbose := scaleFlags(fs)
+	quick, warmup, measure, parallel, traceDir, out, verbose, profile := scaleFlags(fs)
 	fs.Parse(os.Args[1:])
+
+	if err := profile.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	defer profile.Stop()
 
 	opts := buildOptions(*quick, *warmup, *measure, *parallel, *traceDir, *verbose)
 
@@ -191,12 +202,18 @@ func sweepMain(args []string) int {
 	fs.Var(&axes, "axis", "sweep axis as name=v1,v2,... (workload, engine, history, budget, l1, source); repeatable, crossed in flag order")
 	name := fs.String("name", "sweep", "sweep name (prefixes cell keys and job labels)")
 	source := fs.String("source", "", "record source for every cell: live, store, slice@off:len, store@DIR, or slice@off:len@DIR (shorthand for a one-value source axis; store/slice without @DIR replay the workload's spilled store under -tracedir, or its in-memory stream when -tracedir is unset)")
-	quick, warmup, measure, parallel, traceDir, out, verbose := scaleFlags(fs)
+	quick, warmup, measure, parallel, traceDir, out, verbose, profile := scaleFlags(fs)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: experiments sweep -axis name=v1,v2,... [-axis ...] [-source SPEC] [flags]")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
+
+	if err := profile.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	defer profile.Stop()
 
 	opts := buildOptions(*quick, *warmup, *measure, *parallel, *traceDir, *verbose)
 	if *source != "" {

@@ -35,9 +35,14 @@ import (
 	"time"
 
 	pif "repro"
+	"repro/internal/prof"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	wlNames := flag.String("workload", "OLTP DB2", "comma-separated workload names, or \"all\" (see -list)")
 	traceDir := flag.String("trace", "", "replay a sharded trace store directory instead of executing a workload")
 	sourceSpec := flag.String("source", "", "record source: live, store, or slice@off:len (store and slice replay the -trace store; default live, or store when -trace is set)")
@@ -51,8 +56,18 @@ func main() {
 	sabs := flag.Int("sabs", 0, "PIF stream address buffers (0 = paper default 4)")
 	window := flag.Int("window", 0, "PIF SAB window regions (0 = paper default 7)")
 	degree := flag.Int("degree", 4, "next-line prefetch degree")
+	shards := flag.Int("shards", 1, "split a store replay into N parallel windows and stitch the results (needs -trace)")
+	exact := flag.Bool("exact", false, "sharded replay: warm every shard with the full trace prefix so counters match sequential replay exactly")
 	verbose := flag.Bool("v", false, "print full result struct (single job) or per-job progress")
+	var profile prof.Flags
+	profile.Register(flag.CommandLine)
 	flag.Parse()
+
+	if err := profile.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "pifsim:", err)
+		return 1
+	}
+	defer profile.Stop()
 
 	if *list {
 		fmt.Println("workloads:")
@@ -63,13 +78,13 @@ func main() {
 		for _, n := range pif.PrefetcherNames() {
 			fmt.Println("  " + n)
 		}
-		return
+		return 0
 	}
 
 	engines, err := resolveEngines(*pfNames, *history, *sabs, *window, *degree)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pifsim:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	cfg := pif.DefaultSimConfig()
@@ -91,26 +106,44 @@ func main() {
 	case src == "live":
 		if *traceDir != "" {
 			fmt.Fprintln(os.Stderr, "pifsim: -source live contradicts -trace (drop one)")
-			os.Exit(1)
+			return 1
 		}
 	case src == "store":
 	case strings.HasPrefix(src, "slice@"):
 		w, werr := pif.ParseTraceWindow(strings.TrimPrefix(src, "slice@"))
 		if werr != nil {
 			fmt.Fprintln(os.Stderr, "pifsim:", werr)
-			os.Exit(1)
+			return 1
 		}
 		win = &w
 	default:
 		fmt.Fprintf(os.Stderr, "pifsim: unknown -source %q (have live, store, slice@off:len)\n", src)
-		os.Exit(1)
+		return 1
+	}
+
+	if *shards > 1 {
+		if src != "store" {
+			fmt.Fprintln(os.Stderr, "pifsim: -shards needs a full-store replay (-trace DIR without -source slice)")
+			return 1
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := shardedRun(ctx, *traceDir, cfg, engines, *shards, *exact, *perfect, *verbose); err != nil {
+			fmt.Fprintln(os.Stderr, "pifsim:", err)
+			return 1
+		}
+		return 0
+	}
+	if *exact {
+		fmt.Fprintln(os.Stderr, "pifsim: -exact only applies to sharded replay (-shards N)")
+		return 1
 	}
 
 	var jobs []pif.Job
 	if src != "live" {
 		if *traceDir == "" {
 			fmt.Fprintf(os.Stderr, "pifsim: -source %s needs -trace DIR\n", src)
-			os.Exit(1)
+			return 1
 		}
 		// The store names the workload; an explicit -workload alongside
 		// -trace would be silently ignored, so reject the combination.
@@ -122,7 +155,7 @@ func main() {
 		})
 		if workloadSet {
 			fmt.Fprintln(os.Stderr, "pifsim: -workload and -trace are mutually exclusive (the store names its workload)")
-			os.Exit(1)
+			return 1
 		}
 		jobs, err = traceJobs(*traceDir, win, cfg, engines)
 	} else {
@@ -141,7 +174,7 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pifsim:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -159,12 +192,12 @@ func main() {
 	results, err := pool.Run(ctx, jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pifsim:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	if len(results) == 1 {
 		printDetail(results[0], *perfect, *verbose)
-		return
+		return 0
 	}
 	fmt.Printf("%-14s %-14s %8s %8s %8s %10s\n",
 		"workload", "prefetcher", "UIPC", "missrat", "coverage", "time")
@@ -174,12 +207,65 @@ func main() {
 			r.Sim.Coverage()*100, r.Elapsed.Round(time.Millisecond))
 	}
 	fmt.Printf("(%d job(s) in %s wall-clock)\n", len(results), time.Since(start).Round(time.Millisecond))
+	return 0
 }
 
 // engine pairs a display name with a fresh-instance factory.
 type engine struct {
 	name    string
 	factory func() pif.Prefetcher
+}
+
+// shardedRun replays the store at dir once per engine, each time split
+// into the requested number of parallel windows and stitched back into
+// one whole-run result (pif.ShardedReplay). The store names the workload
+// and must carry a phase split compatible with the requested
+// warmup/measure interval, exactly as a sequential store replay would.
+func shardedRun(ctx context.Context, dir string, cfg pif.SimConfig, engines []engine, shards int, exact, perfect, verbose bool) error {
+	ix, err := pif.ReadTraceIndex(dir)
+	if err != nil {
+		return err
+	}
+	wl, err := pif.WorkloadByName(ix.Workload)
+	if err != nil {
+		return fmt.Errorf("trace store %s: %w", dir, err)
+	}
+	if !ix.PhaseCompatible(cfg.WarmupInstrs, cfg.MeasureInstrs) {
+		return fmt.Errorf(
+			"trace store %s was recorded with phase split %v; replaying -warmup %d -measure %d would silently diverge from a live run",
+			dir, ix.Phases, cfg.WarmupInstrs, cfg.MeasureInstrs)
+	}
+	mode := "approx"
+	if exact {
+		mode = "exact"
+	}
+	for i, eng := range engines {
+		start := time.Now()
+		res, err := pif.ShardedReplay(ctx, pif.ShardedReplayOptions{
+			Dir:           dir,
+			Workload:      wl,
+			Config:        cfg,
+			Shards:        shards,
+			Exact:         exact,
+			NewPrefetcher: eng.factory,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", eng.name, err)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("sharded replay: %d windows (%s warmup), %s wall-clock\n",
+			shards, mode, time.Since(start).Round(time.Millisecond))
+		printDetail(pif.JobResult{Sim: res.Merged, Elapsed: time.Since(start)}, perfect, verbose)
+		if verbose {
+			for k, p := range res.Plans {
+				fmt.Printf("  shard %d: window %s warmup %d measure %d uipc %.4f\n",
+					k, p.Window, p.WarmupInstrs, p.MeasureInstrs, res.Shards[k].UIPC)
+			}
+		}
+	}
+	return nil
 }
 
 // traceJobs builds one replay job per engine over the sharded store at

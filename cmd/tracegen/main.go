@@ -46,11 +46,16 @@ import (
 	"strings"
 
 	pif "repro"
+	"repro/internal/prof"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	wlName := flag.String("workload", "OLTP DB2", "workload name")
 	source := flag.String("source", "live", "record source: live (execute -workload), store (re-shard the -i store), or slice@off:len (extract a window of the -i store)")
 	n := flag.Uint64("n", 10_000_000, "instructions to generate")
@@ -60,18 +65,26 @@ func main() {
 	dump := flag.Bool("dump", false, "read a trace and print records as text")
 	in := flag.String("i", "", "input trace file or store directory for -dump")
 	limit := flag.Uint64("limit", 20, "records to print with -dump (0 = all)")
+	var profile prof.Flags
+	profile.Register(flag.CommandLine)
 	flag.Parse()
+
+	if err := profile.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		return 1
+	}
+	defer profile.Stop()
 
 	if *dump {
 		if err := dumpTrace(*in, *limit); err != nil {
 			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "tracegen: -o is required")
-		os.Exit(1)
+		return 1
 	}
 	if *source != "live" {
 		// Deriving from an existing store: the generation flags would be
@@ -85,19 +98,20 @@ func main() {
 			})
 			if set {
 				fmt.Fprintf(os.Stderr, "tracegen: -%s and -source %s are mutually exclusive (the input store defines the records)\n", f, *source)
-				os.Exit(1)
+				return 1
 			}
 		}
 		if err := derive(*source, *in, *out, *shard); err != nil {
 			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if err := generate(*wlName, *warmup, *n, *out, *shard); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // derive writes a new sharded store from an existing one: a full

@@ -1,0 +1,364 @@
+// Package bench runs the replay-performance benchmark suite
+// programmatically (testing.Benchmark) and serializes the measurements
+// as the committed BENCH_replay.json artifact. The artifact is
+// CI-enforced like a golden fixture, with one twist: raw numbers vary by
+// machine, so freshness is checked structurally (schema, configuration,
+// benchmark-name set must match a regeneration) while the performance
+// claims the PR makes — batch decode speedup, allocation-free replay —
+// are re-measured and enforced as invariants on every CI run.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+
+	"repro/internal/prefetch"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// SchemaVersion stamps the artifact layout; bump on non-additive change.
+const SchemaVersion = 1
+
+// Config pins the benchmark fixture so regenerated artifacts are
+// comparable: same workload, same record counts, same batch and shard
+// geometry.
+type Config struct {
+	// Workload names the profile whose retire-order stream is recorded
+	// into the benchmark store.
+	Workload string `json:"workload"`
+	// WarmupRecords + MeasureRecords is the store size; the split also
+	// parameterizes the simulation benchmarks.
+	WarmupRecords  uint64 `json:"warmup_records"`
+	MeasureRecords uint64 `json:"measure_records"`
+	// ChunkRecords is the store's records-per-chunk.
+	ChunkRecords uint64 `json:"chunk_records"`
+	// BatchRecords is the NextBatch buffer size of the batch benchmarks.
+	BatchRecords int `json:"batch_records"`
+	// Shards is the sharded-replay worker count.
+	Shards int `json:"shards"`
+}
+
+// DefaultConfig is the committed artifact's fixture: big enough that
+// steady-state behaviour dominates, small enough for a bounded CI step.
+func DefaultConfig() Config {
+	return Config{
+		Workload:       "OLTP DB2",
+		WarmupRecords:  50_000,
+		MeasureRecords: 350_000,
+		ChunkRecords:   1 << 14,
+		BatchRecords:   4096,
+		Shards:         4,
+	}
+}
+
+// Measurement is one benchmark's outcome.
+type Measurement struct {
+	// Name identifies the benchmark ("store_decode/batch", ...).
+	Name string `json:"name"`
+	// NsPerOp is wall-clock nanoseconds per benchmark operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// RecordsPerSec is decode/replay throughput (0 where records are not
+	// the unit of work).
+	RecordsPerSec float64 `json:"records_per_sec,omitempty"`
+	// MBPerSec is on-disk trace bytes consumed per second (decode
+	// benchmarks only).
+	MBPerSec float64 `json:"mb_per_sec,omitempty"`
+	// AllocsPerOp and AllocsPerRecord expose the allocation profile;
+	// per-record is the number the hot-path invariants bound.
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	AllocsPerRecord float64 `json:"allocs_per_record,omitempty"`
+}
+
+// Derived holds the cross-benchmark ratios the PR's performance claims
+// are stated in.
+type Derived struct {
+	// BatchSpeedup is per-record decode time over batch decode time for
+	// the same store (>= 2.0 is the enforced floor).
+	BatchSpeedup float64 `json:"batch_speedup"`
+	// ShardedSpeedup is sequential replay time over sharded replay time
+	// (informational: at small fixture scales the exact-mode prefix
+	// re-decode can eat the win, so no floor is enforced).
+	ShardedSpeedup float64 `json:"sharded_speedup"`
+}
+
+// Artifact is the serialized benchmark run (BENCH_replay.json).
+type Artifact struct {
+	Schema int    `json:"schema"`
+	Config Config `json:"config"`
+	// GOMAXPROCS records the measuring machine's parallelism — the
+	// context a sharded-replay ratio must be read in (on one core the
+	// sharded run pays its warmup overhead with no parallel win). It is
+	// machine state, not fixture state, so CheckFresh ignores it.
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Benchmarks []Measurement `json:"benchmarks"`
+	Derived    Derived       `json:"derived"`
+}
+
+// Names returns the artifact's benchmark names, sorted.
+func (a Artifact) Names() []string {
+	names := make([]string, len(a.Benchmarks))
+	for i, m := range a.Benchmarks {
+		names[i] = m.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// find returns the named measurement.
+func (a Artifact) find(name string) (Measurement, bool) {
+	for _, m := range a.Benchmarks {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Measurement{}, false
+}
+
+// The invariant floors: the batch decode path must beat per-record by at
+// least 2x, and decode/replay must be allocation-free per record in
+// steady state (the slack absorbs per-run setup amortized over the
+// record count).
+const (
+	MinBatchSpeedup    = 2.0
+	MaxAllocsPerRecord = 0.05
+)
+
+// CheckInvariants validates the performance claims against a (freshly
+// measured) artifact.
+func CheckInvariants(a Artifact) error {
+	if a.Derived.BatchSpeedup < MinBatchSpeedup {
+		return fmt.Errorf("bench: batch decode speedup %.2fx below the %.1fx floor", a.Derived.BatchSpeedup, MinBatchSpeedup)
+	}
+	for _, name := range []string{"store_decode/batch", "sim_replay/store"} {
+		m, ok := a.find(name)
+		if !ok {
+			return fmt.Errorf("bench: missing benchmark %q", name)
+		}
+		if m.AllocsPerRecord > MaxAllocsPerRecord {
+			return fmt.Errorf("bench: %s allocates %.4f/record, above the %.2f/record ceiling",
+				name, m.AllocsPerRecord, MaxAllocsPerRecord)
+		}
+	}
+	return nil
+}
+
+// CheckFresh reports whether a committed artifact structurally matches a
+// regeneration: same schema, same fixture configuration, same benchmark
+// set. Raw timings are machine-dependent and intentionally not compared.
+func CheckFresh(committed, fresh Artifact) error {
+	if committed.Schema != fresh.Schema {
+		return fmt.Errorf("bench: artifact schema %d, regeneration produces %d — regenerate with `make bench`",
+			committed.Schema, fresh.Schema)
+	}
+	if committed.Config != fresh.Config {
+		return fmt.Errorf("bench: artifact fixture %+v, regeneration uses %+v — regenerate with `make bench`",
+			committed.Config, fresh.Config)
+	}
+	cn, fn := committed.Names(), fresh.Names()
+	if len(cn) != len(fn) {
+		return fmt.Errorf("bench: artifact has %d benchmarks %v, regeneration has %d %v — regenerate with `make bench`",
+			len(cn), cn, len(fn), fn)
+	}
+	for i := range cn {
+		if cn[i] != fn[i] {
+			return fmt.Errorf("bench: artifact benchmark set %v differs from regeneration %v — regenerate with `make bench`", cn, fn)
+		}
+	}
+	return nil
+}
+
+// Run records the benchmark store under a temp directory and executes
+// the suite. Progress lines go to logf (nil discards them).
+func Run(cfg Config, logf func(format string, args ...any)) (Artifact, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	wl, err := workload.ByName(cfg.Workload)
+	if err != nil {
+		return Artifact{}, err
+	}
+	tmp, err := os.MkdirTemp("", "benchreplay-*")
+	if err != nil {
+		return Artifact{}, err
+	}
+	defer os.RemoveAll(tmp)
+	dir := filepath.Join(tmp, "store")
+
+	logf("recording %d-record %s store (%d records/chunk)...",
+		cfg.WarmupRecords+cfg.MeasureRecords, wl.Name, cfg.ChunkRecords)
+	prog, err := workload.BuildProgram(wl)
+	if err != nil {
+		return Artifact{}, err
+	}
+	it := workload.NewIterator(prog, cfg.WarmupRecords, cfg.MeasureRecords)
+	records, err := trace.BuildStore(dir, wl.Name, cfg.ChunkRecords, it, cfg.WarmupRecords, cfg.MeasureRecords)
+	it.Close()
+	if err != nil {
+		return Artifact{}, err
+	}
+	storeBytes, err := storeSize(dir)
+	if err != nil {
+		return Artifact{}, err
+	}
+
+	simCfg := sim.DefaultConfig()
+	simCfg.WarmupInstrs = cfg.WarmupRecords
+	simCfg.MeasureInstrs = cfg.MeasureRecords
+
+	a := Artifact{Schema: SchemaVersion, Config: cfg, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	run := func(name string, perOpRecords uint64, perOpBytes int64, body func(b *testing.B)) Measurement {
+		logf("benchmark %s...", name)
+		r := testing.Benchmark(body)
+		m := Measurement{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: float64(r.MemAllocs) / float64(max(r.N, 1)),
+		}
+		if perOpRecords > 0 {
+			m.RecordsPerSec = float64(perOpRecords) * float64(r.N) / r.T.Seconds()
+			m.AllocsPerRecord = m.AllocsPerOp / float64(perOpRecords)
+		}
+		if perOpBytes > 0 {
+			m.MBPerSec = float64(perOpBytes) * float64(r.N) / r.T.Seconds() / (1 << 20)
+		}
+		a.Benchmarks = append(a.Benchmarks, m)
+		return m
+	}
+
+	perRecord := run("store_decode/per_record", records, storeBytes, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := trace.OpenStore(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var it trace.Iterator = r // interface call per record, like a naive consumer
+			if err := drainPerRecord(it); err != nil {
+				b.Fatal(err)
+			}
+			r.Close()
+		}
+	})
+	batch := run("store_decode/batch", records, storeBytes, func(b *testing.B) {
+		buf := make([]trace.Record, cfg.BatchRecords)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := trace.OpenStore(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := drainBatch(r, buf); err != nil {
+				b.Fatal(err)
+			}
+			r.Close()
+		}
+	})
+
+	newPF := func() prefetch.Prefetcher { return prefetch.NewNextLine(4) }
+	seq := run("sim_replay/store", records, storeBytes, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.RunJob(context.Background(), sim.Job{
+				Config:        simCfg,
+				Workload:      wl,
+				From:          sim.StoreSource(dir),
+				NewPrefetcher: newPF,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	sharded := run(fmt.Sprintf("sim_replay/sharded_%d", cfg.Shards), records, storeBytes, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := runner.ShardedReplay(context.Background(), runner.ShardedOptions{
+				Dir:           dir,
+				Workload:      wl,
+				Config:        simCfg,
+				Shards:        cfg.Shards,
+				NewPrefetcher: newPF,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	spec := sweep.Spec{
+		Name: "bench",
+		Base: simCfg,
+		Axes: []sweep.Axis{
+			sweep.WorkloadAxis("workload", workload.StandardSuite()),
+			sweep.EngineAxis("engine", "pif", "tifs", "nextline", "none"),
+		},
+	}
+	grid, err := spec.Expand()
+	if err != nil {
+		return Artifact{}, err
+	}
+	cells := uint64(len(grid.Cells))
+	run("sweep_expand/cell", cells, 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := spec.Expand(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	a.Derived = Derived{
+		BatchSpeedup:   perRecord.NsPerOp / batch.NsPerOp,
+		ShardedSpeedup: seq.NsPerOp / sharded.NsPerOp,
+	}
+	return a, nil
+}
+
+// drainPerRecord pulls the iterator dry one Next at a time.
+func drainPerRecord(it trace.Iterator) error {
+	for {
+		if _, err := it.Next(); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// drainBatch pulls the batch iterator dry through buf.
+func drainBatch(it trace.BatchIterator, buf []trace.Record) error {
+	for {
+		if _, err := it.NextBatch(buf); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// storeSize sums the on-disk bytes of a store's chunks and index.
+func storeSize(dir string) (int64, error) {
+	var total int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			return 0, err
+		}
+		total += info.Size()
+	}
+	return total, nil
+}

@@ -78,6 +78,21 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Accesses)
 }
 
+// Add accumulates o into s field by field. Every field is a pure event
+// count, so adding disjoint measurement intervals composes losslessly —
+// the property sharded replay's result stitching relies on
+// (sim.MergeShardResults).
+func (s *Stats) Add(o Stats) {
+	s.Accesses += o.Accesses
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.PrefetchHits += o.PrefetchHits
+	s.PrefetchFills += o.PrefetchFills
+	s.DemandFills += o.DemandFills
+	s.Evictions += o.Evictions
+	s.PrefetchUnused += o.PrefetchUnused
+}
+
 // Cache is a set-associative cache with true LRU replacement.
 // Lines are identified by isa.Block numbers.
 type Cache struct {

@@ -1,0 +1,74 @@
+// Package prof wires the standard -cpuprofile/-memprofile flags into the
+// command-line tools, so replay and experiment hot paths can be profiled
+// with `go tool pprof` without ad-hoc instrumentation. One Flags value
+// per binary: register, Start after flag parsing, defer Stop.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profiling flag values of one binary.
+type Flags struct {
+	cpu string
+	mem string
+
+	cpuFile *os.File
+}
+
+// Register installs -cpuprofile and -memprofile on fs (flag.CommandLine
+// via flag.CommandLine, or a subcommand's private FlagSet).
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.cpu, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.mem, "memprofile", "", "write a heap profile to this file on exit")
+}
+
+// Start begins CPU profiling when -cpuprofile was given. Call after
+// flag parsing; pair with Stop.
+func (f *Flags) Start() error {
+	if f.cpu == "" {
+		return nil
+	}
+	file, err := os.Create(f.cpu)
+	if err != nil {
+		return fmt.Errorf("prof: %w", err)
+	}
+	if err := pprof.StartCPUProfile(file); err != nil {
+		file.Close()
+		return fmt.Errorf("prof: %v", err)
+	}
+	f.cpuFile = file
+	return nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile, if either
+// was requested. Safe to call when profiling was never started; errors
+// are reported to stderr (profiles are diagnostics — a failed write must
+// not turn a successful run into a failed one).
+func (f *Flags) Stop() {
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := f.cpuFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "prof:", err)
+		}
+		f.cpuFile = nil
+	}
+	if f.mem != "" {
+		file, err := os.Create(f.mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prof:", err)
+			return
+		}
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(file); err != nil {
+			fmt.Fprintln(os.Stderr, "prof:", err)
+		}
+		if err := file.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "prof:", err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// ShardedOptions configures a sharded replay of one recorded trace
+// store: the store's measured interval is split into Shards contiguous
+// windows (sim.SplitReplay), each replayed as its own job on the
+// backend, and the per-window results stitched back into one Result
+// (sim.MergeShardResults).
+type ShardedOptions struct {
+	// Dir is the trace store directory.
+	Dir string
+	// Workload is the simulated profile; its front-end seed shapes every
+	// shard identically, exactly as in a sequential replay.
+	Workload workload.Profile
+	// Config is the whole-run configuration (warmup + measured interval
+	// over the store). Shard jobs derive their own splits from it.
+	Config sim.Config
+	// Shards is the number of parallel windows (>= 1).
+	Shards int
+	// Exact selects full-prefix warmup: every shard replays the trace
+	// from record 0, so losslessly-mergeable counters match sequential
+	// replay bit for bit, at the cost of re-decoding prefixes. When
+	// false, each shard warms with a fixed Config.WarmupInstrs-record
+	// prefix and merged timing lands within window tolerances.
+	Exact bool
+	// NewPrefetcher constructs each shard's private engine. When nil,
+	// PrefetcherName is resolved through the registry.
+	NewPrefetcher prefetch.Factory
+	// PrefetcherName is the registry fallback engine name.
+	PrefetcherName string
+	// Backend executes the shard jobs; nil runs a private LocalBackend
+	// with one worker per shard.
+	Backend Backend
+	// OnProgress, when non-nil, receives serialized per-shard completion
+	// callbacks.
+	OnProgress func(Progress)
+}
+
+// ShardedResult is the outcome of a sharded replay.
+type ShardedResult struct {
+	// Merged is the stitched whole-run result (see sim.MergeShardResults
+	// for what merges exactly vs within tolerance).
+	Merged sim.Result
+	// Shards holds the per-window results in shard order.
+	Shards []sim.Result
+	// Plans records each shard's window and warmup/measure split.
+	Plans []sim.ShardPlan
+}
+
+// ShardedReplay replays one trace store across parallel workers and
+// stitches the result. The store must hold at least warmup+measure
+// records; the job-level source validation enforces it per shard, and
+// the index is consulted up front so an undersized store fails before
+// any worker starts.
+func ShardedReplay(ctx context.Context, opt ShardedOptions) (ShardedResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.Workload.Name == "" {
+		return ShardedResult{}, fmt.Errorf("runner: sharded replay names no workload profile (the profile supplies the front-end seed)")
+	}
+	ix, err := trace.ReadIndex(opt.Dir)
+	if err != nil {
+		return ShardedResult{}, err
+	}
+	if need, have := opt.Config.WarmupInstrs+opt.Config.MeasureInstrs, ix.Records(); have < need {
+		return ShardedResult{}, fmt.Errorf("runner: store %s holds %d records, sharded replay needs %d (warmup+measure)",
+			opt.Dir, have, need)
+	}
+	plans, err := sim.SplitReplay(opt.Config, opt.Shards, opt.Exact)
+	if err != nil {
+		return ShardedResult{}, err
+	}
+
+	jobs := make([]Job, len(plans))
+	for k, p := range plans {
+		cfg := opt.Config
+		cfg.WarmupInstrs = p.WarmupInstrs
+		cfg.MeasureInstrs = p.MeasureInstrs
+		jobs[k] = Job{
+			Label:          fmt.Sprintf("shard %d/%d %s", k+1, len(plans), p.Window),
+			Workload:       opt.Workload,
+			Config:         cfg,
+			NewPrefetcher:  opt.NewPrefetcher,
+			PrefetcherName: opt.PrefetcherName,
+			Source:         sim.SliceSource(opt.Dir, p.Window),
+		}
+	}
+
+	backend := opt.Backend
+	if backend == nil {
+		private := NewLocalBackend(len(jobs))
+		defer private.Close()
+		backend = private
+	}
+	results, err := RunOn(ctx, backend, jobs, opt.OnProgress)
+	if err != nil {
+		return ShardedResult{}, err
+	}
+	perShard := make([]sim.Result, len(results))
+	for i, r := range results {
+		perShard[i] = r.Sim
+	}
+	merged, err := sim.MergeShardResults(perShard)
+	if err != nil {
+		return ShardedResult{}, err
+	}
+	return ShardedResult{Merged: merged, Shards: perShard, Plans: plans}, nil
+}

@@ -1,0 +1,234 @@
+package runner
+
+import (
+	"context"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// mustFactory resolves a registry engine for the sequential baseline runs
+// (sim.Job has no name field; the registry lookup lives in the runner).
+func mustFactory(t *testing.T, name string) prefetch.Factory {
+	t.Helper()
+	f, err := prefetch.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// recordShardStore records warmup+measure records of wl into a store at
+// dir with the given chunk size.
+func recordShardStore(t testing.TB, dir string, wl workload.Profile, cfg sim.Config, chunkRecords uint64) {
+	t.Helper()
+	prog, err := workload.BuildProgram(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := workload.NewIterator(prog, cfg.WarmupInstrs, cfg.MeasureInstrs)
+	defer it.Close()
+	n, err := trace.BuildStore(dir, wl.Name, chunkRecords, it, cfg.WarmupInstrs, cfg.MeasureInstrs)
+	if err != nil {
+		t.Fatalf("BuildStore: %v", err)
+	}
+	if n != cfg.WarmupInstrs+cfg.MeasureInstrs {
+		t.Fatalf("recorded %d records, want %d", n, cfg.WarmupInstrs+cfg.MeasureInstrs)
+	}
+}
+
+// withinPct reports whether got is within pct percent of want.
+func withinPct(got, want uint64, pct float64) bool {
+	if want == 0 {
+		return got == 0
+	}
+	diff := math.Abs(float64(got) - float64(want))
+	return diff/float64(want)*100 <= pct
+}
+
+// TestShardedReplayExactParity is the sharded-replay acceptance bar: an
+// exact-mode sharded replay of one store on 4+ parallel workers must
+// reproduce the sequential replay's losslessly-mergeable counters bit
+// for bit — instruction, access, miss, coverage, and every L1 counter,
+// plus the whole-feed FE stats — with timing (cycles, stalls, UIPC)
+// within a few percent. CI runs this under -race, making it the data-race
+// probe for the parallel shard path.
+func TestShardedReplayExactParity(t *testing.T) {
+	wl := workload.OLTPXL()
+	cfg := testConfig() // 100K warmup + 100K measure
+	dir := filepath.Join(t.TempDir(), "store")
+	recordShardStore(t, dir, wl, cfg, 1<<14)
+
+	seq, err := sim.RunJob(context.Background(), sim.Job{
+		Config:        cfg,
+		Workload:      wl,
+		From:          sim.StoreSource(dir),
+		NewPrefetcher: mustFactory(t, "pif"),
+	})
+	if err != nil {
+		t.Fatalf("sequential replay: %v", err)
+	}
+
+	for _, shards := range []int{4, 7} {
+		got, err := ShardedReplay(context.Background(), ShardedOptions{
+			Dir:            dir,
+			Workload:       wl,
+			Config:         cfg,
+			Shards:         shards,
+			Exact:          true,
+			PrefetcherName: "pif",
+		})
+		if err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		if len(got.Shards) != shards || len(got.Plans) != shards {
+			t.Fatalf("%d shards: got %d results, %d plans", shards, len(got.Shards), len(got.Plans))
+		}
+		m := got.Merged
+
+		// Lossless counters: exact equality.
+		if m.Instructions != seq.Instructions {
+			t.Errorf("%d shards: Instructions = %d, want %d", shards, m.Instructions, seq.Instructions)
+		}
+		if m.CorrectAccesses != seq.CorrectAccesses {
+			t.Errorf("%d shards: CorrectAccesses = %d, want %d", shards, m.CorrectAccesses, seq.CorrectAccesses)
+		}
+		if m.CorrectMisses != seq.CorrectMisses {
+			t.Errorf("%d shards: CorrectMisses = %d, want %d", shards, m.CorrectMisses, seq.CorrectMisses)
+		}
+		if m.CoveredMisses != seq.CoveredMisses {
+			t.Errorf("%d shards: CoveredMisses = %d, want %d", shards, m.CoveredMisses, seq.CoveredMisses)
+		}
+		if m.PrefetchesIssued != seq.PrefetchesIssued {
+			t.Errorf("%d shards: PrefetchesIssued = %d, want %d", shards, m.PrefetchesIssued, seq.PrefetchesIssued)
+		}
+		if m.L1 != seq.L1 {
+			t.Errorf("%d shards: L1 = %+v, want %+v", shards, m.L1, seq.L1)
+		}
+		if m.FE != seq.FE {
+			t.Errorf("%d shards: FE = %+v, want %+v", shards, m.FE, seq.FE)
+		}
+		if m.Workload != seq.Workload || m.Prefetcher != seq.Prefetcher {
+			t.Errorf("%d shards: identity = %s/%s, want %s/%s", shards, m.Workload, m.Prefetcher, seq.Workload, seq.Prefetcher)
+		}
+
+		// Timing: approximate (per-shard rounding, cleared in-flight
+		// prefetches at shard resets).
+		const tolPct = 5
+		if !withinPct(m.Cycles, seq.Cycles, tolPct) {
+			t.Errorf("%d shards: Cycles = %d, want %d ±%d%%", shards, m.Cycles, seq.Cycles, tolPct)
+		}
+		if !withinPct(m.StallCycles, seq.StallCycles, tolPct) {
+			t.Errorf("%d shards: StallCycles = %d, want %d ±%d%%", shards, m.StallCycles, seq.StallCycles, tolPct)
+		}
+		if seq.UIPC > 0 && math.Abs(m.UIPC-seq.UIPC)/seq.UIPC*100 > tolPct {
+			t.Errorf("%d shards: UIPC = %f, want %f ±%d%%", shards, m.UIPC, seq.UIPC, tolPct)
+		}
+
+		// Coverage derives from lossless counters, so it is exact too.
+		if m.Coverage() != seq.Coverage() {
+			t.Errorf("%d shards: Coverage = %f, want %f", shards, m.Coverage(), seq.Coverage())
+		}
+	}
+}
+
+// TestShardedReplayApproximate exercises fixed-warmup (linear-work) mode:
+// counters land near sequential — within the window-position sensitivity
+// the sweep-window artifact established — but are not bit-exact.
+func TestShardedReplayApproximate(t *testing.T) {
+	wl := workload.OLTPDB2()
+	cfg := testConfig()
+	dir := filepath.Join(t.TempDir(), "store")
+	recordShardStore(t, dir, wl, cfg, 1<<14)
+
+	seq, err := sim.RunJob(context.Background(), sim.Job{
+		Config:        cfg,
+		Workload:      wl,
+		From:          sim.StoreSource(dir),
+		NewPrefetcher: mustFactory(t, "nextline"),
+	})
+	if err != nil {
+		t.Fatalf("sequential replay: %v", err)
+	}
+	got, err := ShardedReplay(context.Background(), ShardedOptions{
+		Dir:            dir,
+		Workload:       wl,
+		Config:         cfg,
+		Shards:         4,
+		PrefetcherName: "nextline",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got.Merged
+	if m.Instructions != seq.Instructions {
+		t.Errorf("Instructions = %d, want %d (the measured span tiles exactly even in approximate mode)",
+			m.Instructions, seq.Instructions)
+	}
+	// Loose tolerances: approximate warmup perturbs cache/predictor state
+	// at each window boundary.
+	const tolPct = 15
+	if !withinPct(m.CorrectAccesses, seq.CorrectAccesses, tolPct) {
+		t.Errorf("CorrectAccesses = %d, want %d ±%d%%", m.CorrectAccesses, seq.CorrectAccesses, tolPct)
+	}
+	if !withinPct(m.Cycles, seq.Cycles, tolPct) {
+		t.Errorf("Cycles = %d, want %d ±%d%%", m.Cycles, seq.Cycles, tolPct)
+	}
+}
+
+// TestSplitReplayPlans pins the split geometry: contiguous tiling of the
+// measured interval, remainder to the earliest shards, full-prefix vs
+// fixed-prefix warmup windows.
+func TestSplitReplayPlans(t *testing.T) {
+	cfg := sim.Config{WarmupInstrs: 1000, MeasureInstrs: 10_003}
+	exact, err := sim.SplitReplay(cfg, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := sim.SplitReplay(cfg, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var start, total uint64 = cfg.WarmupInstrs, 0
+	for k := range exact {
+		e, a := exact[k], approx[k]
+		if e.MeasureInstrs != a.MeasureInstrs {
+			t.Fatalf("shard %d: measure differs between modes: %d vs %d", k, e.MeasureInstrs, a.MeasureInstrs)
+		}
+		total += e.MeasureInstrs
+		if e.Window.Off != 0 || e.WarmupInstrs != start || e.Window.Len != start+e.MeasureInstrs {
+			t.Errorf("shard %d exact: window %s warmup %d (span start %d)", k, e.Window, e.WarmupInstrs, start)
+		}
+		if a.WarmupInstrs != cfg.WarmupInstrs || a.Window.Off != start-cfg.WarmupInstrs ||
+			a.Window.Len != cfg.WarmupInstrs+a.MeasureInstrs {
+			t.Errorf("shard %d approx: window %s warmup %d (span start %d)", k, a.Window, a.WarmupInstrs, start)
+		}
+		start += e.MeasureInstrs
+	}
+	if total != cfg.MeasureInstrs {
+		t.Errorf("shard spans sum to %d, want %d", total, cfg.MeasureInstrs)
+	}
+	// Remainder goes to the earliest shards: 10_003 over 4 = {2501, 2501, 2501, 2500}.
+	want := []uint64{2501, 2501, 2501, 2500}
+	for k, w := range want {
+		if exact[k].MeasureInstrs != w {
+			t.Errorf("shard %d measure = %d, want %d", k, exact[k].MeasureInstrs, w)
+		}
+	}
+
+	// Degenerate requests fail loudly.
+	if _, err := sim.SplitReplay(cfg, 0, true); err == nil {
+		t.Error("0 shards accepted")
+	}
+	if _, err := sim.SplitReplay(sim.Config{MeasureInstrs: 2}, 3, true); err == nil {
+		t.Error("more shards than measured records accepted")
+	}
+	if _, err := sim.SplitReplay(sim.Config{}, 1, true); err == nil {
+		t.Error("zero measure accepted")
+	}
+}

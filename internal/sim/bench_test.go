@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/prefetch"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// BenchmarkReplayJob measures end-to-end store replay through RunJob —
+// the batch decode path feeding the full simulator (frontend, L1-I,
+// prefetcher, polluter). With ReportAllocs, allocations are per run
+// (simulator construction, chunk images), not per record; the bench
+// pipeline divides by the record count and enforces ~0 allocs/record.
+func BenchmarkReplayJob(b *testing.B) {
+	wl := workload.OLTPDB2()
+	cfg := replayConfig()
+	dir := filepath.Join(b.TempDir(), "store")
+	recordStore(b, dir, wl, cfg, 1<<14)
+	records := cfg.WarmupInstrs + cfg.MeasureInstrs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := RunJob(context.Background(), Job{
+			Config:        cfg,
+			Workload:      wl,
+			From:          StoreSource(dir),
+			NewPrefetcher: func() prefetch.Prefetcher { return prefetch.NewNextLine(4) },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// TestStepSteadyStateAllocs pins the alloc-free hot loop: once the
+// simulator's working structures are warm, Step must not allocate — no
+// issuer boxing, no access-callback closure, no per-record buffers.
+// Engines that intentionally grow unbounded metadata (TIFS's miss
+// history) are excluded; the baselines here cover the frontend, cache,
+// polluter, and prefetch per-access paths.
+func TestStepSteadyStateAllocs(t *testing.T) {
+	wl := workload.OLTPDB2()
+	cfg := replayConfig()
+	prog, err := workload.BuildProgram(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := workload.NewIterator(prog, cfg.WarmupInstrs+cfg.MeasureInstrs)
+	stream, err := trace.Collect(it)
+	it.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, newPF := range []func() prefetch.Prefetcher{
+		func() prefetch.Prefetcher { return prefetch.None{} },
+		func() prefetch.Prefetcher { return prefetch.NewNextLine(4) },
+	} {
+		s := New(cfg, newPF(), wl.Seed)
+		for _, r := range stream { // warm caches, maps, predictor state
+			s.Step(r)
+		}
+		const chunk = 4096
+		batch := stream[:chunk]
+		perRun := testing.AllocsPerRun(20, func() {
+			for _, r := range batch {
+				s.Step(r)
+			}
+		})
+		if perRecord := perRun / chunk; perRecord > 0.01 {
+			t.Errorf("%s: %.4f allocs/record in steady state (%.1f per %d-record run), want ~0",
+				s.pf.Name(), perRecord, perRun, chunk)
+		}
+	}
+}

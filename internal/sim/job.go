@@ -185,27 +185,40 @@ func liveJob(ctx context.Context, j Job) (Result, error) {
 	return s.result(j.Workload.Name), nil
 }
 
+// replayBatch is the record batch replayJob decodes per NextBatch call:
+// large enough to amortize the batch call and the context poll, small
+// enough that the buffer stays cache-warm across the Step loop.
+const replayBatch = 4096
+
 // replayJob drives a job from a record iterator instead of a live
-// executor: records stream through the same Simulator one at a time, so
-// peak memory is the source's own buffer (one store chunk, one executor
-// batch), never the trace length.
+// executor: records stream through the same Simulator in batches decoded
+// into one preallocated buffer, so the replay loop performs no per-record
+// interface calls and no allocation, and peak memory is the source's own
+// buffer (one store chunk, one executor batch), never the trace length.
 func replayJob(ctx context.Context, j Job, src trace.Iterator) (Result, error) {
 	s := New(j.Config, j.NewPrefetcher(), j.Workload.Seed)
+	b := trace.Batched(src)
+	buf := make([]trace.Record, replayBatch)
 	feed := func(n uint64) error {
-		for i := uint64(0); i < n; i++ {
-			r, err := src.Next()
+		for done := uint64(0); done < n; {
+			want := n - done
+			if want > replayBatch {
+				want = replayBatch
+			}
+			k, err := b.NextBatch(buf[:want])
+			for _, r := range buf[:k] {
+				s.Step(r)
+			}
+			done += uint64(k)
 			if err != nil {
 				if errors.Is(err, io.EOF) {
 					return fmt.Errorf("sim: trace source for %q exhausted after %d of %d records: %w",
-						j.Workload.Name, i, n, io.ErrUnexpectedEOF)
+						j.Workload.Name, done, n, io.ErrUnexpectedEOF)
 				}
 				return fmt.Errorf("sim: trace source for %q: %w", j.Workload.Name, err)
 			}
-			s.Step(r)
-			if i&cancelCheckMask == cancelCheckMask {
-				if err := ctx.Err(); err != nil {
-					return err
-				}
+			if err := ctx.Err(); err != nil {
+				return err
 			}
 		}
 		return nil

@@ -114,6 +114,14 @@ type Simulator struct {
 
 	lastTagged bool
 	obs        Observer
+
+	// iss and accessFn are the issuer interface value and the access
+	// callback, boxed once at construction: handing issuer{s} or s.access
+	// to an interface/func parameter at every event would allocate on the
+	// hot path (two escapes per retired instruction), which the
+	// steady-state alloc benchmarks in bench_test.go pin at zero.
+	iss      prefetch.Issuer
+	accessFn func(frontend.Access)
 }
 
 // Observer receives per-event callbacks from the measured interval of a
@@ -128,7 +136,7 @@ func New(cfg Config, pf prefetch.Prefetcher, feSeed int64) *Simulator {
 	if err := cfg.System.Validate(); err != nil {
 		panic(err)
 	}
-	return &Simulator{
+	s := &Simulator{
 		cfg:        cfg,
 		l1:         cache.New(cfg.System.L1I()),
 		fe:         frontend.New(cfg.System.Frontend(feSeed)),
@@ -139,6 +147,9 @@ func New(cfg Config, pf prefetch.Prefetcher, feSeed int64) *Simulator {
 		polluter: cache.NewPolluter(
 			cfg.System.CtxSwitchEveryInstrs, cfg.System.CtxSwitchBlocks, feSeed^0x706f6c),
 	}
+	s.iss = issuer{s}
+	s.accessFn = s.access
+	return s
 }
 
 // now returns the current cycle count: issue cycles at the machine width,
@@ -227,13 +238,13 @@ func (s *Simulator) access(a frontend.Access) {
 		WrongPath:     a.WrongPath,
 		Hit:           hit,
 		WasPrefetched: wasPrefetched,
-	}, issuer{s})
+	}, s.iss)
 }
 
 // Step consumes one retired instruction.
 func (s *Simulator) Step(r trace.Record) {
-	s.fe.Feed(r, s.access)
-	s.pf.OnRetire(r, s.lastTagged, issuer{s})
+	s.fe.Feed(r, s.accessFn)
+	s.pf.OnRetire(r, s.lastTagged, s.iss)
 	s.instrs++
 	s.polluter.Tick(s.l1)
 }

@@ -18,6 +18,66 @@ type Iterator interface {
 	Next() (Record, error)
 }
 
+// BatchIterator is the bulk counterpart of Iterator: NextBatch decodes up
+// to len(dst) records into the caller-owned dst and returns how many were
+// filled. One NextBatch call amortizes the per-record interface dispatch
+// of Next over thousands of records, which is what makes replay the
+// decode loop's cost rather than the call overhead's — see DESIGN.md §10.
+//
+// The contract mirrors Next record for record:
+//
+//   - dst[:n] always holds valid records, even when err != nil.
+//   - A clean end of stream is reported as (0, io.EOF), never alongside
+//     records: a call that drains the final records returns them with a
+//     nil error and the *next* call returns io.EOF.
+//   - Truncation and corruption errors (io.ErrUnexpectedEOF, chunk
+//     mismatches, ...) surface on the call that hits them, after any
+//     records decoded earlier in the same call: consuming dst[:n] and
+//     then failing on err reproduces the per-record sequence exactly.
+//   - A zero-length dst returns (0, nil) without touching the stream.
+//
+// Every iterator in the repository implements it natively; Batched adapts
+// the ones that don't.
+type BatchIterator interface {
+	Iterator
+	NextBatch(dst []Record) (int, error)
+}
+
+// Batched returns it as a BatchIterator: iterators that implement the
+// interface natively are returned unchanged, anything else is wrapped in
+// an adapter that loops Next. The adapter does not forward io.Closer —
+// callers that own a closable iterator close the original.
+func Batched(it Iterator) BatchIterator {
+	if b, ok := it.(BatchIterator); ok {
+		return b
+	}
+	return &batchAdapter{it: it}
+}
+
+// batchAdapter lifts a plain Iterator to the batch contract.
+type batchAdapter struct{ it Iterator }
+
+// Next implements Iterator by delegation.
+func (a *batchAdapter) Next() (Record, error) { return a.it.Next() }
+
+// NextBatch implements BatchIterator by looping Next.
+func (a *batchAdapter) NextBatch(dst []Record) (int, error) {
+	for i := range dst {
+		r, err := a.it.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				if i > 0 {
+					return i, nil
+				}
+				return 0, io.EOF
+			}
+			return i, err
+		}
+		dst[i] = r
+	}
+	return len(dst), nil
+}
+
 // StreamIter iterates an in-memory Stream.
 type StreamIter struct {
 	s   Stream
@@ -37,42 +97,102 @@ func (it *StreamIter) Next() (Record, error) {
 	return r, nil
 }
 
+// NextBatch implements BatchIterator by copying from the backing stream.
+func (it *StreamIter) NextBatch(dst []Record) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	if it.pos >= len(it.s) {
+		return 0, io.EOF
+	}
+	n := copy(dst, it.s[it.pos:])
+	it.pos += n
+	return n, nil
+}
+
+// Records reports how many records the iterator can still supply (the
+// size hint Collect preallocates with).
+func (it *StreamIter) Records() uint64 { return uint64(len(it.s) - it.pos) }
+
+// Counted is implemented by iterators whose record budget is known up
+// front (store and slice readers learn it from the index, stream
+// iterators from the slice length). Collect uses it to preallocate.
+type Counted interface {
+	Records() uint64
+}
+
 // Collect drains an iterator into an in-memory Stream. It is the bridge
 // for callers that genuinely need the whole stream (tests, small traces);
-// streaming consumers should pull from the iterator directly.
-func Collect(it Iterator) (Stream, error) { return collect(it, 0) }
+// streaming consumers should pull from the iterator directly. Sources
+// that know their record count up front (Counted) have the stream
+// preallocated; everything is decoded in batches directly into the
+// stream's tail, so collection costs no per-record call and no re-copy.
+func Collect(it Iterator) (Stream, error) {
+	var hint uint64
+	if c, ok := it.(Counted); ok {
+		hint = c.Records()
+	}
+	return collect(it, hint)
+}
 
-// collect is Collect with a capacity hint for sources that know their
-// record count up front.
+// collect is Collect with an explicit capacity hint. Batches decode
+// directly into the stream's tail capacity; when capacity runs out, a
+// small stack probe distinguishes "hint was exact, stream is done" from
+// "hint was short, grow and keep going" — so an exact hint yields exactly
+// one allocation of exactly the record count.
 func collect(it Iterator, sizeHint uint64) (Stream, error) {
+	b := Batched(it)
 	s := make(Stream, 0, sizeHint)
 	for {
-		r, err := it.Next()
-		if errors.Is(err, io.EOF) {
-			return s, nil
+		if len(s) == cap(s) {
+			var probe [64]Record
+			n, err := b.NextBatch(probe[:])
+			s = append(s, probe[:n]...)
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					return s, nil
+				}
+				return s, err
+			}
+			continue
 		}
+		n, err := b.NextBatch(s[len(s):cap(s)])
+		s = s[:len(s)+n]
 		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return s, nil
+			}
 			return s, err
 		}
-		s = append(s, r)
 	}
 }
 
+// copyBatch is the decode granularity of CopyRecords: large enough to
+// amortize the batch call, small enough to keep the buffer cache-warm.
+const copyBatch = 4096
+
 // CopyRecords pulls every record from it into w and returns the count
 // copied. w is any record sink with the Writer/StoreWriter Write shape.
+// Records are decoded in batches through a single preallocated buffer, so
+// store-to-store copies (BuildStore, tracegen -source store/slice) run at
+// batch-decode speed regardless of the sink.
 func CopyRecords(w interface{ Write(Record) error }, it Iterator) (uint64, error) {
+	b := Batched(it)
+	buf := make([]Record, copyBatch)
 	var n uint64
 	for {
-		r, err := it.Next()
-		if errors.Is(err, io.EOF) {
-			return n, nil
+		k, berr := b.NextBatch(buf)
+		for _, r := range buf[:k] {
+			if err := w.Write(r); err != nil {
+				return n, err
+			}
+			n++
 		}
-		if err != nil {
-			return n, err
+		if berr != nil {
+			if errors.Is(berr, io.EOF) {
+				return n, nil
+			}
+			return n, berr
 		}
-		if err := w.Write(r); err != nil {
-			return n, err
-		}
-		n++
 	}
 }

@@ -418,56 +418,63 @@ func ReadIndex(dir string) (Index, error) {
 	return ix, nil
 }
 
-// ChunkReader decodes one chunk file. It implements Iterator, returning
-// io.EOF after exactly the record count the index promises; a chunk that
-// ends early or holds extra records is reported as corrupt.
+// chunkHeaderSize is the byte length of a chunk file's header: magic,
+// version, ordinal (uint32 each) plus the base PC (uint64).
+const chunkHeaderSize = 3*4 + 8
+
+// ChunkReader decodes one chunk file. It implements Iterator and
+// BatchIterator, returning io.EOF after exactly the record count the index
+// promises; a chunk that ends early or holds extra records is reported as
+// corrupt. The whole chunk image is loaded into memory at open — chunks
+// are a few megabytes by construction — so decoding is a pure slice walk
+// with no reader abstraction or syscalls on the record path.
 type ChunkReader struct {
-	f         *os.File
-	br        *bufio.Reader
+	buf       []byte // chunk payload (header stripped)
+	off       int
 	lastPC    isa.Addr
 	remaining uint64
 	ordinal   int
 }
 
 // OpenChunk opens chunk i of the store described by ix at dir, validating
-// the chunk header against the index.
+// the chunk header against the index. The chunk file is read into memory
+// in full.
 func OpenChunk(dir string, ix Index, i int) (*ChunkReader, error) {
 	if i < 0 || i >= len(ix.Chunks) {
 		return nil, fmt.Errorf("trace: chunk %d out of range [0,%d)", i, len(ix.Chunks))
 	}
-	f, err := os.Open(filepath.Join(dir, ChunkFileName(i)))
+	data, err := os.ReadFile(filepath.Join(dir, ChunkFileName(i)))
 	if err != nil {
 		return nil, fmt.Errorf("trace: open chunk: %w", err)
 	}
-	br := bufio.NewReaderSize(f, 1<<16)
-	var m, v, ord uint32
-	var base uint64
-	for _, p := range []any{&m, &v, &ord, &base} {
-		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("trace: read chunk %d header: %w", i, noEOF(err))
-		}
+	return newChunkReader(data, ix, i)
+}
+
+// newChunkReader validates data as the image of chunk i and returns its
+// reader.
+func newChunkReader(data []byte, ix Index, i int) (*ChunkReader, error) {
+	if len(data) < chunkHeaderSize {
+		return nil, fmt.Errorf("trace: read chunk %d header: %w", i, io.ErrUnexpectedEOF)
 	}
+	m := binary.LittleEndian.Uint32(data[0:])
+	v := binary.LittleEndian.Uint32(data[4:])
+	ord := binary.LittleEndian.Uint32(data[8:])
+	base := binary.LittleEndian.Uint64(data[12:])
 	if m != chunkMagic {
-		f.Close()
 		return nil, fmt.Errorf("trace: chunk %d: bad magic %#x", i, m)
 	}
 	if v != storeVersion {
-		f.Close()
 		return nil, fmt.Errorf("trace: chunk %d: unsupported version %d", i, v)
 	}
 	if int(ord) != i {
-		f.Close()
 		return nil, fmt.Errorf("trace: chunk %d: header claims ordinal %d", i, ord)
 	}
 	if isa.Addr(base) != ix.Chunks[i].BasePC {
-		f.Close()
 		return nil, fmt.Errorf("trace: chunk %d: base PC %#x does not match index %#x",
 			i, base, uint64(ix.Chunks[i].BasePC))
 	}
 	return &ChunkReader{
-		f:         f,
-		br:        br,
+		buf:       data[chunkHeaderSize:],
 		lastPC:    isa.Addr(base),
 		remaining: ix.Chunks[i].Records,
 		ordinal:   i,
@@ -479,16 +486,14 @@ func (c *ChunkReader) Next() (Record, error) {
 	if c.remaining == 0 {
 		// The index says the chunk is done; any trailing bytes mean the
 		// chunk and index disagree.
-		if _, err := c.br.ReadByte(); err == nil {
+		if c.off < len(c.buf) {
 			return Record{}, fmt.Errorf("trace: chunk %d holds more records than the index", c.ordinal)
-		} else if !errors.Is(err, io.EOF) {
-			return Record{}, fmt.Errorf("trace: chunk %d: %w", c.ordinal, err)
 		}
 		return Record{}, io.EOF
 	}
-	rec, err := decodeRecord(c.br, c.lastPC)
+	rec, off, err := decodeRecordBuf(c.buf, c.off, c.lastPC)
 	if err != nil {
-		if errors.Is(err, io.EOF) {
+		if err == io.EOF {
 			// Clean EOF with records still owed: the chunk was truncated
 			// on a record boundary, which only the index can detect.
 			return Record{}, fmt.Errorf("trace: chunk %d truncated (%d records missing): %w",
@@ -496,22 +501,128 @@ func (c *ChunkReader) Next() (Record, error) {
 		}
 		return Record{}, fmt.Errorf("trace: chunk %d: %w", c.ordinal, err)
 	}
+	c.off = off
 	c.lastPC = rec.PC
 	c.remaining--
 	return rec, nil
 }
 
-// Close releases the chunk's file handle.
-func (c *ChunkReader) Close() error { return c.f.Close() }
+// NextBatch implements BatchIterator over the chunk's records: the inner
+// loop walks the in-memory chunk image with local state, so cost per
+// record is the varint decode and nothing else.
+func (c *ChunkReader) NextBatch(dst []Record) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	if c.remaining == 0 {
+		if c.off < len(c.buf) {
+			return 0, fmt.Errorf("trace: chunk %d holds more records than the index", c.ordinal)
+		}
+		return 0, io.EOF
+	}
+	n := len(dst)
+	if uint64(n) > c.remaining {
+		n = int(c.remaining)
+	}
+	dst = dst[:n]
+	// The hot loop runs entirely on locals (one write-back per batch, not
+	// per record) and decodes with no calls at all: the one-byte-delta
+	// case — the overwhelmingly common one, retire-order steps being
+	// mostly +1 instruction — is a single branch, multi-byte varints spin
+	// inline, and only malformed input takes the (cold) call that
+	// reproduces the per-record error surface.
+	buf, off, lastPC := c.buf, c.off, c.lastPC
+	for i := range dst {
+		if off+2 < len(buf) && buf[off] < 0x80 {
+			v := uint64(buf[off])
+			lastPC = isa.Addr(int64(lastPC) + (int64(v>>1) ^ -int64(v&1)))
+			dst[i] = Record{PC: lastPC, TL: isa.TrapLevel(buf[off+1]), Flags: Flags(buf[off+2])}
+			off += 3
+			continue
+		}
+		var x uint64
+		var shift uint
+		j := 0
+		ok := true
+		for {
+			if off+j >= len(buf) || j == binary.MaxVarintLen64 {
+				ok = false
+				break
+			}
+			bj := buf[off+j]
+			if bj < 0x80 {
+				if j == binary.MaxVarintLen64-1 && bj > 1 {
+					ok = false
+					break
+				}
+				x |= uint64(bj) << shift
+				j++
+				break
+			}
+			x |= uint64(bj&0x7f) << shift
+			shift += 7
+			j++
+		}
+		if !ok || off+j+1 >= len(buf) {
+			// Cold path: re-decode at the failing offset for the exact
+			// per-record diagnosis (truncation vs overflow).
+			_, _, err := decodeRecordBuf(buf, off, lastPC)
+			c.off, c.lastPC = off, lastPC
+			c.remaining -= uint64(i)
+			if err == io.EOF {
+				err = fmt.Errorf("trace: chunk %d truncated (%d records missing): %w",
+					c.ordinal, c.remaining, io.ErrUnexpectedEOF)
+			} else {
+				err = fmt.Errorf("trace: chunk %d: %w", c.ordinal, err)
+			}
+			return i, err
+		}
+		lastPC = isa.Addr(int64(lastPC) + (int64(x>>1) ^ -int64(x&1)))
+		dst[i] = Record{PC: lastPC, TL: isa.TrapLevel(buf[off+j]), Flags: Flags(buf[off+j+1])}
+		off += j + 2
+	}
+	c.off, c.lastPC = off, lastPC
+	c.remaining -= uint64(n)
+	return n, nil
+}
 
-// StoreReader streams a whole store in record order, opening one chunk at
-// a time — peak memory is bounded by the chunk buffer, not the trace
-// length. It implements Iterator.
+// Records reports how many records the chunk can still supply.
+func (c *ChunkReader) Records() uint64 { return c.remaining }
+
+// Close releases the chunk image. Retained for compatibility with the
+// file-backed reader this type once was; the in-memory reader holds no
+// handle, so Close never fails.
+func (c *ChunkReader) Close() error {
+	c.buf = nil
+	return nil
+}
+
+// raChunk is one completed readahead: the chunk reader (or the open
+// failure) for a specific ordinal.
+type raChunk struct {
+	ordinal int
+	c       *ChunkReader
+	err     error
+}
+
+// StoreReader streams a whole store in record order, holding at most two
+// chunk images at a time (the one being decoded plus one readahead) —
+// peak memory is bounded by the chunk size, not the trace length. It
+// implements Iterator and BatchIterator.
+//
+// While chunk N is being decoded, a readahead goroutine loads chunk N+1
+// from disk, so file I/O overlaps decode instead of serializing with it.
+// The readahead channel is buffered (capacity 1) and the goroutine's only
+// action is a send into it, so an abandoned readahead — Seek away, Close,
+// or an error path — can never leak the goroutine; the chunk image is
+// simply dropped for the collector.
 type StoreReader struct {
-	dir  string
-	ix   Index
-	next int // next chunk ordinal to open
-	cur  *ChunkReader
+	dir      string
+	ix       Index
+	next     int // next chunk ordinal to open
+	cur      *ChunkReader
+	consumed uint64       // records handed out (or skipped past) so far
+	ra       chan raChunk // pending readahead, nil when none in flight
 }
 
 // OpenStore opens the store directory at dir, positioned at record 0.
@@ -532,6 +643,48 @@ func (r *StoreReader) Header() Header { return r.ix.Header() }
 // Workload returns the workload name stored in the index.
 func (r *StoreReader) Workload() string { return r.ix.Workload }
 
+// startReadahead kicks off a background load of the next chunk ordinal if
+// one exists and none is already in flight.
+func (r *StoreReader) startReadahead() {
+	if r.ra != nil || r.next >= len(r.ix.Chunks) {
+		return
+	}
+	ch := make(chan raChunk, 1)
+	dir, ix, ord := r.dir, r.ix, r.next
+	go func() {
+		c, err := OpenChunk(dir, ix, ord)
+		ch <- raChunk{ordinal: ord, c: c, err: err}
+	}()
+	r.ra = ch
+}
+
+// openNextChunk makes chunk r.next current, consuming a matching readahead
+// when one is pending (falling back to a direct open when the readahead is
+// stale or failed — a failed readahead is retried here so transient errors
+// are reported from the consuming call, not a background goroutine), and
+// starts the readahead for the chunk after it.
+func (r *StoreReader) openNextChunk() error {
+	ord := r.next
+	var c *ChunkReader
+	if r.ra != nil {
+		ra := <-r.ra
+		r.ra = nil
+		if ra.ordinal == ord && ra.err == nil {
+			c = ra.c
+		}
+	}
+	if c == nil {
+		var err error
+		c, err = OpenChunk(r.dir, r.ix, ord)
+		if err != nil {
+			return err
+		}
+	}
+	r.cur, r.next = c, ord+1
+	r.startReadahead()
+	return nil
+}
+
 // Next implements Iterator across chunk boundaries.
 func (r *StoreReader) Next() (Record, error) {
 	for {
@@ -539,26 +692,65 @@ func (r *StoreReader) Next() (Record, error) {
 			if r.next >= len(r.ix.Chunks) {
 				return Record{}, io.EOF
 			}
-			c, err := OpenChunk(r.dir, r.ix, r.next)
-			if err != nil {
+			if err := r.openNextChunk(); err != nil {
 				return Record{}, err
 			}
-			r.cur, r.next = c, r.next+1
 		}
 		rec, err := r.cur.Next()
 		if err == nil {
+			r.consumed++
 			return rec, nil
 		}
 		if !errors.Is(err, io.EOF) {
 			return Record{}, err
 		}
-		if cerr := r.cur.Close(); cerr != nil {
-			r.cur = nil
-			return Record{}, fmt.Errorf("trace: close chunk: %w", cerr)
-		}
+		r.cur.Close()
 		r.cur = nil
 	}
 }
+
+// NextBatch implements BatchIterator across chunk boundaries: each chunk
+// contributes a slice-decoded run, and chunk turnover usually finds the
+// next image already in memory thanks to the readahead.
+func (r *StoreReader) NextBatch(dst []Record) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	n := 0
+	for n < len(dst) {
+		if r.cur == nil {
+			if r.next >= len(r.ix.Chunks) {
+				if n > 0 {
+					return n, nil
+				}
+				return 0, io.EOF
+			}
+			if err := r.openNextChunk(); err != nil {
+				return n, err
+			}
+		}
+		k, err := r.cur.NextBatch(dst[n:])
+		n += k
+		r.consumed += uint64(k)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				r.cur.Close()
+				r.cur = nil
+				continue
+			}
+			return n, err
+		}
+		// A short, error-free batch means the chunk drained: loop and
+		// re-poll it, which yields io.EOF (advance to the next chunk) or
+		// an index-mismatch error — the same sequence Next produces.
+	}
+	return n, nil
+}
+
+// Records reports how many records the reader can still supply (the index
+// total minus everything consumed or sought past) — the Counted size hint
+// Collect preallocates with.
+func (r *StoreReader) Records() uint64 { return r.ix.Records() - r.consumed }
 
 // Seek positions the reader at absolute record n (0-based): the index
 // locates the owning chunk and only that chunk's prefix is decoded, so a
@@ -569,6 +761,10 @@ func (r *StoreReader) Seek(n uint64) error {
 		r.cur.Close()
 		r.cur = nil
 	}
+	// Abandon any in-flight readahead: it targeted the old position's
+	// successor. The buffered channel lets its goroutine finish and exit
+	// regardless; the loaded image is garbage once unreferenced.
+	r.ra = nil
 	var cum uint64
 	for i, c := range r.ix.Chunks {
 		if n < cum+c.Records {
@@ -583,12 +779,15 @@ func (r *StoreReader) Seek(n uint64) error {
 				}
 			}
 			r.cur, r.next = cr, i+1
+			r.consumed = n
+			r.startReadahead()
 			return nil
 		}
 		cum += c.Records
 	}
 	if n == cum {
 		r.next = len(r.ix.Chunks)
+		r.consumed = n
 		return nil
 	}
 	return fmt.Errorf("trace: seek to record %d past end of store (%d records)", n, cum)
@@ -596,11 +795,13 @@ func (r *StoreReader) Seek(n uint64) error {
 
 // ReadAll drains the remaining records into an in-memory Stream.
 func (r *StoreReader) ReadAll() (Stream, error) {
-	return collect(r, r.ix.Records())
+	return collect(r, r.Records())
 }
 
-// Close releases any open chunk. The reader must not be used afterwards.
+// Close releases any open chunk and abandons any in-flight readahead. The
+// reader must not be used afterwards.
 func (r *StoreReader) Close() error {
+	r.ra = nil
 	if r.cur == nil {
 		return nil
 	}

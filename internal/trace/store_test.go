@@ -494,13 +494,35 @@ func TestStoreDefaultChunkRecords(t *testing.T) {
 	}
 }
 
-// BenchmarkStoreReplay measures the streaming replay path. With
-// ReportAllocs, allocations stay proportional to the chunk count (one
-// open file + decode buffer per chunk), not the record count — the
-// bounded-memory property the store exists for.
-func BenchmarkStoreReplay(b *testing.B) {
-	const perChunk = 1 << 14
-	s := synthStream(42, 1<<17) // 8 chunks
+// benchStream builds a stream with the delta mix of a real retire-order
+// instruction trace: overwhelmingly sequential (+1 instruction), with
+// near control transfers (loops, calls within a module) and occasional
+// far jumps — unlike synthStream's adversarial 25% far-jump mix, which
+// tests correctness, this is what replay throughput should be measured
+// on.
+func benchStream(seed int64, n int) Stream {
+	rng := rand.New(rand.NewSource(seed))
+	s := make(Stream, n)
+	pc := isa.Addr(0x40_0000)
+	for i := range s {
+		switch r := rng.Intn(100); {
+		case r < 90: // sequential fetch
+			pc = pc.Plus(1)
+		case r < 98: // near transfer: loop back-edge or local call
+			pc = pc.Plus(int(rng.Intn(4096)) - 2048)
+		default: // far jump: cross-module call, trap entry
+			pc = isa.Addr(rng.Intn(1 << 28)).AlignToInstr()
+		}
+		s[i] = Record{PC: pc, TL: isa.TrapLevel(rng.Intn(2)), Flags: Flags(rng.Intn(64))}
+	}
+	return s
+}
+
+// benchStore writes a store of n records for benchmarking and returns its
+// directory, the stream, and the store's on-disk byte size (for MB/s).
+func benchStore(b *testing.B, perChunk uint64, n int) (string, Stream, int64) {
+	b.Helper()
+	s := benchStream(42, n)
 	dir := filepath.Join(b.TempDir(), "store")
 	w, err := CreateStore(dir, "bench", perChunk)
 	if err != nil {
@@ -514,29 +536,88 @@ func BenchmarkStoreReplay(b *testing.B) {
 	if err := w.Close(); err != nil {
 		b.Fatal(err)
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		r, err := OpenStore(dir)
+	var bytes int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range entries {
+		info, err := e.Info()
 		if err != nil {
 			b.Fatal(err)
 		}
-		var n uint64
-		for {
-			_, err := r.Next()
-			if errors.Is(err, io.EOF) {
-				break
-			}
+		bytes += info.Size()
+	}
+	return dir, s, bytes
+}
+
+// BenchmarkStoreReplay measures streaming store replay: the per-record
+// Iterator path against the BatchIterator path on the same input. The
+// batch path is the one the simulator uses; the bench pipeline
+// (internal/bench, BENCH_replay.json) enforces its speedup and its
+// ~0 allocs/record. With ReportAllocs, allocations stay proportional to
+// the chunk count (one image per chunk), not the record count.
+func BenchmarkStoreReplay(b *testing.B) {
+	const perChunk = 1 << 14
+	dir, s, storeBytes := benchStore(b, perChunk, 1<<17) // 8 chunks
+
+	b.Run("PerRecord", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(storeBytes)
+		for i := 0; i < b.N; i++ {
+			r, err := OpenStore(dir)
 			if err != nil {
 				b.Fatal(err)
 			}
-			n++
+			var n uint64
+			var it Iterator = r // per-record baseline pays the interface call
+			for {
+				_, err := it.Next()
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				n++
+			}
+			if n != uint64(len(s)) {
+				b.Fatalf("replayed %d records, want %d", n, len(s))
+			}
+			r.Close()
 		}
-		if n != uint64(len(s)) {
-			b.Fatalf("replayed %d records, want %d", n, len(s))
+		b.ReportMetric(float64(len(s)*b.N)/b.Elapsed().Seconds(), "records/s")
+	})
+
+	b.Run("Batch", func(b *testing.B) {
+		buf := make([]Record, 4096)
+		b.ReportAllocs()
+		b.SetBytes(storeBytes)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r, err := OpenStore(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var n uint64
+			var it BatchIterator = r
+			for {
+				k, err := it.NextBatch(buf)
+				n += uint64(k)
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if n != uint64(len(s)) {
+				b.Fatalf("replayed %d records, want %d", n, len(s))
+			}
+			r.Close()
 		}
-		r.Close()
-	}
+		b.ReportMetric(float64(len(s)*b.N)/b.Elapsed().Seconds(), "records/s")
+	})
 }
 
 // BenchmarkStoreReadAll is the materializing baseline: allocations grow

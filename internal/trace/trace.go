@@ -115,11 +115,11 @@ func readVarint(br *bufio.Reader) (int64, error) {
 			return 0, err
 		}
 		if i == binary.MaxVarintLen64 {
-			return 0, errors.New("trace: varint overflows 64 bits")
+			return 0, errVarintOverflow
 		}
 		if b < 0x80 {
 			if i == binary.MaxVarintLen64-1 && b > 1 {
-				return 0, errors.New("trace: varint overflows 64 bits")
+				return 0, errVarintOverflow
 			}
 			x |= uint64(b) << s
 			break
@@ -129,6 +129,57 @@ func readVarint(br *bufio.Reader) (int64, error) {
 	}
 	return int64(x>>1) ^ -int64(x&1), nil // zigzag decode
 }
+
+// decodeRecordBuf decodes one delta-encoded record from buf at offset
+// off, resolving the PC against lastPC, and returns the record plus the
+// offset one past it. It is the in-memory twin of decodeRecord with the
+// same truncation accounting: io.EOF exactly on a record boundary
+// (off == len(buf)), io.ErrUnexpectedEOF anywhere inside a record. The
+// chunk readers decode whole chunk images through it, so the batch path's
+// inner loop runs over a byte slice with no reader abstraction at all.
+func decodeRecordBuf(buf []byte, off int, lastPC isa.Addr) (Record, int, error) {
+	if off >= len(buf) {
+		return Record{}, off, io.EOF
+	}
+	// Varint PC delta (zigzag), inlined from readVarint over the slice.
+	var x uint64
+	var s uint
+	i := 0
+	for {
+		if off+i >= len(buf) {
+			return Record{}, off, fmt.Errorf("trace: read delta: %w", io.ErrUnexpectedEOF)
+		}
+		b := buf[off+i]
+		if i == binary.MaxVarintLen64 {
+			return Record{}, off, fmt.Errorf("trace: read delta: %w", errVarintOverflow)
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return Record{}, off, fmt.Errorf("trace: read delta: %w", errVarintOverflow)
+			}
+			x |= uint64(b) << s
+			i++
+			break
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+		i++
+	}
+	delta := int64(x>>1) ^ -int64(x&1) // zigzag decode
+	if off+i >= len(buf) {
+		return Record{}, off, fmt.Errorf("trace: read trap level: %w", io.ErrUnexpectedEOF)
+	}
+	tl := buf[off+i]
+	if off+i+1 >= len(buf) {
+		return Record{}, off, fmt.Errorf("trace: read flags: %w", io.ErrUnexpectedEOF)
+	}
+	fl := buf[off+i+1]
+	pc := isa.Addr(int64(lastPC) + delta)
+	return Record{PC: pc, TL: isa.TrapLevel(tl), Flags: Flags(fl)}, off + i + 2, nil
+}
+
+// errVarintOverflow matches readVarint's overflow diagnosis.
+var errVarintOverflow = errors.New("trace: varint overflows 64 bits")
 
 // decodeRecord reads one delta-encoded record, resolving the PC against
 // lastPC. A clean io.EOF is returned only when the stream ends exactly on a
@@ -297,6 +348,26 @@ func (r *Reader) Read() (Record, error) {
 
 // Next implements Iterator; it is Read under the iterator's name.
 func (r *Reader) Next() (Record, error) { return r.Read() }
+
+// NextBatch implements BatchIterator: up to len(dst) records are decoded
+// per call, amortizing the per-record call overhead (see the contract on
+// BatchIterator). Truncation surfaces exactly as it would from Read.
+func (r *Reader) NextBatch(dst []Record) (int, error) {
+	for i := range dst {
+		rec, err := r.Read()
+		if err != nil {
+			if err == io.EOF {
+				if i > 0 {
+					return i, nil
+				}
+				return 0, io.EOF
+			}
+			return i, err
+		}
+		dst[i] = rec
+	}
+	return len(dst), nil
+}
 
 // ReadAll reads every remaining record into a Stream.
 func (r *Reader) ReadAll() (Stream, error) { return Collect(r) }

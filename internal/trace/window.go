@@ -83,7 +83,7 @@ func (ix Index) CheckWindow(w Window) error {
 // underlying StoreReader at the window's first record and Next returns
 // io.EOF after precisely Window.Len records. Like StoreReader, peak
 // memory is one chunk's buffer regardless of window length or position.
-// It implements Iterator.
+// It implements Iterator and BatchIterator.
 type SliceReader struct {
 	r         *StoreReader
 	w         Window
@@ -132,6 +132,38 @@ func (s *SliceReader) Next() (Record, error) {
 	s.remaining--
 	return rec, nil
 }
+
+// NextBatch implements BatchIterator over the window's records, capping
+// each batch at the window's remaining budget and delegating to the store
+// reader's batch path.
+func (s *SliceReader) NextBatch(dst []Record) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	if s.remaining == 0 {
+		return 0, io.EOF
+	}
+	if uint64(len(dst)) > s.remaining {
+		dst = dst[:s.remaining]
+	}
+	n := 0
+	for n < len(dst) {
+		k, err := s.r.NextBatch(dst[n:])
+		n += k
+		s.remaining -= uint64(k)
+		if err != nil {
+			// Window is index-validated, so any error here — even an early
+			// io.EOF — is the store contradicting its index; per-record
+			// iteration wraps it the same way.
+			return n, fmt.Errorf("trace: slice %s: %w", s.w, err)
+		}
+	}
+	return n, nil
+}
+
+// Records reports how many records the slice can still supply (the
+// Counted size hint Collect preallocates with).
+func (s *SliceReader) Records() uint64 { return s.remaining }
 
 // Close releases the underlying store reader.
 func (s *SliceReader) Close() error { return s.r.Close() }

@@ -93,6 +93,25 @@ func (it *Iterator) Next() (trace.Record, error) {
 	return r, nil
 }
 
+// NextBatch implements trace.BatchIterator by copying from the producer's
+// current batch, so one channel receive feeds up to iterBatch records and
+// the per-record synchronization of Next disappears from replay loops.
+func (it *Iterator) NextBatch(dst []trace.Record) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	if it.pos >= len(it.cur) {
+		b, ok := <-it.batches
+		if !ok {
+			return 0, io.EOF
+		}
+		it.cur, it.pos = b, 0
+	}
+	n := copy(dst, it.cur[it.pos:])
+	it.pos += n
+	return n, nil
+}
+
 // Close aborts the producing executor and releases its goroutine. The
 // aborted executor's stream state is unspecified, so a closed iterator
 // must not be read further.

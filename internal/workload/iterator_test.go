@@ -43,6 +43,57 @@ func TestIteratorMatchesRun(t *testing.T) {
 	}
 }
 
+// TestIteratorBatchParity asserts NextBatch yields the identical record
+// sequence to Next on an identically seeded executor, for batch sizes
+// below, at, and above the producer's internal batch, mixed with
+// occasional per-record pulls.
+func TestIteratorBatchParity(t *testing.T) {
+	prog, err := BuildProgram(OLTPDB2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const warmup, measure = 30_000, 20_000
+	want, err := trace.Collect(NewIterator(prog, warmup, measure))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 7, iterBatch - 1, iterBatch, iterBatch + 1, 3 * iterBatch} {
+		it := NewIterator(prog, warmup, measure)
+		var got []trace.Record
+		buf := make([]trace.Record, batch)
+		for i := 0; ; i++ {
+			if i%5 == 4 { // interleave a per-record pull
+				r, err := it.Next()
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					t.Fatalf("batch %d: Next: %v", batch, err)
+				}
+				got = append(got, r)
+				continue
+			}
+			n, err := it.NextBatch(buf)
+			got = append(got, buf[:n]...)
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatalf("batch %d: NextBatch: %v", batch, err)
+			}
+		}
+		it.Close()
+		if len(got) != len(want) {
+			t.Fatalf("batch %d: %d records, want %d", batch, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("batch %d: record %d = %+v, want %+v", batch, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 // TestIteratorPhaseBoundaryMatters pins down why the iterator takes
 // phases instead of one total: the executor starts a fresh transaction at
 // each Run call, so a single-phase stream and a split-phase stream of the

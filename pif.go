@@ -152,6 +152,18 @@ func GenerateStream(w Workload, n uint64) (Stream, error) {
 // readers, sharded stores, in-memory streams, and the live executor.
 type TraceIterator = trace.Iterator
 
+// TraceBatchIterator is the bulk-decode extension of TraceIterator:
+// NextBatch fills a caller-owned record slice per call, eliminating the
+// per-record interface-call overhead on replay hot paths. Every iterator
+// in this package (readers, stores, slices, live executors) implements
+// it natively.
+type TraceBatchIterator = trace.BatchIterator
+
+// BatchedTrace returns it as a TraceBatchIterator: iterators with a
+// native NextBatch are returned unwrapped; anything else is adapted via
+// a per-record loop with identical semantics.
+func BatchedTrace(it TraceIterator) TraceBatchIterator { return trace.Batched(it) }
+
 // WorkloadIterator streams a live executor's output with bounded memory;
 // close it if abandoned before EOF.
 type WorkloadIterator = workload.Iterator
@@ -349,6 +361,40 @@ type JobProgressFunc = func(JobProgress)
 // submission order, cancellation via ctx. It does not Close the backend.
 func RunJobsOn(ctx context.Context, b Backend, jobs []Job, onProgress JobProgressFunc) ([]JobResult, error) {
 	return runner.RunOn(ctx, b, jobs, onProgress)
+}
+
+// ShardPlan is one shard of a sharded single-trace replay: the store
+// window it reads plus its warmup/measure split.
+type ShardPlan = sim.ShardPlan
+
+// PlanShardedReplay tiles cfg's measured interval into shard plans
+// (exact = full-prefix warmup for lossless counter stitching; otherwise
+// fixed-length warmup with linear total work).
+func PlanShardedReplay(cfg SimConfig, shards int, exact bool) ([]ShardPlan, error) {
+	return sim.SplitReplay(cfg, shards, exact)
+}
+
+// MergeShardResults stitches per-shard results (in shard order) into one
+// whole-run result: event counters sum losslessly, FE statistics come
+// from the last shard, and timing is recomputed within tolerance. See
+// DESIGN.md §10 for the stitching rules.
+func MergeShardResults(shards []SimResult) (SimResult, error) {
+	return sim.MergeShardResults(shards)
+}
+
+// ShardedReplayOptions configures a window-sharded parallel replay of
+// one recorded trace store.
+type ShardedReplayOptions = runner.ShardedOptions
+
+// ShardedReplayResult is the stitched outcome plus the per-shard results
+// and plans.
+type ShardedReplayResult = runner.ShardedResult
+
+// ShardedReplay splits one trace store's measured interval into parallel
+// windows, replays each as its own job, and stitches the results —
+// parallel simulation of a single trace on one machine or any Backend.
+func ShardedReplay(ctx context.Context, opt ShardedReplayOptions) (ShardedReplayResult, error) {
+	return runner.ShardedReplay(ctx, opt)
 }
 
 // ExperimentOptions scale the evaluation harness.
