@@ -73,17 +73,33 @@ func main() {
 // resolves store/slice record sources against it. The profiling flags
 // ride along too (-cpuprofile/-memprofile; callers Start after parsing
 // and defer Stop).
-func scaleFlags(fs *flag.FlagSet) (quick *bool, warmup, measure *uint64, parallel *int, traceDir, out *string, verbose *bool, profile *prof.Flags) {
+func scaleFlags(fs *flag.FlagSet) (quick *bool, warmup, measure *uint64, parallel *int, traceDir, out, backend *string, verbose *bool, profile *prof.Flags) {
 	quick = fs.Bool("quick", false, "reduced-scale run (shorter warmup and measurement)")
 	warmup = fs.Uint64("warmup", 0, "override warmup instructions (0 = default)")
 	measure = fs.Uint64("measure", 0, "override measured instructions (0 = default)")
 	parallel = fs.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	backend = fs.String("backend", "local", "execution backend: local, or remote@ADDR (a pifcoord coordinator; jobs must be registry-resolvable — plain engine names, live or @DIR sources)")
 	traceDir = fs.String("tracedir", "", "trace-store pool: spill generated retire streams to sharded stores under this directory and replay them (bounded memory; stores are reused across runs; env-backed store/slice sources slice these stores instead of the in-memory stream)")
 	out = fs.String("out", "", "write structured JSON results into this directory (run.json + <artifact>.json + jobs/<key>.json)")
 	verbose = fs.Bool("v", false, "print per-job timing as jobs complete")
 	profile = new(prof.Flags)
 	profile.Register(fs)
 	return
+}
+
+// dialBackend resolves the -backend flag; a non-local backend is set on
+// opts and returned for the caller to Close (nil for local, which lets
+// the environment size private pools per grid).
+func dialBackend(spec string, parallel int, opts *pif.ExperimentOptions) (pif.Backend, error) {
+	if spec == "" || spec == "local" {
+		return nil, nil
+	}
+	b, err := pif.DialBackend(spec, parallel)
+	if err != nil {
+		return nil, err
+	}
+	opts.Backend = b
+	return b, nil
 }
 
 // buildOptions resolves the shared flags into experiment options.
@@ -112,7 +128,7 @@ func buildOptions(quick bool, warmup, measure uint64, parallel int, storeDir str
 func runMain() int {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
 	runID := fs.String("run", "all", "artifact to regenerate: all, or one of "+strings.Join(pif.ExperimentIDs(), ", "))
-	quick, warmup, measure, parallel, traceDir, out, verbose, profile := scaleFlags(fs)
+	quick, warmup, measure, parallel, traceDir, out, backend, verbose, profile := scaleFlags(fs)
 	fs.Parse(os.Args[1:])
 
 	if err := profile.Start(); err != nil {
@@ -122,6 +138,14 @@ func runMain() int {
 	defer profile.Stop()
 
 	opts := buildOptions(*quick, *warmup, *measure, *parallel, *traceDir, *verbose)
+	be, err := dialBackend(*backend, *parallel, &opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	if be != nil {
+		defer be.Close()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -202,7 +226,7 @@ func sweepMain(args []string) int {
 	fs.Var(&axes, "axis", "sweep axis as name=v1,v2,... (workload, engine, history, budget, l1, source); repeatable, crossed in flag order")
 	name := fs.String("name", "sweep", "sweep name (prefixes cell keys and job labels)")
 	source := fs.String("source", "", "record source for every cell: live, store, slice@off:len, store@DIR, or slice@off:len@DIR (shorthand for a one-value source axis; store/slice without @DIR replay the workload's spilled store under -tracedir, or its in-memory stream when -tracedir is unset)")
-	quick, warmup, measure, parallel, traceDir, out, verbose, profile := scaleFlags(fs)
+	quick, warmup, measure, parallel, traceDir, out, backend, verbose, profile := scaleFlags(fs)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: experiments sweep -axis name=v1,v2,... [-axis ...] [-source SPEC] [flags]")
 		fs.PrintDefaults()
@@ -216,6 +240,14 @@ func sweepMain(args []string) int {
 	defer profile.Stop()
 
 	opts := buildOptions(*quick, *warmup, *measure, *parallel, *traceDir, *verbose)
+	be, err := dialBackend(*backend, *parallel, &opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments sweep:", err)
+		return 1
+	}
+	if be != nil {
+		defer be.Close()
+	}
 	if *source != "" {
 		axes = append(axes, "source="+*source)
 	}

@@ -56,6 +56,7 @@ func run() int {
 	sabs := flag.Int("sabs", 0, "PIF stream address buffers (0 = paper default 4)")
 	window := flag.Int("window", 0, "PIF SAB window regions (0 = paper default 7)")
 	degree := flag.Int("degree", 4, "next-line prefetch degree")
+	backendSpec := flag.String("backend", "local", "execution backend: local, or remote@ADDR (a pifcoord coordinator; jobs run on its worker fleet)")
 	shards := flag.Int("shards", 1, "split a store replay into N parallel windows and stitch the results (needs -trace)")
 	exact := flag.Bool("exact", false, "sharded replay: warm every shard with the full trace prefix so counters match sequential replay exactly")
 	verbose := flag.Bool("v", false, "print full result struct (single job) or per-job progress")
@@ -128,7 +129,7 @@ func run() int {
 		}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		if err := shardedRun(ctx, *traceDir, cfg, engines, *shards, *exact, *perfect, *verbose); err != nil {
+		if err := shardedRun(ctx, *traceDir, cfg, engines, *shards, *exact, *perfect, *verbose, *backendSpec, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, "pifsim:", err)
 			return 1
 		}
@@ -163,12 +164,7 @@ func run() int {
 		workloads, err = resolveWorkloads(*wlNames)
 		for _, wl := range workloads {
 			for _, eng := range engines {
-				jobs = append(jobs, pif.Job{
-					Label:         wl.Name + "/" + eng.name,
-					Workload:      wl,
-					Config:        cfg,
-					NewPrefetcher: eng.factory,
-				})
+				jobs = append(jobs, eng.job(wl.Name+"/"+eng.name, wl, cfg, nil))
 			}
 		}
 	}
@@ -180,16 +176,22 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	pool := pif.Pool{Workers: *parallel}
+	backend, err := pif.DialBackend(*backendSpec, *parallel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pifsim:", err)
+		return 1
+	}
+	defer backend.Close()
+	var onProgress pif.JobProgressFunc
 	if *verbose && len(jobs) > 1 {
-		pool.OnProgress = func(p pif.JobProgress) {
+		onProgress = func(p pif.JobProgress) {
 			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %-32s %8s\n",
 				p.Done, p.Total, p.Label, p.Elapsed.Round(time.Millisecond))
 		}
 	}
 
 	start := time.Now()
-	results, err := pool.Run(ctx, jobs)
+	results, err := pif.RunJobsOn(ctx, backend, jobs, onProgress)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pifsim:", err)
 		return 1
@@ -210,10 +212,27 @@ func run() int {
 	return 0
 }
 
-// engine pairs a display name with a fresh-instance factory.
+// engine pairs a display name with a fresh-instance factory. registry is
+// the prefetch-registry name when the engine is exactly a registry entry
+// (no CLI tuning applied) — the form a remote backend can ship; tuned
+// engines carry only the local factory closure.
 type engine struct {
-	name    string
-	factory func() pif.Prefetcher
+	name     string
+	registry string
+	factory  func() pif.Prefetcher
+}
+
+// job builds the engine's job for one workload/config/source. Registry
+// engines travel by name so any backend (including remote) can resolve
+// them; tuned engines embed the factory and are local-only.
+func (e engine) job(label string, wl pif.Workload, cfg pif.SimConfig, src pif.Source) pif.Job {
+	j := pif.Job{Label: label, Workload: wl, Config: cfg, Source: src}
+	if e.registry != "" {
+		j.PrefetcherName = e.registry
+	} else {
+		j.NewPrefetcher = e.factory
+	}
+	return j
 }
 
 // shardedRun replays the store at dir once per engine, each time split
@@ -221,10 +240,20 @@ type engine struct {
 // one whole-run result (pif.ShardedReplay). The store names the workload
 // and must carry a phase split compatible with the requested
 // warmup/measure interval, exactly as a sequential store replay would.
-func shardedRun(ctx context.Context, dir string, cfg pif.SimConfig, engines []engine, shards int, exact, perfect, verbose bool) error {
+func shardedRun(ctx context.Context, dir string, cfg pif.SimConfig, engines []engine, shards int, exact, perfect, verbose bool, backendSpec string, parallel int) error {
 	ix, err := pif.ReadTraceIndex(dir)
 	if err != nil {
 		return err
+	}
+	// A remote backend is dialed once and shared across engines; local
+	// stays nil so ShardedReplay sizes a private pool per replay.
+	var backend pif.Backend
+	if backendSpec != "" && backendSpec != "local" {
+		backend, err = pif.DialBackend(backendSpec, parallel)
+		if err != nil {
+			return err
+		}
+		defer backend.Close()
 	}
 	wl, err := pif.WorkloadByName(ix.Workload)
 	if err != nil {
@@ -241,14 +270,20 @@ func shardedRun(ctx context.Context, dir string, cfg pif.SimConfig, engines []en
 	}
 	for i, eng := range engines {
 		start := time.Now()
-		res, err := pif.ShardedReplay(ctx, pif.ShardedReplayOptions{
-			Dir:           dir,
-			Workload:      wl,
-			Config:        cfg,
-			Shards:        shards,
-			Exact:         exact,
-			NewPrefetcher: eng.factory,
-		})
+		opt := pif.ShardedReplayOptions{
+			Dir:      dir,
+			Workload: wl,
+			Config:   cfg,
+			Shards:   shards,
+			Exact:    exact,
+			Backend:  backend,
+		}
+		if eng.registry != "" {
+			opt.PrefetcherName = eng.registry
+		} else {
+			opt.NewPrefetcher = eng.factory
+		}
+		res, err := pif.ShardedReplay(ctx, opt)
 		if err != nil {
 			return fmt.Errorf("%s: %w", eng.name, err)
 		}
@@ -312,13 +347,7 @@ func traceJobs(dir string, window *pif.TraceWindow, cfg pif.SimConfig, engines [
 	}
 	var jobs []pif.Job
 	for _, eng := range engines {
-		jobs = append(jobs, pif.Job{
-			Label:         wl.Name + label + "/" + eng.name,
-			Workload:      wl,
-			Config:        cfg,
-			NewPrefetcher: eng.factory,
-			Source:        source,
-		})
+		jobs = append(jobs, eng.job(wl.Name+label+"/"+eng.name, wl, cfg, source))
 	}
 	return jobs, nil
 }
@@ -352,25 +381,33 @@ func resolveEngines(names string, history, sabs, window, degree int) ([]engine, 
 		switch name {
 		case "pif":
 			cfg := pif.DefaultPIFConfig()
+			registry := "pif" // untuned = exactly the registry engine
 			if history > 0 {
 				cfg.HistoryRegions = history
+				registry = ""
 			}
 			if sabs > 0 {
 				cfg.NumSABs = sabs
+				registry = ""
 			}
 			if window > 0 {
 				cfg.SABWindow = window
+				registry = ""
 			}
-			out = append(out, engine{name, func() pif.Prefetcher { return pif.NewPIF(cfg) }})
+			out = append(out, engine{name, registry, func() pif.Prefetcher { return pif.NewPIF(cfg) }})
 		case "nextline":
-			out = append(out, engine{name, func() pif.Prefetcher { return pif.NewNextLine(degree) }})
+			registry := ""
+			if degree == 4 { // the registry's nextline degree
+				registry = "nextline"
+			}
+			out = append(out, engine{name, registry, func() pif.Prefetcher { return pif.NewNextLine(degree) }})
 		default:
 			// Validate the name up front so a typo fails before any job runs.
 			if _, err := pif.PrefetcherByName(name); err != nil {
 				return nil, err
 			}
 			n := name
-			out = append(out, engine{n, func() pif.Prefetcher {
+			out = append(out, engine{n, n, func() pif.Prefetcher {
 				p, err := pif.PrefetcherByName(n)
 				if err != nil {
 					panic(err) // validated above

@@ -1,0 +1,185 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// resultsPollMS is the long-poll wait the client backend requests per
+// results fetch.
+const resultsPollMS = 1000
+
+// Backend is the client half of the remote backend: a runner.Backend
+// whose Submit serializes jobs to the coordinator and whose Results
+// channel is fed by a poller streaming the run's completions. One
+// Backend drives one coordinator run for its whole lifetime; like
+// LocalBackend it serves sequential RunOn batches and closes its result
+// stream at Close.
+type Backend struct {
+	base  string
+	hc    *http.Client
+	runID string
+
+	results chan runner.Result
+	stop    chan struct{} // closed by Close: poller exits after drain
+
+	mu     sync.Mutex
+	closed bool
+	once   sync.Once
+}
+
+// Dial connects to a coordinator at addr (host:port or http://host:port)
+// and opens a run on it. The returned Backend is ready for RunOn.
+func Dial(addr string) (*Backend, error) {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimSuffix(base, "/")
+	b := &Backend{
+		base:    base,
+		hc:      &http.Client{},
+		results: make(chan runner.Result, 64),
+		stop:    make(chan struct{}),
+	}
+	var resp openRunResponse
+	if err := b.post(context.Background(), "/v1/runs", struct {
+		V int `json:"v"`
+	}{WireVersion}, &resp); err != nil {
+		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
+	}
+	b.runID = resp.RunID
+	go b.poll()
+	return b, nil
+}
+
+// post sends one JSON request and decodes the JSON response. A 409
+// (coordinator or run closed) maps to runner.ErrBackendClosed.
+func (b *Backend) post(ctx context.Context, path string, req, resp any) error {
+	return httpJSON(ctx, b.hc, http.MethodPost, b.base+path, req, resp)
+}
+
+// httpJSON is the shared request helper for backend and worker.
+func httpJSON(ctx context.Context, hc *http.Client, method, url string, req, resp any) error {
+	var body io.Reader
+	if req != nil {
+		buf, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return err
+	}
+	if req != nil {
+		hreq.Header.Set("Content-Type", "application/json")
+	}
+	hresp, err := hc.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		var e errorResponse
+		msg := ""
+		if json.NewDecoder(io.LimitReader(hresp.Body, 1<<16)).Decode(&e) == nil {
+			msg = e.Error
+		}
+		if hresp.StatusCode == http.StatusConflict {
+			return fmt.Errorf("%w (coordinator: %s)", runner.ErrBackendClosed, msg)
+		}
+		return fmt.Errorf("remote: %s %s: status %d: %s", method, url, hresp.StatusCode, msg)
+	}
+	if resp == nil {
+		return nil
+	}
+	return json.NewDecoder(hresp.Body).Decode(resp)
+}
+
+// Submit implements runner.Backend: encode the job, ship it. A closed
+// backend (local Close or coordinator refusal) returns
+// runner.ErrBackendClosed.
+func (b *Backend) Submit(ctx context.Context, idx int, j runner.Job) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b.mu.Lock()
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		return runner.ErrBackendClosed
+	}
+	spec, err := EncodeJob(j)
+	if err != nil {
+		return err
+	}
+	return b.post(ctx, "/v1/runs/"+b.runID+"/jobs", submitJobRequest{V: WireVersion, Index: idx, Spec: spec}, nil)
+}
+
+// Results implements runner.Backend.
+func (b *Backend) Results() <-chan runner.Result { return b.results }
+
+// Close implements runner.Backend: the coordinator run is closed (no
+// more submissions), and the Results channel closes once every
+// submitted job's result has been delivered.
+func (b *Backend) Close() error {
+	b.once.Do(func() {
+		b.mu.Lock()
+		b.closed = true
+		b.mu.Unlock()
+		// Best effort: if the coordinator is gone the poller will fail
+		// out and close the stream anyway.
+		_ = b.post(context.Background(), "/v1/runs/"+b.runID+"/close", struct {
+			V int `json:"v"`
+		}{WireVersion}, nil)
+		close(b.stop)
+	})
+	return nil
+}
+
+// poll streams the run's results into the channel. It exits — closing
+// the results channel — when the run reports done (all submitted jobs
+// completed after Close) or the coordinator becomes unreachable after
+// Close.
+func (b *Backend) poll() {
+	defer close(b.results)
+	cursor := 0
+	for {
+		var resp resultsResponse
+		url := fmt.Sprintf("%s/v1/runs/%s/results?cursor=%d&wait_ms=%d", b.base, b.runID, cursor, resultsPollMS)
+		err := httpJSON(context.Background(), b.hc, http.MethodGet, url, nil, &resp)
+		if err != nil {
+			// Transient coordinator trouble: keep polling while the
+			// backend is open; after Close, give up — the consumer is
+			// draining toward channel close.
+			select {
+			case <-b.stop:
+				return
+			case <-time.After(100 * time.Millisecond):
+				continue
+			}
+		}
+		for _, wr := range resp.Results {
+			res, rerr := wr.Result()
+			if rerr != nil {
+				res = runner.Result{Index: wr.Index, Label: wr.Label, Err: rerr}
+			}
+			b.results <- res
+		}
+		cursor += len(resp.Results)
+		if resp.Done {
+			return
+		}
+	}
+}

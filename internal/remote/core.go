@@ -1,0 +1,410 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Core errors, mapped to HTTP statuses by Server and back to sentinels
+// by the client Backend.
+var (
+	// ErrClosed reports an operation on a closed coordinator or a job
+	// submitted to a closed run. The client Backend maps it to
+	// runner.ErrBackendClosed.
+	ErrClosed = errors.New("remote: coordinator closed")
+	// ErrNoRun reports an unknown run ID.
+	ErrNoRun = errors.New("remote: no such run")
+	// ErrNoWorker reports an unknown worker ID (never registered, or a
+	// coordinator restart lost it — the worker must re-register).
+	ErrNoWorker = errors.New("remote: no such worker")
+)
+
+// DefaultLeaseTTL is the heartbeat deadline handed to workers: a leased
+// task whose worker does not heartbeat within the TTL is re-queued.
+const DefaultLeaseTTL = 15 * time.Second
+
+// DefaultMaxAttempts bounds lease retries per task: after this many
+// leases all end in a lost worker, the task completes with a hard error
+// result — never a silent zero-valued sim.Result.
+const DefaultMaxAttempts = 3
+
+// taskState is the lease state machine: pending -> leased -> done, with
+// leased -> pending again on heartbeat expiry while attempts remain.
+type taskState int
+
+const (
+	taskPending taskState = iota
+	taskLeased
+	taskDone
+)
+
+// task is one submitted job inside the coordinator.
+type task struct {
+	id       int // coordinator-wide monotonic task ID (the idempotency key)
+	runID    string
+	index    int // caller's submission index, echoed in the result
+	spec     JobSpec
+	state    taskState
+	att      int // leases handed out so far
+	worker   string
+	deadline time.Time // heartbeat deadline while leased
+}
+
+// run is one client batch: an ordered set of tasks plus the result
+// stream in completion order.
+type run struct {
+	id      string
+	closed  bool // no further submissions; done once all tasks complete
+	tasks   map[int]*task
+	results []WireResult
+}
+
+// done reports whether every submitted task has completed and the run
+// is closed to new submissions.
+func (r *run) done() bool { return r.closed && len(r.results) == len(r.tasks) }
+
+// workerState is one registered worker.
+type workerState struct {
+	id   string
+	name string
+}
+
+// Lease is one task handed to a worker.
+type Lease struct {
+	TaskID int     `json:"task_id"`
+	Spec   JobSpec `json:"spec"`
+}
+
+// Core is the coordinator's pure in-memory state machine: runs, tasks,
+// workers, leases. It performs no I/O and reads time only through an
+// injected clock, so every failure path — heartbeat expiry, bounded
+// retries, duplicate completions — is unit-testable without sockets or
+// sleeps. Lease expiry is evaluated lazily at the entry of every public
+// method; the HTTP layer's polling keeps the clock observed.
+type Core struct {
+	mu          sync.Mutex
+	now         func() time.Time
+	leaseTTL    time.Duration
+	maxAttempts int
+
+	runs                          map[string]*run
+	workers                       map[string]*workerState
+	nextRun, nextWorker, nextTask int
+	closed                        bool
+
+	// onResult, when set, observes every accepted result (streaming
+	// persistence). Called with the core lock held — keep it fast; do
+	// not call back into the Core.
+	onResult func(runID string, res WireResult)
+
+	// gen is closed and replaced on every state mutation; Changed hands
+	// it to long-pollers.
+	gen chan struct{}
+}
+
+// CoreOptions parameterizes a coordinator core.
+type CoreOptions struct {
+	// LeaseTTL is the heartbeat deadline (DefaultLeaseTTL if zero).
+	LeaseTTL time.Duration
+	// MaxAttempts bounds leases per task (DefaultMaxAttempts if zero).
+	MaxAttempts int
+	// Now is the clock (time.Now if nil); tests inject a fake.
+	Now func() time.Time
+	// OnResult observes every accepted result as it lands.
+	OnResult func(runID string, res WireResult)
+}
+
+// NewCore builds a coordinator core.
+func NewCore(opts CoreOptions) *Core {
+	c := &Core{
+		now:         opts.Now,
+		leaseTTL:    opts.LeaseTTL,
+		maxAttempts: opts.MaxAttempts,
+		runs:        make(map[string]*run),
+		workers:     make(map[string]*workerState),
+		onResult:    opts.OnResult,
+		gen:         make(chan struct{}),
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	if c.leaseTTL <= 0 {
+		c.leaseTTL = DefaultLeaseTTL
+	}
+	if c.maxAttempts <= 0 {
+		c.maxAttempts = DefaultMaxAttempts
+	}
+	return c
+}
+
+// LeaseTTL returns the configured heartbeat deadline.
+func (c *Core) LeaseTTL() time.Duration { return c.leaseTTL }
+
+// bump signals state observers (long-pollers) by closing the current
+// generation channel. Callers hold c.mu.
+func (c *Core) bump() {
+	close(c.gen)
+	c.gen = make(chan struct{})
+}
+
+// Changed returns a channel closed at the next state mutation. The HTTP
+// layer long-polls on it; the channel is replaced after each close, so
+// callers re-fetch per wait.
+func (c *Core) Changed() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// expire re-queues tasks whose lease deadline has passed: the worker
+// missed its heartbeat, so the task goes back to pending for another
+// worker — unless its lease budget is spent, in which case it completes
+// with a hard error result. Callers hold c.mu.
+func (c *Core) expire() {
+	now := c.now()
+	for _, r := range c.runs {
+		for _, t := range r.tasks {
+			if t.state != taskLeased || now.Before(t.deadline) {
+				continue
+			}
+			if t.att >= c.maxAttempts {
+				c.finish(r, t, WireResult{
+					V:     WireVersion,
+					Index: t.index,
+					Label: t.spec.Label,
+					Err: fmt.Sprintf("remote: task %d (%s) lost its worker %d times (lease ttl %s); giving up",
+						t.id, t.spec.Label, t.att, c.leaseTTL),
+				})
+				continue
+			}
+			t.state = taskPending
+			t.worker = ""
+			t.deadline = time.Time{}
+		}
+	}
+}
+
+// finish records a task's completion and streams the result. Callers
+// hold c.mu; the task must not already be done.
+func (c *Core) finish(r *run, t *task, res WireResult) {
+	t.state = taskDone
+	r.results = append(r.results, res)
+	if c.onResult != nil {
+		c.onResult(r.id, res)
+	}
+	c.bump()
+}
+
+// OpenRun starts a new run (one client batch) and returns its ID.
+func (c *Core) OpenRun() (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return "", ErrClosed
+	}
+	c.nextRun++
+	id := fmt.Sprintf("run-%d", c.nextRun)
+	c.runs[id] = &run{id: id, tasks: make(map[int]*task)}
+	c.bump()
+	return id, nil
+}
+
+// SubmitJob enqueues one job on a run. index is the caller's submission
+// index, echoed in the job's result (runner.Backend contract).
+func (c *Core) SubmitJob(runID string, index int, spec JobSpec) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expire()
+	if c.closed {
+		return ErrClosed
+	}
+	r, ok := c.runs[runID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoRun, runID)
+	}
+	if r.closed {
+		return fmt.Errorf("%w: run %s", ErrClosed, runID)
+	}
+	if spec.V != WireVersion {
+		return fmt.Errorf("remote: job spec has wire version %d, want %d", spec.V, WireVersion)
+	}
+	c.nextTask++
+	t := &task{id: c.nextTask, runID: runID, index: index, spec: spec}
+	r.tasks[t.id] = t
+	c.bump()
+	return nil
+}
+
+// CloseRun marks a run complete-when-drained: no further submissions
+// are accepted, and once every task has a result the run reports done.
+// Idempotent.
+func (c *Core) CloseRun(runID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expire()
+	r, ok := c.runs[runID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoRun, runID)
+	}
+	if !r.closed {
+		r.closed = true
+		c.bump()
+	}
+	return nil
+}
+
+// Results returns the run's results from cursor on (completion order)
+// and whether the run is done (closed and fully drained). The caller
+// advances its cursor by len(results).
+func (c *Core) Results(runID string, cursor int) ([]WireResult, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expire()
+	r, ok := c.runs[runID]
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %s", ErrNoRun, runID)
+	}
+	if cursor < 0 || cursor > len(r.results) {
+		return nil, false, fmt.Errorf("remote: run %s: cursor %d out of range [0,%d]", runID, cursor, len(r.results))
+	}
+	out := make([]WireResult, len(r.results)-cursor)
+	copy(out, r.results[cursor:])
+	return out, r.done(), nil
+}
+
+// RegisterWorker registers a worker and returns its ID. name is
+// diagnostic only.
+func (c *Core) RegisterWorker(name string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return "", ErrClosed
+	}
+	c.nextWorker++
+	id := fmt.Sprintf("w-%d", c.nextWorker)
+	c.workers[id] = &workerState{id: id, name: name}
+	c.bump()
+	return id, nil
+}
+
+// LeaseTasks hands up to max pending tasks to a worker, oldest first
+// (task IDs are monotonic, so FIFO across runs). Each lease starts the
+// task's heartbeat clock.
+func (c *Core) LeaseTasks(workerID string, max int) ([]Lease, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expire()
+	if _, ok := c.workers[workerID]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoWorker, workerID)
+	}
+	if max <= 0 {
+		return nil, nil
+	}
+	var pending []*task
+	for _, r := range c.runs {
+		for _, t := range r.tasks {
+			if t.state == taskPending {
+				pending = append(pending, t)
+			}
+		}
+	}
+	sort.Slice(pending, func(a, b int) bool { return pending[a].id < pending[b].id })
+	if len(pending) > max {
+		pending = pending[:max]
+	}
+	leases := make([]Lease, 0, len(pending))
+	deadline := c.now().Add(c.leaseTTL)
+	for _, t := range pending {
+		t.state = taskLeased
+		t.att++
+		t.worker = workerID
+		t.deadline = deadline
+		leases = append(leases, Lease{TaskID: t.id, Spec: t.spec})
+	}
+	if len(leases) > 0 {
+		c.bump()
+	}
+	return leases, nil
+}
+
+// Heartbeat extends the lease deadline of the worker's in-flight tasks
+// and returns the IDs among them the worker no longer owns — expired
+// leases re-queued (and possibly re-leased elsewhere) or tasks already
+// completed. The worker must abandon lost tasks: cancel the local run
+// and never post their results.
+func (c *Core) Heartbeat(workerID string, taskIDs []int) ([]int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expire()
+	if _, ok := c.workers[workerID]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoWorker, workerID)
+	}
+	deadline := c.now().Add(c.leaseTTL)
+	var lost []int
+	for _, id := range taskIDs {
+		t := c.findTask(id)
+		if t == nil || t.state != taskLeased || t.worker != workerID {
+			lost = append(lost, id)
+			continue
+		}
+		t.deadline = deadline
+	}
+	return lost, nil
+}
+
+// findTask locates a task by ID across runs. Callers hold c.mu.
+func (c *Core) findTask(id int) *task {
+	for _, r := range c.runs {
+		if t, ok := r.tasks[id]; ok {
+			return t
+		}
+	}
+	return nil
+}
+
+// Complete posts a task's result. The task ID is the idempotency key:
+// the first completion wins and is accepted even if the poster's lease
+// had expired (the work is real; re-leased duplicates are the cheap
+// side to drop), every later completion reports accepted=false and
+// changes nothing. A worker whose completion is rejected simply moves
+// on.
+func (c *Core) Complete(workerID string, taskID int, res WireResult) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expire()
+	if _, ok := c.workers[workerID]; !ok {
+		return false, fmt.Errorf("%w: %s", ErrNoWorker, workerID)
+	}
+	if res.V != WireVersion {
+		return false, fmt.Errorf("remote: result has wire version %d, want %d", res.V, WireVersion)
+	}
+	t := c.findTask(taskID)
+	if t == nil {
+		return false, fmt.Errorf("remote: no such task %d", taskID)
+	}
+	if t.state == taskDone {
+		return false, nil
+	}
+	// Force the caller-visible identity: index and label are the task's,
+	// whatever the poster claimed.
+	res.Index = t.index
+	if res.Label == "" {
+		res.Label = t.spec.Label
+	}
+	c.finish(c.runs[t.runID], t, res)
+	return true, nil
+}
+
+// Close shuts the coordinator: new runs, submissions, and worker
+// registrations are refused. Existing runs may drain. Idempotent.
+func (c *Core) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		c.bump()
+	}
+}

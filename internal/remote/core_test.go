@@ -1,0 +1,339 @@
+package remote
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for Core tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func testCore(t *testing.T, opts CoreOptions) (*Core, *fakeClock) {
+	t.Helper()
+	clk := newFakeClock()
+	opts.Now = clk.Now
+	if opts.LeaseTTL == 0 {
+		opts.LeaseTTL = 10 * time.Second
+	}
+	return NewCore(opts), clk
+}
+
+func testSpec(label string) JobSpec {
+	return JobSpec{V: WireVersion, Label: label, Workload: "OLTP DB2", Prefetcher: "none"}
+}
+
+func testWireResult(label string) WireResult {
+	return WireResult{V: WireVersion, Label: label, ElapsedNanos: 1}
+}
+
+// openRunWithJobs opens a run and submits n jobs indexed 0..n-1.
+func openRunWithJobs(t *testing.T, c *Core, n int) string {
+	t.Helper()
+	runID, err := c.OpenRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := c.SubmitJob(runID, i, testSpec("job")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return runID
+}
+
+func registerWorker(t *testing.T, c *Core, name string) string {
+	t.Helper()
+	id, err := c.RegisterWorker(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestCoreLeaseCompleteFlow(t *testing.T) {
+	c, _ := testCore(t, CoreOptions{})
+	runID := openRunWithJobs(t, c, 2)
+	w := registerWorker(t, c, "w1")
+
+	leases, err := c.LeaseTasks(w, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leases) != 2 {
+		t.Fatalf("leased %d tasks, want 2", len(leases))
+	}
+	// Second lease call: nothing pending.
+	if more, _ := c.LeaseTasks(w, 10); len(more) != 0 {
+		t.Fatalf("re-leased %d tasks while all are in flight", len(more))
+	}
+	for _, l := range leases {
+		acc, err := c.Complete(w, l.TaskID, testWireResult("done"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !acc {
+			t.Fatalf("task %d completion rejected", l.TaskID)
+		}
+	}
+	if err := c.CloseRun(runID); err != nil {
+		t.Fatal(err)
+	}
+	results, done, err := c.Results(runID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || !done {
+		t.Fatalf("results = %d, done = %v; want 2, true", len(results), done)
+	}
+}
+
+func TestCoreHeartbeatExpiryRequeues(t *testing.T) {
+	c, clk := testCore(t, CoreOptions{LeaseTTL: 10 * time.Second})
+	openRunWithJobs(t, c, 1)
+	w1 := registerWorker(t, c, "w1")
+	w2 := registerWorker(t, c, "w2")
+
+	leases, _ := c.LeaseTasks(w1, 1)
+	if len(leases) != 1 {
+		t.Fatal("w1 got no lease")
+	}
+	// Within the TTL the task is not re-leasable.
+	clk.Advance(9 * time.Second)
+	if more, _ := c.LeaseTasks(w2, 1); len(more) != 0 {
+		t.Fatal("task re-leased before its deadline")
+	}
+	// A heartbeat extends the deadline.
+	if lost, err := c.Heartbeat(w1, []int{leases[0].TaskID}); err != nil || len(lost) != 0 {
+		t.Fatalf("heartbeat lost=%v err=%v", lost, err)
+	}
+	clk.Advance(9 * time.Second)
+	if more, _ := c.LeaseTasks(w2, 1); len(more) != 0 {
+		t.Fatal("heartbeat did not extend the lease")
+	}
+	// Missing the deadline re-queues the task to w2.
+	clk.Advance(2 * time.Second)
+	more, _ := c.LeaseTasks(w2, 1)
+	if len(more) != 1 || more[0].TaskID != leases[0].TaskID {
+		t.Fatalf("expired task not re-leased: %v", more)
+	}
+	// w1's next heartbeat disowns the task.
+	lost, err := c.Heartbeat(w1, []int{leases[0].TaskID})
+	if err != nil || len(lost) != 1 {
+		t.Fatalf("w1 heartbeat after expiry: lost=%v err=%v", lost, err)
+	}
+}
+
+func TestCoreBoundedRetriesThenHardError(t *testing.T) {
+	const maxAttempts = 3
+	c, clk := testCore(t, CoreOptions{LeaseTTL: 10 * time.Second, MaxAttempts: maxAttempts})
+	runID := openRunWithJobs(t, c, 1)
+	w := registerWorker(t, c, "flaky")
+
+	for i := 0; i < maxAttempts; i++ {
+		leases, err := c.LeaseTasks(w, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(leases) != 1 {
+			t.Fatalf("attempt %d: leased %d tasks", i, len(leases))
+		}
+		clk.Advance(11 * time.Second) // miss every heartbeat
+	}
+	// The lease budget is spent: the task must complete with a hard
+	// error, not be re-leased and not hang pending.
+	if leases, _ := c.LeaseTasks(w, 1); len(leases) != 0 {
+		t.Fatalf("task re-leased after %d lost attempts", maxAttempts)
+	}
+	c.CloseRun(runID)
+	results, done, err := c.Results(runID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done || len(results) != 1 {
+		t.Fatalf("results = %d, done = %v", len(results), done)
+	}
+	if results[0].Err == "" || !strings.Contains(results[0].Err, "lost its worker") {
+		t.Fatalf("hard-error result = %+v, want a lost-worker error", results[0])
+	}
+}
+
+func TestCoreDuplicateCompleteDeduplicated(t *testing.T) {
+	c, _ := testCore(t, CoreOptions{})
+	var streamed int
+	c.onResult = func(string, WireResult) { streamed++ }
+	runID := openRunWithJobs(t, c, 1)
+	w := registerWorker(t, c, "w1")
+	leases, _ := c.LeaseTasks(w, 1)
+
+	acc, err := c.Complete(w, leases[0].TaskID, testWireResult("first"))
+	if err != nil || !acc {
+		t.Fatalf("first completion: acc=%v err=%v", acc, err)
+	}
+	// A retried POST of the same completion must change nothing.
+	acc, err = c.Complete(w, leases[0].TaskID, testWireResult("retry"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc {
+		t.Fatal("duplicate completion accepted")
+	}
+	results, _, _ := c.Results(runID, 0)
+	if len(results) != 1 || results[0].Label != "first" {
+		t.Fatalf("results = %v, want exactly the first completion", results)
+	}
+	if streamed != 1 {
+		t.Fatalf("onResult fired %d times, want 1", streamed)
+	}
+}
+
+// TestCoreLateCompletionAfterRelease locks first-complete-wins: a worker
+// whose lease expired finishes anyway and posts first — the work is
+// real, so it is accepted, and the re-leased worker's copy is dropped.
+func TestCoreLateCompletionAfterRelease(t *testing.T) {
+	c, clk := testCore(t, CoreOptions{LeaseTTL: 10 * time.Second})
+	runID := openRunWithJobs(t, c, 1)
+	w1 := registerWorker(t, c, "slow")
+	w2 := registerWorker(t, c, "fast")
+
+	leases, _ := c.LeaseTasks(w1, 1)
+	clk.Advance(11 * time.Second)
+	releases, _ := c.LeaseTasks(w2, 1)
+	if len(releases) != 1 {
+		t.Fatal("expired task not re-leased")
+	}
+	// The original worker's late post wins.
+	if acc, err := c.Complete(w1, leases[0].TaskID, testWireResult("late-but-first")); err != nil || !acc {
+		t.Fatalf("late completion: acc=%v err=%v", acc, err)
+	}
+	if acc, _ := c.Complete(w2, releases[0].TaskID, testWireResult("duplicate")); acc {
+		t.Fatal("second completion accepted")
+	}
+	results, _, _ := c.Results(runID, 0)
+	if len(results) != 1 || results[0].Label != "late-but-first" {
+		t.Fatalf("results = %v", results)
+	}
+}
+
+func TestCoreRefusalsAfterClose(t *testing.T) {
+	c, _ := testCore(t, CoreOptions{})
+	runID := openRunWithJobs(t, c, 0)
+	c.Close()
+	if _, err := c.OpenRun(); !errors.Is(err, ErrClosed) {
+		t.Errorf("OpenRun after Close = %v", err)
+	}
+	if err := c.SubmitJob(runID, 0, testSpec("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("SubmitJob after Close = %v", err)
+	}
+	if _, err := c.RegisterWorker("w"); !errors.Is(err, ErrClosed) {
+		t.Errorf("RegisterWorker after Close = %v", err)
+	}
+}
+
+func TestCoreClosedRunRefusesJobs(t *testing.T) {
+	c, _ := testCore(t, CoreOptions{})
+	runID := openRunWithJobs(t, c, 1)
+	if err := c.CloseRun(runID); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SubmitJob(runID, 1, testSpec("late")); !errors.Is(err, ErrClosed) {
+		t.Errorf("SubmitJob on closed run = %v, want ErrClosed", err)
+	}
+	// CloseRun is idempotent.
+	if err := c.CloseRun(runID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoreUnknownIDs(t *testing.T) {
+	c, _ := testCore(t, CoreOptions{})
+	if err := c.SubmitJob("run-404", 0, testSpec("x")); !errors.Is(err, ErrNoRun) {
+		t.Errorf("SubmitJob on unknown run = %v", err)
+	}
+	if _, _, err := c.Results("run-404", 0); !errors.Is(err, ErrNoRun) {
+		t.Errorf("Results on unknown run = %v", err)
+	}
+	if _, err := c.LeaseTasks("w-404", 1); !errors.Is(err, ErrNoWorker) {
+		t.Errorf("LeaseTasks for unknown worker = %v", err)
+	}
+	if _, err := c.Heartbeat("w-404", nil); !errors.Is(err, ErrNoWorker) {
+		t.Errorf("Heartbeat for unknown worker = %v", err)
+	}
+	if _, err := c.Complete("w-404", 1, testWireResult("x")); !errors.Is(err, ErrNoWorker) {
+		t.Errorf("Complete for unknown worker = %v", err)
+	}
+}
+
+func TestCoreResultsCursor(t *testing.T) {
+	c, _ := testCore(t, CoreOptions{})
+	runID := openRunWithJobs(t, c, 3)
+	w := registerWorker(t, c, "w")
+	leases, _ := c.LeaseTasks(w, 3)
+	for i, l := range leases {
+		c.Complete(w, l.TaskID, testWireResult("r"))
+		results, _, err := c.Results(runID, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != 1 {
+			t.Fatalf("cursor %d: %d new results, want 1", i, len(results))
+		}
+	}
+	if _, _, err := c.Results(runID, 99); err == nil {
+		t.Error("out-of-range cursor accepted")
+	}
+}
+
+// TestCoreSequentialBatches checks the multi-batch shape the client
+// backend relies on: task identity is coordinator-wide, so a second
+// batch's index 0 never collides with the first's.
+func TestCoreSequentialBatches(t *testing.T) {
+	c, _ := testCore(t, CoreOptions{})
+	runID := openRunWithJobs(t, c, 2)
+	w := registerWorker(t, c, "w")
+	leases, _ := c.LeaseTasks(w, 2)
+	for _, l := range leases {
+		c.Complete(w, l.TaskID, testWireResult("batch1"))
+	}
+	// Second batch on the same run, same indices.
+	for i := 0; i < 2; i++ {
+		if err := c.SubmitJob(runID, i, testSpec("batch2")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leases2, _ := c.LeaseTasks(w, 2)
+	if len(leases2) != 2 {
+		t.Fatalf("batch 2 leased %d", len(leases2))
+	}
+	for _, l := range leases2 {
+		if l.TaskID == leases[0].TaskID || l.TaskID == leases[1].TaskID {
+			t.Fatalf("task ID %d reused across batches", l.TaskID)
+		}
+		c.Complete(w, l.TaskID, testWireResult("batch2"))
+	}
+	results, _, _ := c.Results(runID, 0)
+	if len(results) != 4 {
+		t.Fatalf("results = %d, want 4", len(results))
+	}
+}

@@ -1,0 +1,182 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/runner/runnertest"
+)
+
+// harness is one in-process coordinator with real HTTP listeners and
+// helpers to attach workers.
+type harness struct {
+	core   *Core
+	srv    *httptest.Server
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	ctx    context.Context
+}
+
+func newHarness(t *testing.T, opts CoreOptions) *harness {
+	t.Helper()
+	core := NewCore(opts)
+	srv := httptest.NewServer(NewServer(core))
+	ctx, cancel := context.WithCancel(context.Background())
+	h := &harness{core: core, srv: srv, cancel: cancel, ctx: ctx}
+	t.Cleanup(func() {
+		cancel()
+		h.wg.Wait()
+		srv.Close()
+	})
+	return h
+}
+
+// startWorker runs a worker against the harness coordinator and returns
+// a cancel that kills it (abandoning in-flight tasks unposted — the
+// same observable state as a SIGKILLed worker process).
+func (h *harness) startWorker(name string, parallel int) context.CancelFunc {
+	ctx, cancel := context.WithCancel(h.ctx)
+	w := &Worker{Coord: h.srv.URL, Name: name, Parallel: parallel}
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		_ = w.Run(ctx)
+	}()
+	return cancel
+}
+
+// TestRemoteBackendConformance runs the shared backend contract against
+// the full stack: HTTP coordinator, two workers, client backend.
+func TestRemoteBackendConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test runs real simulations")
+	}
+	h := newHarness(t, CoreOptions{})
+	h.startWorker("w1", 2)
+	h.startWorker("w2", 2)
+	runnertest.Conformance(t, func(t *testing.T) runner.Backend {
+		b, err := Dial(h.srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	})
+}
+
+// TestLocalBackendConformance anchors the contract on the reference
+// implementation, so a conformance regression is attributable.
+func TestLocalBackendConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance runs real simulations")
+	}
+	runnertest.Conformance(t, func(t *testing.T) runner.Backend {
+		return runner.NewLocalBackend(2)
+	})
+}
+
+// TestRemoteMatchesLocal is the distribution-correctness anchor: the
+// same jobs through the remote stack (two workers) and through
+// LocalBackend produce identical simulation results.
+func TestRemoteMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test runs real simulations")
+	}
+	jobs := runnertest.Jobs(t, 6)
+
+	local := runner.NewLocalBackend(2)
+	want, err := runner.RunOn(context.Background(), local, jobs, nil)
+	local.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h := newHarness(t, CoreOptions{})
+	h.startWorker("w1", 2)
+	h.startWorker("w2", 2)
+	b, err := Dial(h.srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	got, err := runner.RunOn(context.Background(), b, jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if got[i].Err != nil {
+			t.Fatalf("remote job %d (%s): %v", i, got[i].Label, got[i].Err)
+		}
+		if got[i].Sim != want[i].Sim {
+			t.Errorf("job %d (%s): remote sim result differs from local:\nremote %+v\nlocal  %+v",
+				i, jobs[i].Label, got[i].Sim, want[i].Sim)
+		}
+	}
+}
+
+// TestWorkerKilledMidRun kills one of two workers mid-sweep: its leased
+// tasks must be re-queued after the lease TTL and every job must still
+// complete exactly once with a real result.
+func TestWorkerKilledMidRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test runs real simulations")
+	}
+	// Short TTL so the re-lease happens within test time.
+	h := newHarness(t, CoreOptions{LeaseTTL: 500 * time.Millisecond})
+	killVictim := h.startWorker("victim", 1)
+	jobs := runnertest.Jobs(t, 5)
+
+	b, err := Dial(h.srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// Let the victim lease work, then kill it and bring up the survivor.
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		killVictim()
+		h.startWorker("survivor", 2)
+	}()
+	results, err := runner.RunOn(context.Background(), b, jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(results), len(jobs))
+	}
+	seen := make(map[int]bool)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Errorf("job %d (%s): %v", i, r.Label, r.Err)
+		}
+		if r.Sim.Instructions == 0 {
+			t.Errorf("job %d (%s): zero-valued result after re-lease", i, r.Label)
+		}
+		if seen[r.Index] {
+			t.Errorf("index %d delivered twice", r.Index)
+		}
+		seen[r.Index] = true
+	}
+}
+
+// TestRemoteSubmitAfterCoordinatorClose checks the server-side refusal
+// path: a coordinator that has shut down answers submissions with 409,
+// which the client maps to runner.ErrBackendClosed.
+func TestRemoteSubmitAfterCoordinatorClose(t *testing.T) {
+	h := newHarness(t, CoreOptions{})
+	b, err := Dial(h.srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	h.core.Close()
+	err = b.Submit(context.Background(), 0, runnertest.Jobs(t, 1)[0])
+	if !errors.Is(err, runner.ErrBackendClosed) {
+		t.Fatalf("Submit after coordinator Close = %v, want runner.ErrBackendClosed", err)
+	}
+}

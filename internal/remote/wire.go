@@ -1,0 +1,162 @@
+// Package remote is the first multi-node runner.Backend: a coordinator/
+// worker pair speaking runner.Job/runner.Result over HTTP. The
+// coordinator (see Core, Server) owns a lease-based job queue — workers
+// register, lease tasks, heartbeat while running them, and post results
+// with idempotency keys; a worker that misses its heartbeat deadline has
+// its tasks re-queued (bounded retries, then a hard job error). The
+// client side (see Backend) implements runner.Backend, so every existing
+// driver — experiments, pifsim -shards, sweeps — distributes unchanged
+// via -backend remote@ADDR.
+//
+// Layering follows the repo idiom: Core is a pure in-memory state
+// machine with an injected clock, unit-testable without sockets; Server
+// is a thin HTTP translation over it; Backend and Worker are HTTP
+// clients. See DESIGN.md §11 for the wire protocol and failure-mode
+// table.
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// WireVersion stamps every wire object; a coordinator or worker
+// receiving another version refuses it rather than misinterpreting
+// fields.
+const WireVersion = 1
+
+// JobSpec is the wire form of a runner.Job: everything a worker needs to
+// rebuild and run the job locally, and nothing that cannot cross a
+// machine boundary. Workloads travel by registry name, sources by
+// sim.SourceSpec, prefetchers by registry name.
+type JobSpec struct {
+	V          int             `json:"v"`
+	Label      string          `json:"label,omitempty"`
+	Workload   string          `json:"workload"`
+	Config     sim.Config      `json:"config"`
+	Prefetcher string          `json:"prefetcher"`
+	Source     *sim.SourceSpec `json:"source,omitempty"`
+}
+
+// EncodeJob converts a runner.Job to its wire form. Jobs carrying
+// process-local state — a prefetcher factory closure, an observer, an
+// opaque source — are rejected with a descriptive error: the remote
+// backend must refuse them loudly, never run a silently different job.
+func EncodeJob(j runner.Job) (JobSpec, error) {
+	if j.NewPrefetcher != nil {
+		return JobSpec{}, fmt.Errorf("remote: job %q carries a prefetcher factory closure; remote jobs must name a registry engine (PrefetcherName)", j.Label)
+	}
+	if j.PrefetcherName == "" {
+		return JobSpec{}, fmt.Errorf("remote: job %q names no prefetcher", j.Label)
+	}
+	if j.Observer != nil {
+		return JobSpec{}, fmt.Errorf("remote: job %q carries an observer callback; observers are process-local", j.Label)
+	}
+	if j.Workload.Name == "" {
+		return JobSpec{}, fmt.Errorf("remote: job %q has an unnamed workload", j.Label)
+	}
+	reg, err := workload.ByName(j.Workload.Name)
+	if err != nil {
+		return JobSpec{}, fmt.Errorf("remote: job %q: workload %q is not in the registry; remote workers resolve workloads by name: %w", j.Label, j.Workload.Name, err)
+	}
+	if reg != j.Workload {
+		return JobSpec{}, fmt.Errorf("remote: job %q: workload %q differs from the registry profile of that name; a remote worker would simulate the wrong program", j.Label, j.Workload.Name)
+	}
+	spec := JobSpec{
+		V:          WireVersion,
+		Label:      j.Label,
+		Workload:   j.Workload.Name,
+		Config:     j.Config,
+		Prefetcher: j.PrefetcherName,
+	}
+	src := j.Source
+	if src == nil && j.NewSource != nil {
+		return JobSpec{}, fmt.Errorf("remote: job %q uses the deprecated NewSource iterator factory; remote jobs need a serializable sim.Source", j.Label)
+	}
+	if src != nil {
+		ss, ok := sim.SpecOf(src)
+		if !ok {
+			return JobSpec{}, fmt.Errorf("remote: job %q carries an opaque source (%T); only live/store/slice sources serialize", j.Label, src)
+		}
+		spec.Source = &ss
+	}
+	// Program images are deterministic functions of the profile; the
+	// worker rebuilds (and caches) them, so j.Program is dropped.
+	return spec, nil
+}
+
+// Job rebuilds the runnable runner.Job a spec names, resolving the
+// workload and prefetcher through their registries and the source
+// through sim.SourceSpec.New.
+func (s JobSpec) Job() (runner.Job, error) {
+	if s.V != WireVersion {
+		return runner.Job{}, fmt.Errorf("remote: job spec has wire version %d, want %d", s.V, WireVersion)
+	}
+	w, err := workload.ByName(s.Workload)
+	if err != nil {
+		return runner.Job{}, fmt.Errorf("remote: job %q: %w", s.Label, err)
+	}
+	j := runner.Job{
+		Label:          s.Label,
+		Workload:       w,
+		Config:         s.Config,
+		PrefetcherName: s.Prefetcher,
+	}
+	if s.Source != nil {
+		src, err := s.Source.New()
+		if err != nil {
+			return runner.Job{}, fmt.Errorf("remote: job %q: %w", s.Label, err)
+		}
+		j.Source = src
+	}
+	return j, nil
+}
+
+// WireResult is the wire form of a runner.Result. Errors travel as
+// strings: a remote job failure is diagnostic text by the time it
+// crosses the wire, not a matchable error chain.
+type WireResult struct {
+	V            int        `json:"v"`
+	Index        int        `json:"index"`
+	Label        string     `json:"label,omitempty"`
+	Sim          sim.Result `json:"sim"`
+	Err          string     `json:"err,omitempty"`
+	ElapsedNanos int64      `json:"elapsed_nanos"`
+}
+
+// EncodeResult converts a runner.Result to its wire form.
+func EncodeResult(r runner.Result) WireResult {
+	wr := WireResult{
+		V:            WireVersion,
+		Index:        r.Index,
+		Label:        r.Label,
+		Sim:          r.Sim,
+		ElapsedNanos: r.Elapsed.Nanoseconds(),
+	}
+	if r.Err != nil {
+		wr.Err = r.Err.Error()
+	}
+	return wr
+}
+
+// Result rebuilds the runner.Result a wire result names.
+func (w WireResult) Result() (runner.Result, error) {
+	if w.V != WireVersion {
+		return runner.Result{}, fmt.Errorf("remote: result has wire version %d, want %d", w.V, WireVersion)
+	}
+	r := runner.Result{
+		Index:   w.Index,
+		Label:   w.Label,
+		Sim:     w.Sim,
+		Elapsed: time.Duration(w.ElapsedNanos),
+	}
+	if w.Err != "" {
+		r.Err = errors.New(w.Err)
+	}
+	return r, nil
+}

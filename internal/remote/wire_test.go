@@ -1,0 +1,186 @@
+package remote
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/isa"
+	"repro/internal/prefetch"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func serializableJob(t *testing.T) runner.Job {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.WarmupInstrs = 1000
+	cfg.MeasureInstrs = 1000
+	return runner.Job{
+		Label:          "fig10/OLTP DB2/nextline",
+		Workload:       workload.OLTPDB2(),
+		Config:         cfg,
+		PrefetcherName: "nextline",
+	}
+}
+
+func TestEncodeJobRoundTrip(t *testing.T) {
+	j := serializableJob(t)
+	j.Source = sim.SliceSource("/tmp/store", trace.Window{Off: 10, Len: 20})
+	spec, err := EncodeJob(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back JobSpec
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Job()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != j.Label || got.Workload != j.Workload || got.Config != j.Config || got.PrefetcherName != j.PrefetcherName {
+		t.Errorf("round trip changed job:\n%+v\n%+v", j, got)
+	}
+	ss, ok := sim.SpecOf(got.Source)
+	if !ok || ss.Kind != "slice" || ss.Path != "/tmp/store" || (ss.Window != trace.Window{Off: 10, Len: 20}) {
+		t.Errorf("source not round-tripped: %+v ok=%v", ss, ok)
+	}
+}
+
+// nopObserver is a process-local observer for rejection tests.
+type nopObserver struct{}
+
+func (nopObserver) OnCorrectFetch(tl isa.TrapLevel, hit, wasPrefetched bool) {}
+
+func TestEncodeJobRejectsProcessLocalState(t *testing.T) {
+	factory, err := prefetch.Lookup("nextline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*runner.Job)
+		want string
+	}{
+		{"factory-closure", func(j *runner.Job) { j.NewPrefetcher = factory }, "factory closure"},
+		{"no-prefetcher", func(j *runner.Job) { j.PrefetcherName = "" }, "names no prefetcher"},
+		{"observer", func(j *runner.Job) { j.Observer = nopObserver{} }, "observer"},
+		{"unnamed-workload", func(j *runner.Job) { j.Workload = workload.Profile{} }, "unnamed workload"},
+		{"off-registry-workload", func(j *runner.Job) { j.Workload.Seed++ }, "differs from the registry"},
+		{"deprecated-newsource", func(j *runner.Job) {
+			j.NewSource = func() (trace.Iterator, error) { return nil, nil }
+		}, "deprecated NewSource"},
+		{"opaque-source", func(j *runner.Job) {
+			j.Source = sim.OpenerSource(func() (trace.Iterator, error) { return nil, nil })
+		}, "opaque source"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			j := serializableJob(t)
+			tc.mut(&j)
+			_, err := EncodeJob(j)
+			if err == nil {
+				t.Fatal("EncodeJob accepted a non-serializable job")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestEncodeResultRoundTrip(t *testing.T) {
+	r := runner.Result{
+		Index:   7,
+		Label:   "cell",
+		Sim:     sim.Result{Workload: "OLTP DB2", Instructions: 123, UIPC: 0.5},
+		Err:     errors.New("boom"),
+		Elapsed: 1500 * time.Millisecond,
+	}
+	wr := EncodeResult(r)
+	b, err := json.Marshal(wr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back WireResult
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Index != r.Index || got.Label != r.Label || got.Sim != r.Sim || got.Elapsed != r.Elapsed {
+		t.Errorf("round trip changed result:\n%+v\n%+v", r, got)
+	}
+	if got.Err == nil || got.Err.Error() != "boom" {
+		t.Errorf("error not round-tripped: %v", got.Err)
+	}
+}
+
+func TestWireVersionEnforced(t *testing.T) {
+	if _, err := (JobSpec{V: WireVersion + 1, Workload: "OLTP DB2", Prefetcher: "none"}).Job(); err == nil {
+		t.Error("future-version job spec accepted")
+	}
+	if _, err := (WireResult{V: 0}).Result(); err == nil {
+		t.Error("unversioned result accepted")
+	}
+}
+
+// FuzzJobSpecRoundTrip fuzzes the wire decode path: any JSON the
+// coordinator or a worker receives either fails decode/validation or
+// survives a marshal/unmarshal round trip unchanged — the same
+// guarantee FuzzArtifactRoundTrip gives the results store.
+func FuzzJobSpecRoundTrip(f *testing.F) {
+	seed, err := EncodeJob(runner.Job{
+		Label:          "seed",
+		Workload:       workload.OLTPDB2(),
+		Config:         sim.DefaultConfig(),
+		PrefetcherName: "pif",
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	b, _ := json.Marshal(seed)
+	f.Add(string(b))
+	f.Add(`{"v":1,"workload":"OLTP DB2","prefetcher":"none","source":{"kind":"slice","path":"/x","window":{"Off":1,"Len":2}}}`)
+	f.Add(`{"v":99}`)
+	f.Add(`{}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		var spec JobSpec
+		if err := json.Unmarshal([]byte(in), &spec); err != nil {
+			return
+		}
+		job, err := spec.Job()
+		if err != nil {
+			return
+		}
+		// A decodable job must re-encode to an equivalent spec.
+		spec2, err := EncodeJob(job)
+		if err != nil {
+			t.Fatalf("decoded job does not re-encode: %v", err)
+		}
+		b1, _ := json.Marshal(spec2)
+		job2, err := spec2.Job()
+		if err != nil {
+			t.Fatalf("re-encoded spec does not decode: %v", err)
+		}
+		spec3, err := EncodeJob(job2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, _ := json.Marshal(spec3)
+		if string(b1) != string(b2) {
+			t.Fatalf("round trip not stable:\n%s\n%s", b1, b2)
+		}
+	})
+}

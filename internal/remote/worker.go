@@ -1,0 +1,224 @@
+package remote
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// leasePollMS is the long-poll wait a worker requests per lease call.
+const leasePollMS = 2000
+
+// Worker pulls tasks from a coordinator and runs them on the local
+// machine: register, lease up to Parallel tasks, heartbeat while they
+// run, post each result with its task ID as the idempotency key. A
+// worker that loses a lease (the heartbeat response disowns the task)
+// cancels the local job and never posts its result; a worker that dies
+// simply stops heartbeating and the coordinator re-queues its tasks.
+type Worker struct {
+	// Coord is the coordinator address (host:port or http://host:port).
+	Coord string
+	// Name labels the worker in coordinator diagnostics.
+	Name string
+	// Parallel is the number of tasks run concurrently (and the worker
+	// pool size); <= 0 means GOMAXPROCS.
+	Parallel int
+
+	hc   *http.Client
+	base string
+
+	mu       sync.Mutex
+	workerID string
+	inflight map[int]context.CancelFunc // taskID -> cancel (lease lost / shutdown)
+}
+
+// running is one leased task being executed.
+type running struct {
+	lease Lease
+	job   runner.Job
+}
+
+// Run executes the worker loop until ctx is canceled or the coordinator
+// refuses it (registration on a closed coordinator). In-flight tasks at
+// cancellation are abandoned unposted: the coordinator's heartbeat
+// deadline re-queues them, which is exactly the kill-a-worker failure
+// path.
+func (w *Worker) Run(ctx context.Context) error {
+	w.base = w.Coord
+	if !strings.Contains(w.base, "://") {
+		w.base = "http://" + w.base
+	}
+	w.base = strings.TrimSuffix(w.base, "/")
+	w.hc = &http.Client{}
+	w.inflight = make(map[int]context.CancelFunc)
+
+	slots := runner.Workers(w.Parallel)
+
+	var reg registerWorkerResponse
+	if err := httpJSON(ctx, w.hc, http.MethodPost, w.base+"/v1/workers",
+		registerWorkerRequest{V: WireVersion, Name: w.Name}, &reg); err != nil {
+		return fmt.Errorf("remote: worker register: %w", err)
+	}
+	w.mu.Lock()
+	w.workerID = reg.WorkerID
+	w.mu.Unlock()
+	ttl := time.Duration(reg.LeaseTTLMS) * time.Millisecond
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+
+	// Heartbeat at a third of the lease TTL: two beats may be lost
+	// before the coordinator declares the worker dead.
+	hbCtx, hbCancel := context.WithCancel(ctx)
+	defer hbCancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w.heartbeatLoop(hbCtx, ttl/3)
+	}()
+	defer wg.Wait()
+
+	sem := make(chan struct{}, slots)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Block for a free slot before leasing, so the worker never
+		// holds leases it cannot start.
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		var resp leaseResponse
+		err := httpJSON(ctx, w.hc, http.MethodPost, w.base+"/v1/lease",
+			leaseRequest{V: WireVersion, WorkerID: reg.WorkerID, Max: 1, WaitMS: leasePollMS}, &resp)
+		if err != nil {
+			<-sem
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			// Coordinator unreachable or refusing: back off and retry.
+			select {
+			case <-time.After(500 * time.Millisecond):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			continue
+		}
+		if len(resp.Leases) == 0 {
+			<-sem
+			continue
+		}
+		lease := resp.Leases[0]
+		jobCtx, cancel := context.WithCancel(ctx)
+		w.mu.Lock()
+		w.inflight[lease.TaskID] = cancel
+		w.mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			w.runTask(jobCtx, reg.WorkerID, lease)
+		}()
+	}
+}
+
+// runTask executes one leased task and posts its result. A task whose
+// context dies (worker shutdown or lost lease) is abandoned: the result
+// is never posted, and the coordinator's lease deadline re-queues it.
+func (w *Worker) runTask(ctx context.Context, workerID string, lease Lease) {
+	defer func() {
+		w.mu.Lock()
+		delete(w.inflight, lease.TaskID)
+		w.mu.Unlock()
+	}()
+	var res runner.Result
+	job, err := lease.Spec.Job()
+	if err != nil {
+		// An undecodable job is a hard, deterministic failure: post it,
+		// re-leasing elsewhere cannot help.
+		res = runner.Result{Index: 0, Label: lease.Spec.Label, Err: err}
+	} else {
+		// Each task gets a private single-worker LocalBackend: job
+		// contexts stay independently cancelable (lost lease cancels
+		// this task only) at the cost of one goroutine per task.
+		be := runner.NewLocalBackend(1)
+		results, rerr := runner.RunOn(ctx, be, []runner.Job{job}, nil)
+		be.Close()
+		if len(results) == 1 {
+			res = results[0]
+		} else {
+			res = runner.Result{Label: lease.Spec.Label, Err: rerr}
+		}
+	}
+	if ctx.Err() != nil {
+		// Shutdown or lost lease: abandon. Posting now could race a
+		// re-lease; the coordinator's idempotency key would drop one
+		// copy, but the kill path must look identical whether the
+		// process died or was canceled.
+		return
+	}
+	// Post with retries: completions are idempotent (task ID keyed), so
+	// resending after a timeout is safe.
+	for attempt := 0; attempt < 3; attempt++ {
+		var cr completeResponse
+		err := httpJSON(ctx, w.hc, http.MethodPost, w.base+"/v1/complete",
+			completeRequest{V: WireVersion, WorkerID: workerID, TaskID: lease.TaskID, Result: EncodeResult(res)}, &cr)
+		if err == nil {
+			return
+		}
+		select {
+		case <-time.After(200 * time.Millisecond):
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// heartbeatLoop extends the worker's leases and cancels tasks the
+// coordinator has disowned.
+func (w *Worker) heartbeatLoop(ctx context.Context, every time.Duration) {
+	if every <= 0 {
+		every = time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		w.mu.Lock()
+		ids := make([]int, 0, len(w.inflight))
+		for id := range w.inflight {
+			ids = append(ids, id)
+		}
+		workerID := w.workerID
+		w.mu.Unlock()
+		if len(ids) == 0 {
+			continue
+		}
+		var resp heartbeatResponse
+		err := httpJSON(ctx, w.hc, http.MethodPost, w.base+"/v1/heartbeat",
+			heartbeatRequest{V: WireVersion, WorkerID: workerID, TaskIDs: ids}, &resp)
+		if err != nil {
+			continue // missed beat; the next one may still make the deadline
+		}
+		for _, id := range resp.Lost {
+			w.mu.Lock()
+			cancel := w.inflight[id]
+			w.mu.Unlock()
+			if cancel != nil {
+				cancel()
+			}
+		}
+	}
+}

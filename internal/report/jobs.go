@@ -113,16 +113,28 @@ func SaveJobResults(runDir string, jobs []JobResult) error {
 			return fmt.Errorf("report: duplicate job key %q", j.Key)
 		}
 		seen[j.Key] = true
-		j.SchemaVersion = SchemaVersion
-		b, err := encode(j, true)
-		if err != nil {
-			return fmt.Errorf("report: marshal job %s: %w", j.Key, err)
-		}
-		if err := os.WriteFile(filepath.Join(dir, j.Key+".json"), b, 0o644); err != nil {
+		if err := WriteJobResult(filepath.Join(dir, j.Key+".json"), j); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// WriteJobResult atomically persists one per-job result to path
+// (temp-file + rename in the destination directory, like WriteArtifact).
+// It stamps the current schema version. The remote coordinator uses this
+// to stream results into <run>/jobs/ as workers complete them, so a
+// crashed coordinator never leaves a truncated job file behind.
+func WriteJobResult(path string, j JobResult) error {
+	if !ValidJobKey(j.Key) {
+		return fmt.Errorf("report: invalid job key %q", j.Key)
+	}
+	j.SchemaVersion = SchemaVersion
+	b, err := encode(j, true)
+	if err != nil {
+		return fmt.Errorf("report: marshal job %s: %w", j.Key, err)
+	}
+	return writeFileAtomic(path, b)
 }
 
 // LoadJobResults reads every per-job result under <runDir>/jobs/, sorted

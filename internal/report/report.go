@@ -140,6 +140,47 @@ func compactJSON(raw []byte) (json.RawMessage, error) {
 	return buf.Bytes(), nil
 }
 
+// crashBeforeRename is a test seam simulating a writer killed between
+// writing its temp file and renaming it into place: when it reports a
+// crash for a path, writeFileAtomic abandons the write exactly the way a
+// SIGKILL would — temp file left behind, final path never created. Nil
+// outside tests.
+var crashBeforeRename func(path string) bool
+
+// errSimulatedCrash marks the test seam's abandonment.
+var errSimulatedCrash = fmt.Errorf("report: simulated crash before rename")
+
+// writeFileAtomic writes b at path via a uniquely named temp file in the
+// same directory renamed into place, so no reader — nor a crash at any
+// instant — ever observes a partially written file: the final path either
+// does not exist or holds the complete bytes. Temp files are dot-prefixed
+// and never end in ".json", so a crashed writer's leftovers are invisible
+// to Load and LoadJobResults.
+func writeFileAtomic(path string, b []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, werr := f.Write(b)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	if crashBeforeRename != nil && crashBeforeRename(path) {
+		return errSimulatedCrash
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
 // NewArtifact builds a schema-stamped artifact from a driver result. data
 // may be any JSON-marshalable value (or nil for text-only artifacts); it
 // is canonicalized to compact JSON so identical results are byte-identical
@@ -167,7 +208,10 @@ func NewArtifact(id, title, text string, data any) (Artifact, error) {
 // compared byte-for-byte by determinism tests.
 func (a Artifact) Encode() ([]byte, error) { return encode(a, false) }
 
-// WriteArtifact writes one artifact as indented JSON at path.
+// WriteArtifact writes one artifact as indented JSON at path. The write
+// is atomic (temp file + rename in the same directory): a reader never
+// observes a torn artifact, and a writer killed mid-write leaves the
+// previous file — or no file — in place, never a readable prefix.
 func WriteArtifact(path string, a Artifact) error {
 	if !validID(a.ID) {
 		return fmt.Errorf("report: invalid artifact ID %q", a.ID)
@@ -176,7 +220,7 @@ func WriteArtifact(path string, a Artifact) error {
 	if err != nil {
 		return fmt.Errorf("report: marshal artifact %s: %w", a.ID, err)
 	}
-	return os.WriteFile(path, b, 0o644)
+	return writeFileAtomic(path, b)
 }
 
 // ReadArtifact loads one artifact file, verifying the schema version and
@@ -211,8 +255,21 @@ const runFile = "run.json"
 
 // Save writes a run directory: run.json plus one <artifact-id>.json per
 // artifact. dir is created if needed; existing files are overwritten.
+//
+// Crash safety: every file is written atomically (see writeFileAtomic)
+// and run.json — the only file Load treats as proof of a complete run —
+// is written last. A writer killed at any single write therefore leaves
+// either a directory without run.json (which Load rejects outright) or a
+// fully consistent run; a readable-but-partial run directory is never
+// observable.
 func Save(dir string, run Run, artifacts []Artifact) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// Invalidate any previous run first: overwriting a complete run
+	// directory must not leave the old manifest next to a partial mix of
+	// old and new artifacts if this writer dies mid-save.
+	if err := os.Remove(filepath.Join(dir, runFile)); err != nil && !os.IsNotExist(err) {
 		return err
 	}
 	run.SchemaVersion = SchemaVersion
@@ -231,7 +288,7 @@ func Save(dir string, run Run, artifacts []Artifact) error {
 	if err != nil {
 		return fmt.Errorf("report: marshal run metadata: %w", err)
 	}
-	return os.WriteFile(filepath.Join(dir, runFile), b, 0o644)
+	return writeFileAtomic(filepath.Join(dir, runFile), b)
 }
 
 // Load reads a run directory written by Save. Artifacts are returned in

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -231,5 +232,124 @@ func TestRunOnSubmitRefusal(t *testing.T) {
 	}
 	if ran != 2 {
 		t.Errorf("%d jobs ran, want the 2 accepted before the refusal", ran)
+	}
+}
+
+// TestSubmitAfterCloseSentinel asserts the backend-contract sentinel: a
+// Submit arriving after Close reports ErrBackendClosed — never a panic
+// on the closed job channel, and never an error a caller could mistake
+// for a job rejection.
+func TestSubmitAfterCloseSentinel(t *testing.T) {
+	b := NewLocalBackend(1)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Drain to completion: Close with no jobs in flight must still close
+	// the result stream.
+	for range b.Results() {
+	}
+	err := b.Submit(context.Background(), 0, testJobs(t, 1)[0])
+	if !errors.Is(err, ErrBackendClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrBackendClosed", err)
+	}
+	// The sentinel must win even with a canceled context: the backend is
+	// gone either way, and "closed" is the actionable diagnosis.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := b.Submit(ctx, 1, testJobs(t, 1)[0]); !errors.Is(err, ErrBackendClosed) {
+		t.Fatalf("Submit after Close with canceled ctx = %v, want ErrBackendClosed", err)
+	}
+}
+
+// scriptedBackend drives RunOn through a scripted failure: it accepts a
+// fixed number of submissions (running nothing), then refuses with
+// submitErr; its result stream delivers the scripted results and closes
+// when told to. It reproduces the remote-backend shape "coordinator
+// rejected a job, then the connection died".
+type scriptedBackend struct {
+	accept    int
+	submitErr error
+	seen      int
+	refused   chan struct{} // closed once Submit has failed
+	results   chan Result
+}
+
+func newScriptedBackend(accept int, submitErr error) *scriptedBackend {
+	return &scriptedBackend{
+		accept:    accept,
+		submitErr: submitErr,
+		refused:   make(chan struct{}),
+		results:   make(chan Result, 16),
+	}
+}
+
+func (b *scriptedBackend) Submit(ctx context.Context, idx int, j Job) error {
+	b.seen++
+	if b.seen > b.accept && b.submitErr != nil {
+		close(b.refused)
+		return b.submitErr
+	}
+	return nil
+}
+
+func (b *scriptedBackend) Results() <-chan Result { return b.results }
+func (b *scriptedBackend) Close() error           { return nil }
+
+// TestRunOnStreamClosedJoinsSubmitError locks the error-path ordering
+// fix: when Submit fails first and the result stream then closes
+// mid-run, RunOn's error must carry BOTH the closure and the submit
+// refusal (the actual cause), and every job without a result must carry
+// a non-nil error.
+func TestRunOnStreamClosedJoinsSubmitError(t *testing.T) {
+	errSubmit := errors.New("coordinator rejected the job")
+	cases := []struct {
+		name       string
+		accept     int   // submissions accepted before refusal
+		submitErr  error // nil = submission never fails
+		deliver    []int // result indices delivered before the close
+		wantSubmit bool  // errors.Is(err, errSubmit)
+	}{
+		{name: "submit-fails-then-stream-closes", accept: 2, submitErr: errSubmit, deliver: []int{0}, wantSubmit: true},
+		{name: "submit-fails-no-results-then-close", accept: 1, submitErr: errSubmit, deliver: nil, wantSubmit: true},
+		{name: "stream-closes-without-submit-error", accept: 5, submitErr: nil, deliver: []int{0, 1}, wantSubmit: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := newScriptedBackend(tc.accept, tc.submitErr)
+			jobs := testJobs(t, 5)
+			go func() {
+				if tc.submitErr != nil {
+					// Sequence the scripted ordering: the refusal lands
+					// first, then results flow, then the stream dies.
+					<-b.refused
+				}
+				for _, idx := range tc.deliver {
+					b.results <- Result{Index: idx, Label: jobs[idx].Label}
+				}
+				close(b.results)
+			}()
+			results, err := RunOn(context.Background(), b, jobs, nil)
+			if err == nil {
+				t.Fatal("RunOn succeeded; want a stream-closed error")
+			}
+			if !strings.Contains(err.Error(), "closed its result stream mid-run") {
+				t.Errorf("err = %v, want the stream-closure diagnosis", err)
+			}
+			if got := errors.Is(err, errSubmit); got != tc.wantSubmit {
+				t.Errorf("errors.Is(err, submitErr) = %v, want %v (err = %v)", got, tc.wantSubmit, err)
+			}
+			delivered := make(map[int]bool, len(tc.deliver))
+			for _, idx := range tc.deliver {
+				delivered[idx] = true
+			}
+			for i, r := range results {
+				if delivered[i] {
+					continue
+				}
+				if r.Err == nil {
+					t.Errorf("job %d has no result yet Err == nil (poses as a completed zero-valued simulation)", i)
+				}
+			}
+		})
 	}
 }

@@ -17,6 +17,7 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -161,6 +162,15 @@ type Backend interface {
 	Close() error
 }
 
+// ErrBackendClosed is returned by Submit on a backend that has been
+// Closed. It is a distinct sentinel — not a job failure and not a
+// context cancellation — so a caller driving several backends (a remote
+// coordinator dispatching to workers, a retrying client) can tell "this
+// backend is shutting down, resubmit elsewhere" apart from "this job was
+// rejected". Every Backend implementation must return it (wrapped or
+// bare) from Submit after Close.
+var ErrBackendClosed = errors.New("runner: backend closed")
+
 // localJob is one submitted job inside a LocalBackend.
 type localJob struct {
 	ctx context.Context
@@ -177,6 +187,13 @@ type LocalBackend struct {
 	results chan Result
 	wg      sync.WaitGroup
 	once    sync.Once
+
+	// mu guards closed: Submit holds the read side across its channel
+	// send so Close (write side) cannot close the jobs channel while a
+	// send is in flight, and a Submit arriving after Close reports
+	// ErrBackendClosed instead of panicking on the closed channel.
+	mu     sync.RWMutex
+	closed bool
 }
 
 // NewLocalBackend starts a local backend with the given worker count
@@ -209,10 +226,16 @@ func NewLocalBackend(workers int) *LocalBackend {
 	return b
 }
 
-// Submit implements Backend.
+// Submit implements Backend. Submitting to a closed backend returns
+// ErrBackendClosed.
 func (b *LocalBackend) Submit(ctx context.Context, idx int, j Job) error {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return ErrBackendClosed
 	}
 	select {
 	case b.jobs <- localJob{ctx: ctx, idx: idx, job: j}:
@@ -229,6 +252,9 @@ func (b *LocalBackend) Results() <-chan Result { return b.results }
 // jobs drain, then the Results channel closes.
 func (b *LocalBackend) Close() error {
 	b.once.Do(func() {
+		b.mu.Lock()
+		b.closed = true
+		b.mu.Unlock()
 		close(b.jobs)
 		go func() {
 			b.wg.Wait()
@@ -315,7 +341,39 @@ func RunOn(ctx context.Context, b Backend, jobs []Job, onProgress func(Progress)
 			want, submitErr = out.n, out.err
 		case r, ok := <-b.Results():
 			if !ok {
-				return results, fmt.Errorf("runner: backend closed its result stream mid-run (%d of %d results)", done, want)
+				// The backend closed its stream before every accepted job
+				// reported. If submission itself failed, that refusal is
+				// the root cause and the closure only the symptom — losing
+				// submitErr here would hide the explanation (a remote
+				// coordinator that rejected a job and then tore down the
+				// run would report only the teardown). The submit goroutine
+				// sends its outcome the instant Submit returns; grant it a
+				// grace interval so an already-failed submission is always
+				// folded in, then fall back to what we know.
+				if want < 0 {
+					select {
+					case out := <-submitted:
+						want, submitErr = out.n, out.err
+					case <-time.After(100 * time.Millisecond):
+					}
+				}
+				streamErr := fmt.Errorf("runner: backend closed its result stream mid-run (%d of %d results)", done, want)
+				if want < 0 {
+					streamErr = fmt.Errorf("runner: backend closed its result stream mid-run (%d results, submission still in flight)", done)
+				}
+				err := streamErr
+				if submitErr != nil {
+					err = errors.Join(streamErr, fmt.Errorf("runner: backend refused job %d: %w", want, submitErr))
+				}
+				// Jobs without a result carry the failure too: a caller
+				// salvaging per-job results must not mistake a never-run
+				// job for a completed zero-valued simulation.
+				for i := range results {
+					if !got[i] && results[i].Err == nil {
+						results[i].Err = err
+					}
+				}
+				return results, err
 			}
 			if r.Index < 0 || r.Index >= len(results) {
 				return results, fmt.Errorf("runner: backend returned result for unknown job index %d", r.Index)

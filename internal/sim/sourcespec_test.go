@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestSourceSpecRoundTrip checks SpecOf/New inverse pairs for every
+// serializable source family, through JSON (the wire form the remote
+// backend ships).
+func TestSourceSpecRoundTrip(t *testing.T) {
+	wl := workload.OLTPDB2()
+	sources := []Source{
+		LiveSource(wl, 1000, 500),
+		LiveSource(wl), // job-source form: phases come from the job config
+		StoreSource("/tmp/traces/oltp"),
+		SliceSource("/tmp/traces/oltp", trace.Window{Off: 128, Len: 4096}),
+	}
+	for _, src := range sources {
+		spec, ok := SpecOf(src)
+		if !ok {
+			t.Fatalf("SpecOf(%T) not serializable", src)
+		}
+		b, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back SourceSpec
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		rebuilt, err := back.New()
+		if err != nil {
+			t.Fatalf("New(%s): %v", b, err)
+		}
+		spec2, ok := SpecOf(rebuilt)
+		if !ok {
+			t.Fatalf("rebuilt %T not serializable", rebuilt)
+		}
+		if spec.Kind != spec2.Kind || spec.Workload != spec2.Workload ||
+			spec.Path != spec2.Path || spec.Window != spec2.Window ||
+			len(spec.Phases) != len(spec2.Phases) {
+			t.Errorf("round trip changed spec: %+v -> %+v", spec, spec2)
+		}
+	}
+}
+
+// TestSourceSpecOpaqueSources asserts that closure-backed sources have no
+// wire form — the remote backend must reject them, not misroute them.
+func TestSourceSpecOpaqueSources(t *testing.T) {
+	opaque := []Source{
+		SourceFunc(func(ctx context.Context) (trace.Iterator, SourceInfo, error) {
+			return nil, SourceInfo{}, nil
+		}),
+		OpenerSource(func() (trace.Iterator, error) { return nil, nil }),
+	}
+	for _, src := range opaque {
+		if spec, ok := SpecOf(src); ok {
+			t.Errorf("SpecOf(%T) = %+v, want not serializable", src, spec)
+		}
+	}
+}
+
+// TestSourceSpecBadSpecs checks New's validation.
+func TestSourceSpecBadSpecs(t *testing.T) {
+	bad := []SourceSpec{
+		{Kind: "live", Workload: "no-such-workload"},
+		{Kind: "store"},
+		{Kind: "slice"},
+		{Kind: "teleport"},
+		{},
+	}
+	for _, sp := range bad {
+		if _, err := sp.New(); err == nil {
+			t.Errorf("spec %+v accepted", sp)
+		}
+	}
+}

@@ -53,11 +53,14 @@ package pif
 
 import (
 	"context"
+	"fmt"
+	"strings"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/prefetch"
+	"repro/internal/remote"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -352,6 +355,39 @@ type LocalBackend = runner.LocalBackend
 // NewLocalBackend starts a local backend with the given worker count
 // (<= 0 means GOMAXPROCS); Close it to release the workers.
 func NewLocalBackend(workers int) *LocalBackend { return runner.NewLocalBackend(workers) }
+
+// ErrBackendClosed is the sentinel every Backend's Submit returns after
+// Close — "this backend is shutting down", distinct from a job
+// rejection or a cancellation, so dispatchers can reroute instead of
+// failing the job.
+var ErrBackendClosed = runner.ErrBackendClosed
+
+// DialBackend resolves a -backend CLI spec into a running Backend:
+// "local" (or "") is an in-process LocalBackend with the given worker
+// count, and "remote@ADDR" dials the pifcoord coordinator at ADDR and
+// opens a run on it (jobs fan out to its registered pifworker fleet;
+// workers ignore the local worker count). The caller must Close the
+// backend.
+//
+// Remote jobs travel by name: workload and prefetcher must resolve
+// through their registries and sources must be live/store/slice values
+// (store paths are resolved on the worker). Jobs carrying closures — a
+// tuned prefetcher factory, an observer, a custom source — are refused
+// at Submit with a descriptive error.
+func DialBackend(spec string, workers int) (Backend, error) {
+	switch {
+	case spec == "" || spec == "local":
+		return NewLocalBackend(workers), nil
+	case strings.HasPrefix(spec, "remote@"):
+		addr := strings.TrimPrefix(spec, "remote@")
+		if addr == "" {
+			return nil, fmt.Errorf("pif: -backend remote@ADDR needs a coordinator address")
+		}
+		return remote.Dial(addr)
+	default:
+		return nil, fmt.Errorf("pif: unknown backend %q (have local, remote@ADDR)", spec)
+	}
+}
 
 // JobProgressFunc receives one serialized callback per finished job.
 type JobProgressFunc = func(JobProgress)
