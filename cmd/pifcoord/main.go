@@ -14,7 +14,11 @@
 // atomically-written format as the experiments CLI's per-job store: a
 // coordinator killed mid-sweep leaves only complete job files behind. Keys
 // are sequence-prefixed sanitized job labels, so files sort in completion
-// order and never collide.
+// order and never collide. Run IDs embed the coordinator's incarnation, so
+// a restarted coordinator reusing DIR never overwrites a previous run's
+// salvage data. Failed tasks — including the max-attempts give-up result —
+// never land in jobs/ (a failure carries no simulation data and must not
+// be salvageable as one); they are appended to DIR/<run-id>/failed.jsonl.
 //
 // The lease TTL is the failure detector: a worker that has not heartbeat
 // for a full TTL forfeits its leases and the tasks are re-queued, up to
@@ -24,6 +28,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -59,7 +64,9 @@ func main() {
 	srv := &http.Server{Addr: *listen, Handler: remote.NewServer(core)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	shutdownDone := make(chan struct{})
 	go func() {
+		defer close(shutdownDone)
 		<-ctx.Done()
 		core.Close()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -70,6 +77,12 @@ func main() {
 	fmt.Fprintf(os.Stderr, "pifcoord: listening on %s (lease ttl %s, max attempts %d)\n",
 		*listen, *leaseTTL, *maxAttempts)
 	err := srv.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		// ListenAndServe returns as soon as Shutdown closes the listener;
+		// in-flight handlers (which may still enqueue results) run until
+		// Shutdown returns. Only then is it safe to close the store.
+		<-shutdownDone
+	}
 	if store != nil {
 		store.close()
 	}
@@ -82,13 +95,13 @@ func main() {
 // resultStore persists accepted results off the coordinator's lock: the
 // core's OnResult callback enqueues, a single goroutine writes.
 type resultStore struct {
-	dir  string
-	ch   chan storedResult
-	wg   sync.WaitGroup
-	once sync.Once
+	dir string
+	ch  chan storedResult
+	wg  sync.WaitGroup
 
-	mu  sync.Mutex
-	seq map[string]int // per-run completion sequence, prefixes keys
+	mu     sync.Mutex
+	closed bool
+	seq    map[string]int // per-run completion sequence, prefixes keys
 }
 
 type storedResult struct {
@@ -111,6 +124,13 @@ func newResultStore(dir string) *resultStore {
 }
 
 func (s *resultStore) enqueue(runID string, res remote.WireResult) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		// A handler outliving the shutdown grace: drop rather than send
+		// on the closed channel (the client still got the result).
+		return
+	}
 	select {
 	case s.ch <- storedResult{runID: runID, res: res}:
 	default:
@@ -121,11 +141,23 @@ func (s *resultStore) enqueue(runID string, res remote.WireResult) {
 }
 
 func (s *resultStore) close() {
-	s.once.Do(func() { close(s.ch) })
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+	s.mu.Unlock()
 	s.wg.Wait()
 }
 
 func (s *resultStore) write(sr storedResult) error {
+	if sr.res.Err != "" {
+		// A failed task — worker error or the coordinator's max-attempts
+		// give-up — carries no simulation data. It must never appear in
+		// jobs/, where LoadJobResults would read its zero-valued Sim as a
+		// completed simulation; record it beside the salvage data instead.
+		return s.writeFailure(sr)
+	}
 	s.mu.Lock()
 	s.seq[sr.runID]++
 	n := s.seq[sr.runID]
@@ -140,6 +172,29 @@ func (s *resultStore) write(sr storedResult) error {
 		return err
 	}
 	return report.WriteJobResult(filepath.Join(dir, key+".json"), j)
+}
+
+// writeFailure appends a failed task's wire result as one JSON line to
+// the run's failed.jsonl — outside jobs/, so per-job loaders can never
+// mistake it for a completed simulation.
+func (s *resultStore) writeFailure(sr storedResult) error {
+	runDir := filepath.Join(s.dir, sr.runID)
+	if err := os.MkdirAll(runDir, 0o755); err != nil {
+		return err
+	}
+	line, err := json.Marshal(sr.res)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(runDir, "failed.jsonl"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(append(line, '\n'))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // jobKeyStem sanitizes a job label into the key charset accepted by

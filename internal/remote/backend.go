@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -99,12 +100,34 @@ func httpJSON(ctx context.Context, hc *http.Client, method, url string, req, res
 		if hresp.StatusCode == http.StatusConflict {
 			return fmt.Errorf("%w (coordinator: %s)", runner.ErrBackendClosed, msg)
 		}
-		return fmt.Errorf("remote: %s %s: status %d: %s", method, url, hresp.StatusCode, msg)
+		return &statusError{status: hresp.StatusCode, method: method, url: url, msg: msg}
 	}
 	if resp == nil {
 		return nil
 	}
 	return json.NewDecoder(hresp.Body).Decode(resp)
+}
+
+// statusError is a non-OK, non-409 HTTP response from the coordinator,
+// carrying the status so callers can react to specific codes: 404 means
+// the coordinator no longer knows the caller's ID — a restarted
+// coordinator lost its in-memory state, so a worker must re-register
+// and a client's run is gone.
+type statusError struct {
+	status      int
+	method, url string
+	msg         string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("remote: %s %s: status %d: %s", e.method, e.url, e.status, e.msg)
+}
+
+// isNotFound reports whether err is a coordinator 404 (unknown worker,
+// run, or task ID).
+func isNotFound(err error) bool {
+	var se *statusError
+	return errors.As(err, &se) && se.status == http.StatusNotFound
 }
 
 // Submit implements runner.Backend: encode the job, ship it. A closed
@@ -160,6 +183,12 @@ func (b *Backend) poll() {
 		url := fmt.Sprintf("%s/v1/runs/%s/results?cursor=%d&wait_ms=%d", b.base, b.runID, cursor, resultsPollMS)
 		err := httpJSON(context.Background(), b.hc, http.MethodGet, url, nil, &resp)
 		if err != nil {
+			if isNotFound(err) {
+				// The run is gone: a restarted coordinator lost it. No
+				// result can ever arrive; close the stream so RunOn
+				// reports the mid-run loss instead of polling forever.
+				return
+			}
 			// Transient coordinator trouble: keep polling while the
 			// backend is open; after Close, give up — the consumer is
 			// draining toward channel close.

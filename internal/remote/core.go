@@ -1,9 +1,12 @@
 package remote
 
 import (
+	"container/heap"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
-	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -60,6 +63,7 @@ type run struct {
 	closed  bool // no further submissions; done once all tasks complete
 	tasks   map[int]*task
 	results []WireResult
+	fetched int // high-water mark of results served to the client
 }
 
 // done reports whether every submitted task has completed and the run
@@ -78,6 +82,25 @@ type Lease struct {
 	Spec   JobSpec `json:"spec"`
 }
 
+// taskHeap is a min-heap of tasks ordered by ID (IDs are monotonic, so
+// the heap is FIFO across runs and puts re-queued tasks back at the
+// front). It may hold stale entries — tasks completed by a late post
+// while queued — so poppers must re-check the task's state.
+type taskHeap []*task
+
+func (h taskHeap) Len() int           { return len(h) }
+func (h taskHeap) Less(i, j int) bool { return h[i].id < h[j].id }
+func (h taskHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)        { *h = append(*h, x.(*task)) }
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
 // Core is the coordinator's pure in-memory state machine: runs, tasks,
 // workers, leases. It performs no I/O and reads time only through an
 // injected clock, so every failure path — heartbeat expiry, bounded
@@ -92,6 +115,8 @@ type Core struct {
 
 	runs                          map[string]*run
 	workers                       map[string]*workerState
+	pending                       taskHeap // tasks awaiting a lease, oldest ID first
+	incarnation                   string   // unique per Core; stamped into run IDs
 	nextRun, nextWorker, nextTask int
 	closed                        bool
 
@@ -137,7 +162,19 @@ func NewCore(opts CoreOptions) *Core {
 	if c.maxAttempts <= 0 {
 		c.maxAttempts = DefaultMaxAttempts
 	}
+	c.incarnation = incarnationToken(c.now())
 	return c
+}
+
+// incarnationToken builds a short token unique to one coordinator
+// incarnation: start time (milliseconds, base 36) plus random bits. Run
+// IDs embed it, so a restarted coordinator pointed at the same -results
+// directory can never overwrite or interleave a previous incarnation's
+// run directories.
+func incarnationToken(start time.Time) string {
+	var b [4]byte
+	_, _ = rand.Read(b[:])
+	return strconv.FormatInt(start.UnixMilli(), 36) + hex.EncodeToString(b[:])
 }
 
 // LeaseTTL returns the configured heartbeat deadline.
@@ -183,6 +220,7 @@ func (c *Core) expire() {
 			t.state = taskPending
 			t.worker = ""
 			t.deadline = time.Time{}
+			heap.Push(&c.pending, t)
 		}
 	}
 }
@@ -206,7 +244,7 @@ func (c *Core) OpenRun() (string, error) {
 		return "", ErrClosed
 	}
 	c.nextRun++
-	id := fmt.Sprintf("run-%d", c.nextRun)
+	id := fmt.Sprintf("run-%s-%d", c.incarnation, c.nextRun)
 	c.runs[id] = &run{id: id, tasks: make(map[int]*task)}
 	c.bump()
 	return id, nil
@@ -234,6 +272,7 @@ func (c *Core) SubmitJob(runID string, index int, spec JobSpec) error {
 	c.nextTask++
 	t := &task{id: c.nextTask, runID: runID, index: index, spec: spec}
 	r.tasks[t.id] = t
+	heap.Push(&c.pending, t)
 	c.bump()
 	return nil
 }
@@ -258,7 +297,10 @@ func (c *Core) CloseRun(runID string) error {
 
 // Results returns the run's results from cursor on (completion order)
 // and whether the run is done (closed and fully drained). The caller
-// advances its cursor by len(results).
+// advances its cursor by len(results). A done run is evicted once every
+// result has been served, so a long-lived coordinator's memory is
+// bounded by its active runs; later task lookups (a very late duplicate
+// post) fail with a plain error the worker already tolerates.
 func (c *Core) Results(runID string, cursor int) ([]WireResult, bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -272,7 +314,14 @@ func (c *Core) Results(runID string, cursor int) ([]WireResult, bool, error) {
 	}
 	out := make([]WireResult, len(r.results)-cursor)
 	copy(out, r.results[cursor:])
-	return out, r.done(), nil
+	if end := cursor + len(out); end > r.fetched {
+		r.fetched = end
+	}
+	done := r.done()
+	if done && r.fetched == len(r.results) {
+		delete(c.runs, runID)
+	}
+	return out, done, nil
 }
 
 // RegisterWorker registers a worker and returns its ID. name is
@@ -291,8 +340,8 @@ func (c *Core) RegisterWorker(name string) (string, error) {
 }
 
 // LeaseTasks hands up to max pending tasks to a worker, oldest first
-// (task IDs are monotonic, so FIFO across runs). Each lease starts the
-// task's heartbeat clock.
+// (task IDs are monotonic, so the pending heap is FIFO across runs).
+// Each lease starts the task's heartbeat clock.
 func (c *Core) LeaseTasks(workerID string, max int) ([]Lease, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -303,21 +352,14 @@ func (c *Core) LeaseTasks(workerID string, max int) ([]Lease, error) {
 	if max <= 0 {
 		return nil, nil
 	}
-	var pending []*task
-	for _, r := range c.runs {
-		for _, t := range r.tasks {
-			if t.state == taskPending {
-				pending = append(pending, t)
-			}
-		}
-	}
-	sort.Slice(pending, func(a, b int) bool { return pending[a].id < pending[b].id })
-	if len(pending) > max {
-		pending = pending[:max]
-	}
-	leases := make([]Lease, 0, len(pending))
+	var leases []Lease
 	deadline := c.now().Add(c.leaseTTL)
-	for _, t := range pending {
+	for len(leases) < max && c.pending.Len() > 0 {
+		t := heap.Pop(&c.pending).(*task)
+		if t.state != taskPending {
+			// Stale heap entry: completed by a late post while queued.
+			continue
+		}
 		t.state = taskLeased
 		t.att++
 		t.worker = workerID

@@ -285,6 +285,61 @@ func TestCoreUnknownIDs(t *testing.T) {
 	}
 }
 
+// TestCoreRunEvictedAfterDrain locks the memory bound: a run that is
+// done and fully fetched is deleted, so a long-lived coordinator does
+// not accumulate completed runs (and their tasks) without bound.
+func TestCoreRunEvictedAfterDrain(t *testing.T) {
+	c, _ := testCore(t, CoreOptions{})
+	runID := openRunWithJobs(t, c, 2)
+	w := registerWorker(t, c, "w")
+	leases, _ := c.LeaseTasks(w, 2)
+	for _, l := range leases {
+		if _, err := c.Complete(w, l.TaskID, testWireResult("r")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Not yet closed: results are fetchable but the run must survive.
+	if _, done, err := c.Results(runID, 0); err != nil || done {
+		t.Fatalf("pre-close fetch: done=%v err=%v", done, err)
+	}
+	if err := c.CloseRun(runID); err != nil {
+		t.Fatal(err)
+	}
+	results, done, err := c.Results(runID, 2)
+	if err != nil || !done || len(results) != 0 {
+		t.Fatalf("drain: results=%d done=%v err=%v", len(results), done, err)
+	}
+	// The drained run is gone; a very late duplicate post errors plainly
+	// instead of leaking state.
+	if _, _, err := c.Results(runID, 0); !errors.Is(err, ErrNoRun) {
+		t.Errorf("Results after drain = %v, want ErrNoRun", err)
+	}
+	if _, err := c.Complete(w, leases[0].TaskID, testWireResult("late")); err == nil {
+		t.Error("Complete against an evicted run's task succeeded")
+	}
+}
+
+// TestCoreRunIDsUniqueAcrossIncarnations guards the crash-salvage
+// directory layout: two coordinator incarnations — even with identical
+// clocks, as after a fast restart — never mint the same run ID, so a
+// restarted pifcoord reusing a -results directory cannot overwrite a
+// previous incarnation's run directories.
+func TestCoreRunIDsUniqueAcrossIncarnations(t *testing.T) {
+	c1, _ := testCore(t, CoreOptions{})
+	c2, _ := testCore(t, CoreOptions{})
+	id1, err := c1.OpenRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := c2.OpenRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 {
+		t.Fatalf("two incarnations minted the same run ID %q", id1)
+	}
+}
+
 func TestCoreResultsCursor(t *testing.T) {
 	c, _ := testCore(t, CoreOptions{})
 	runID := openRunWithJobs(t, c, 3)

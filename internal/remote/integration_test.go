@@ -3,8 +3,10 @@ package remote
 import (
 	"context"
 	"errors"
+	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -161,6 +163,68 @@ func TestWorkerKilledMidRun(t *testing.T) {
 			t.Errorf("index %d delivered twice", r.Index)
 		}
 		seen[r.Index] = true
+	}
+}
+
+// TestWorkerReregistersAfterCoordinatorRestart: a worker registered
+// with one coordinator incarnation must, once that coordinator is
+// replaced by a restart that lost all in-memory state, detect the 404
+// on its stale worker ID, re-register, and serve jobs submitted to the
+// new incarnation — not idle forever retrying the dead ID.
+func TestWorkerReregistersAfterCoordinatorRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test runs real simulations")
+	}
+	core1 := NewCore(CoreOptions{})
+	var cur atomic.Pointer[Server]
+	cur.Store(NewServer(core1))
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cur.Load().ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	w := &Worker{Coord: srv.URL, Name: "phoenix", Parallel: 1}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = w.Run(ctx)
+	}()
+	defer wg.Wait()
+	defer cancel()
+
+	// Wait for the worker to register with the first incarnation, then
+	// swap in a fresh core: the observable state of a coordinator restart.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		core1.mu.Lock()
+		n := len(core1.workers)
+		core1.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never registered with the first coordinator")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cur.Store(NewServer(NewCore(CoreOptions{})))
+
+	b, err := Dial(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	jobs := runnertest.Jobs(t, 2)
+	results, err := runner.RunOn(context.Background(), b, jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Errorf("job %d (%s) after restart: %v", i, r.Label, r.Err)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package remote
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -19,7 +20,10 @@ const leasePollMS = 2000
 // run, post each result with its task ID as the idempotency key. A
 // worker that loses a lease (the heartbeat response disowns the task)
 // cancels the local job and never posts its result; a worker that dies
-// simply stops heartbeating and the coordinator re-queues its tasks.
+// simply stops heartbeating and the coordinator re-queues its tasks. A
+// worker whose registration is lost (404 on lease or heartbeat after a
+// coordinator restart) cancels its in-flight tasks and re-registers
+// for a fresh worker ID.
 type Worker struct {
 	// Coord is the coordinator address (host:port or http://host:port).
 	Coord string
@@ -59,14 +63,10 @@ func (w *Worker) Run(ctx context.Context) error {
 
 	slots := runner.Workers(w.Parallel)
 
-	var reg registerWorkerResponse
-	if err := httpJSON(ctx, w.hc, http.MethodPost, w.base+"/v1/workers",
-		registerWorkerRequest{V: WireVersion, Name: w.Name}, &reg); err != nil {
-		return fmt.Errorf("remote: worker register: %w", err)
+	reg, err := w.register(ctx)
+	if err != nil {
+		return err
 	}
-	w.mu.Lock()
-	w.workerID = reg.WorkerID
-	w.mu.Unlock()
 	ttl := time.Duration(reg.LeaseTTLMS) * time.Millisecond
 	if ttl <= 0 {
 		ttl = DefaultLeaseTTL
@@ -96,13 +96,32 @@ func (w *Worker) Run(ctx context.Context) error {
 		case <-ctx.Done():
 			return ctx.Err()
 		}
+		w.mu.Lock()
+		workerID := w.workerID
+		w.mu.Unlock()
 		var resp leaseResponse
 		err := httpJSON(ctx, w.hc, http.MethodPost, w.base+"/v1/lease",
-			leaseRequest{V: WireVersion, WorkerID: reg.WorkerID, Max: 1, WaitMS: leasePollMS}, &resp)
+			leaseRequest{V: WireVersion, WorkerID: workerID, Max: 1, WaitMS: leasePollMS}, &resp)
 		if err != nil {
 			<-sem
 			if ctx.Err() != nil {
 				return ctx.Err()
+			}
+			if isNotFound(err) {
+				// The coordinator does not know this worker: it restarted
+				// and lost its in-memory state. Every lease died with it —
+				// cancel in-flight tasks so their results are never posted
+				// under the dead ID — then re-register for a fresh one.
+				w.cancelInflight()
+				if _, rerr := w.register(ctx); rerr == nil {
+					continue
+				} else if errors.Is(rerr, runner.ErrBackendClosed) {
+					// Re-registration refused: the coordinator is
+					// shutting down, same as a refusal at startup.
+					return rerr
+				}
+				// Re-registration failed transiently: fall through to
+				// the backoff and retry (the stale ID will 404 again).
 			}
 			// Coordinator unreachable or refusing: back off and retry.
 			select {
@@ -125,8 +144,36 @@ func (w *Worker) Run(ctx context.Context) error {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			w.runTask(jobCtx, reg.WorkerID, lease)
+			w.runTask(jobCtx, workerID, lease)
 		}()
+	}
+}
+
+// register obtains a (fresh) worker ID from the coordinator and installs
+// it as the ID subsequent leases and heartbeats use.
+func (w *Worker) register(ctx context.Context) (registerWorkerResponse, error) {
+	var reg registerWorkerResponse
+	if err := httpJSON(ctx, w.hc, http.MethodPost, w.base+"/v1/workers",
+		registerWorkerRequest{V: WireVersion, Name: w.Name}, &reg); err != nil {
+		return reg, fmt.Errorf("remote: worker register: %w", err)
+	}
+	w.mu.Lock()
+	w.workerID = reg.WorkerID
+	w.mu.Unlock()
+	return reg, nil
+}
+
+// cancelInflight cancels every in-flight task; used when the worker's
+// registration is lost and its leases are void.
+func (w *Worker) cancelInflight() {
+	w.mu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(w.inflight))
+	for _, c := range w.inflight {
+		cancels = append(cancels, c)
+	}
+	w.mu.Unlock()
+	for _, c := range cancels {
+		c()
 	}
 }
 
@@ -174,6 +221,12 @@ func (w *Worker) runTask(ctx context.Context, workerID string, lease Lease) {
 		if err == nil {
 			return
 		}
+		if isNotFound(err) {
+			// The coordinator no longer knows this worker or task
+			// (restart, or the run drained without us): the post can
+			// never be accepted, so retrying is pointless.
+			return
+		}
 		select {
 		case <-time.After(200 * time.Millisecond):
 		case <-ctx.Done():
@@ -210,6 +263,11 @@ func (w *Worker) heartbeatLoop(ctx context.Context, every time.Duration) {
 		err := httpJSON(ctx, w.hc, http.MethodPost, w.base+"/v1/heartbeat",
 			heartbeatRequest{V: WireVersion, WorkerID: workerID, TaskIDs: ids}, &resp)
 		if err != nil {
+			if isNotFound(err) {
+				// Registration lost (coordinator restart): every lease is
+				// void. Cancel the local jobs; the lease loop re-registers.
+				w.cancelInflight()
+			}
 			continue // missed beat; the next one may still make the deadline
 		}
 		for _, id := range resp.Lost {
