@@ -20,14 +20,18 @@ fmt:
 vet:
 	go vet ./...
 
-# bench regenerates the committed replay-performance artifact. Run it
-# (and commit the result) whenever the benchmark suite, its fixture, or
-# the replay hot path changes shape.
+# bench regenerates the committed performance artifacts. Run it (and
+# commit the results) whenever a benchmark suite, its fixture, or a
+# measured hot path changes shape.
 bench:
 	go run ./cmd/benchreplay -out BENCH_replay.json
+	go run ./cmd/benchreplay -suite runner -out BENCH_runner.json
 
-# bench-check is the CI gate: re-measures the suite, verifies the
-# committed artifact is structurally fresh, and enforces the performance
-# floors (batch decode >= 2x per-record, ~0 allocs/record).
+# bench-check is the CI gate: re-measures both suites, verifies the
+# committed artifacts are structurally fresh, and enforces the
+# performance invariants (replay: batch decode >= 2x per-record,
+# ~0 allocs/record; runner: engine-spec resolution a few percent of job
+# runtime at most).
 bench-check:
 	go run ./cmd/benchreplay -check BENCH_replay.json
+	go run ./cmd/benchreplay -suite runner -check BENCH_runner.json

@@ -97,10 +97,10 @@ func runnerBenchJobs() []Job {
 	for _, wl := range Workloads()[:3] {
 		for _, name := range []string{"none", "nextline", "tifs", "pif"} {
 			jobs = append(jobs, Job{
-				Label:          wl.Name + "/" + name,
-				Workload:       wl,
-				Config:         cfg,
-				PrefetcherName: name,
+				Label:    wl.Name + "/" + name,
+				Workload: wl,
+				Config:   cfg,
+				Engine:   EngineSpec{Name: name},
 			})
 		}
 	}

@@ -1,19 +1,26 @@
-// Command benchreplay regenerates and validates BENCH_replay.json, the
-// committed replay-performance artifact: store decode throughput
-// (per-record vs batch), end-to-end simulation replay, sharded replay,
-// and sweep-grid expansion, all with allocation profiles.
+// Command benchreplay regenerates and validates the committed
+// performance artifacts:
+//
+//   - BENCH_replay.json (the default suite): store decode throughput
+//     (per-record vs batch), end-to-end simulation replay, sharded
+//     replay, and sweep-grid expansion, all with allocation profiles.
+//   - BENCH_runner.json (-suite runner): job-execution throughput —
+//     grid jobs/sec through runner.RunOn serially and in parallel, and
+//     the per-job engine-spec resolution overhead.
 //
 // Usage:
 //
-//	benchreplay -out BENCH_replay.json        # regenerate the artifact
-//	benchreplay -check BENCH_replay.json      # CI: structural freshness +
-//	                                          # re-measured invariants
+//	benchreplay -out BENCH_replay.json                # regenerate
+//	benchreplay -check BENCH_replay.json              # CI freshness
+//	benchreplay -suite runner -out BENCH_runner.json
+//	benchreplay -suite runner -check BENCH_runner.json
 //
-// -check reruns the suite, verifies the committed artifact structurally
-// matches the regeneration (schema, fixture configuration, benchmark
-// set — raw timings are machine-dependent and not compared), and
-// enforces the performance floors (batch decode >= 2x per-record,
-// ~0 allocs/record) on the fresh measurements.
+// -check reruns the selected suite, verifies the committed artifact
+// structurally matches the regeneration (schema, fixture configuration,
+// benchmark set — raw timings are machine-dependent and not compared),
+// and enforces the suite's performance invariants on the fresh
+// measurements (replay: batch decode >= 2x per-record, ~0 allocs/record;
+// runner: spec resolution a few percent of job runtime at most).
 package main
 
 import (
@@ -34,6 +41,7 @@ func main() {
 func run() int {
 	out := flag.String("out", "", "write the regenerated artifact to this path")
 	check := flag.String("check", "", "validate the committed artifact at this path against a fresh run")
+	suite := flag.String("suite", "replay", "benchmark suite: replay or runner")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 	if (*out == "") == (*check == "") {
@@ -47,6 +55,19 @@ func run() int {
 	if *quiet {
 		logf = nil
 	}
+
+	switch *suite {
+	case "replay":
+		return runReplay(*out, *check, logf)
+	case "runner":
+		return runRunner(*out, *check, logf)
+	default:
+		fmt.Fprintf(os.Stderr, "benchreplay: unknown suite %q (have replay, runner)\n", *suite)
+		return 2
+	}
+}
+
+func runReplay(out, check string, logf func(string, ...any)) int {
 	fresh, err := bench.Run(bench.DefaultConfig(), logf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchreplay:", err)
@@ -57,15 +78,9 @@ func run() int {
 		return 1
 	}
 
-	if *check != "" {
-		data, err := os.ReadFile(*check)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchreplay:", err)
-			return 1
-		}
+	if check != "" {
 		var committed bench.Artifact
-		if err := json.Unmarshal(data, &committed); err != nil {
-			fmt.Fprintf(os.Stderr, "benchreplay: %s: %v\n", *check, err)
+		if !readArtifact(check, &committed) {
 			return 1
 		}
 		if err := bench.CheckFresh(committed, fresh); err != nil {
@@ -73,20 +88,71 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("benchreplay: %s is fresh; measured batch speedup %.2fx, sharded %.2fx\n",
-			*check, fresh.Derived.BatchSpeedup, fresh.Derived.ShardedSpeedup)
+			check, fresh.Derived.BatchSpeedup, fresh.Derived.ShardedSpeedup)
 		return 0
 	}
+	if !writeArtifact(out, fresh) {
+		return 1
+	}
+	fmt.Printf("benchreplay: wrote %s (batch speedup %.2fx, sharded %.2fx)\n",
+		out, fresh.Derived.BatchSpeedup, fresh.Derived.ShardedSpeedup)
+	return 0
+}
 
-	data, err := json.MarshalIndent(fresh, "", "  ")
+func runRunner(out, check string, logf func(string, ...any)) int {
+	fresh, err := bench.RunRunner(bench.DefaultRunnerConfig(), logf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchreplay:", err)
 		return 1
 	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+	if err := bench.CheckRunnerInvariants(fresh); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreplay:", err)
 		return 1
 	}
-	fmt.Printf("benchreplay: wrote %s (batch speedup %.2fx, sharded %.2fx)\n",
-		*out, fresh.Derived.BatchSpeedup, fresh.Derived.ShardedSpeedup)
+
+	if check != "" {
+		var committed bench.RunnerArtifact
+		if !readArtifact(check, &committed) {
+			return 1
+		}
+		if err := bench.CheckRunnerFresh(committed, fresh); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreplay:", err)
+			return 1
+		}
+		fmt.Printf("benchreplay: %s is fresh; measured parallel speedup %.2fx, resolve overhead %.5f\n",
+			check, fresh.Derived.ParallelSpeedup, fresh.Derived.ResolveOverhead)
+		return 0
+	}
+	if !writeArtifact(out, fresh) {
+		return 1
+	}
+	fmt.Printf("benchreplay: wrote %s (parallel speedup %.2fx, resolve overhead %.5f)\n",
+		out, fresh.Derived.ParallelSpeedup, fresh.Derived.ResolveOverhead)
 	return 0
+}
+
+func readArtifact(path string, into any) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreplay:", err)
+		return false
+	}
+	if err := json.Unmarshal(data, into); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreplay: %s: %v\n", path, err)
+		return false
+	}
+	return true
+}
+
+func writeArtifact(path string, a any) bool {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreplay:", err)
+		return false
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreplay:", err)
+		return false
+	}
+	return true
 }

@@ -224,11 +224,13 @@ func sweepMain(args []string) int {
 	fs := flag.NewFlagSet("experiments sweep", flag.ExitOnError)
 	var axes axisFlags
 	fs.Var(&axes, "axis", "sweep axis as name=v1,v2,... (workload, engine, history, budget, l1, source); repeatable, crossed in flag order")
+	var engines axisFlags
+	fs.Var(&engines, "engine", "engine spec name[:param=value,...] for the engine axis (repeatable; tuned specs sweep like names — mutually exclusive with -axis engine=...)")
 	name := fs.String("name", "sweep", "sweep name (prefixes cell keys and job labels)")
 	source := fs.String("source", "", "record source for every cell: live, store, slice@off:len, store@DIR, or slice@off:len@DIR (shorthand for a one-value source axis; store/slice without @DIR replay the workload's spilled store under -tracedir, or its in-memory stream when -tracedir is unset)")
 	quick, warmup, measure, parallel, traceDir, out, backend, verbose, profile := scaleFlags(fs)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: experiments sweep -axis name=v1,v2,... [-axis ...] [-source SPEC] [flags]")
+		fmt.Fprintln(os.Stderr, "usage: experiments sweep -axis name=v1,v2,... [-axis ...] [-engine SPEC ...] [-source SPEC] [flags]")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -256,7 +258,7 @@ func sweepMain(args []string) int {
 	defer stop()
 
 	env := pif.NewExperimentEnv(ctx, opts)
-	spec, err := pif.BuildSweepSpec(env, *name, axes)
+	spec, err := pif.BuildSweepSpec(env, *name, axes, engines)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments sweep:", err)
 		fs.Usage()

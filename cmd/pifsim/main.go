@@ -6,13 +6,21 @@
 // the cross product fans out as jobs over a worker pool (-parallel) with
 // per-job wall-clock timing. A single job prints the full result detail.
 //
+// Engines are declarative specs: the repeatable -engine flag takes
+// "name" or "name:param=value,..." (integer params accept K/M suffixes),
+// validated against each engine's registered schema — run
+// `pifsim -list-engines` to print every schema. The legacy -prefetcher
+// name list plus tuning flags (-history, -sabs, -window, -degree)
+// still works and folds into the same specs.
+//
 // Usage:
 //
-//	pifsim [-workload "OLTP DB2,Web Apache"|all] [-prefetcher pif,tifs|all]
-//	       [-parallel N] [-perfect] [-warmup N] [-measure N] [-history N]
-//	       [-sabs N] [-window N] [-degree N] [-v]
-//	pifsim -trace apache.store [-prefetcher pif,tifs|all] ...
-//	pifsim -trace apache.store -source slice@8M:2M [-prefetcher ...] ...
+//	pifsim [-workload "OLTP DB2,Web Apache"|all] [-engine pif:budget_kb=32]
+//	       [-engine tifs] [-parallel N] [-perfect] [-warmup N] [-measure N] [-v]
+//	pifsim [-prefetcher pif,tifs|all] [-history N] [-sabs N] [-window N] [-degree N] ...
+//	pifsim -trace apache.store [-engine pif,...] ...
+//	pifsim -trace apache.store -source slice@8M:2M [-engine ...] ...
+//	pifsim -list-engines
 //
 // The -source flag selects where the instruction stream comes from:
 // "live" (default — execute the workload program), "store" (replay the
@@ -47,7 +55,10 @@ func run() int {
 	traceDir := flag.String("trace", "", "replay a sharded trace store directory instead of executing a workload")
 	sourceSpec := flag.String("source", "", "record source: live, store, or slice@off:len (store and slice replay the -trace store; default live, or store when -trace is set)")
 	list := flag.Bool("list", false, "list workloads and prefetchers and exit")
+	listEngines := flag.Bool("list-engines", false, "print every engine's parameter schema and exit")
 	pfNames := flag.String("prefetcher", "pif", "comma-separated prefetchers (pif, tifs, nextline, none, ...), or \"all\"")
+	var engineSpecs engineFlags
+	flag.Var(&engineSpecs, "engine", "engine spec name[:param=value,...] (repeatable; replaces -prefetcher and the tuning flags)")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 	perfect := flag.Bool("perfect", false, "simulate the perfect-latency L1 bound")
 	warmup := flag.Uint64("warmup", 8_000_000, "warmup instructions")
@@ -81,8 +92,32 @@ func run() int {
 		}
 		return 0
 	}
+	if *listEngines {
+		for i, sch := range pif.EngineSchemas() {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(sch.Describe())
+		}
+		return 0
+	}
 
-	engines, err := resolveEngines(*pfNames, *history, *sabs, *window, *degree)
+	if len(engineSpecs) > 0 {
+		// -engine carries its own tuning; mixing it with the legacy
+		// name+knob flags would silently ignore one of them.
+		var conflict string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "prefetcher", "history", "sabs", "window", "degree":
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			fmt.Fprintf(os.Stderr, "pifsim: -engine and -%s are mutually exclusive (fold the tuning into the engine spec)\n", conflict)
+			return 1
+		}
+	}
+	engines, err := resolveEngines(engineSpecs, *pfNames, *history, *sabs, *window, *degree)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pifsim:", err)
 		return 1
@@ -212,27 +247,23 @@ func run() int {
 	return 0
 }
 
-// engine pairs a display name with a fresh-instance factory. registry is
-// the prefetch-registry name when the engine is exactly a registry entry
-// (no CLI tuning applied) — the form a remote backend can ship; tuned
-// engines carry only the local factory closure.
+// engineFlags collects repeatable -engine spec strings.
+type engineFlags []string
+
+func (e *engineFlags) String() string     { return strings.Join(*e, ",") }
+func (e *engineFlags) Set(v string) error { *e = append(*e, v); return nil }
+
+// engine pairs a display name with its declarative spec. Every engine —
+// tuned or not — is a validated spec, so every engine ships to every
+// backend (including remote) identically.
 type engine struct {
-	name     string
-	registry string
-	factory  func() pif.Prefetcher
+	name string
+	spec pif.EngineSpec
 }
 
-// job builds the engine's job for one workload/config/source. Registry
-// engines travel by name so any backend (including remote) can resolve
-// them; tuned engines embed the factory and are local-only.
+// job builds the engine's job for one workload/config/source.
 func (e engine) job(label string, wl pif.Workload, cfg pif.SimConfig, src pif.Source) pif.Job {
-	j := pif.Job{Label: label, Workload: wl, Config: cfg, Source: src}
-	if e.registry != "" {
-		j.PrefetcherName = e.registry
-	} else {
-		j.NewPrefetcher = e.factory
-	}
-	return j
+	return pif.Job{Label: label, Workload: wl, Config: cfg, Source: src, Engine: e.spec}
 }
 
 // shardedRun replays the store at dir once per engine, each time split
@@ -277,11 +308,7 @@ func shardedRun(ctx context.Context, dir string, cfg pif.SimConfig, engines []en
 			Shards:   shards,
 			Exact:    exact,
 			Backend:  backend,
-		}
-		if eng.registry != "" {
-			opt.PrefetcherName = eng.registry
-		} else {
-			opt.NewPrefetcher = eng.factory
+			Engine:   eng.spec,
 		}
 		res, err := pif.ShardedReplay(ctx, opt)
 		if err != nil {
@@ -368,53 +395,51 @@ func resolveWorkloads(names string) ([]pif.Workload, error) {
 	return out, nil
 }
 
-// resolveEngines expands the -prefetcher flag. The flag-tuned engines
-// (pif geometry knobs, next-line degree) build custom factories; anything
-// else resolves through the engine registry.
-func resolveEngines(names string, history, sabs, window, degree int) ([]engine, error) {
+// resolveEngines builds the engine list: explicit -engine specs when
+// given, otherwise the legacy -prefetcher names with the tuning flags
+// folded into the equivalent specs. Every spec is validated up front so
+// a typo fails before any job runs.
+func resolveEngines(specs []string, names string, history, sabs, window, degree int) ([]engine, error) {
+	if len(specs) > 0 {
+		var out []engine
+		for _, s := range specs {
+			sp, err := pif.ParseEngineSpec(s)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, engine{sp.String(), sp})
+		}
+		return out, nil
+	}
 	if names == "all" {
 		names = strings.Join(pif.PrefetcherNames(), ",")
 	}
 	var out []engine
 	for _, name := range strings.Split(names, ",") {
 		name = strings.TrimSpace(name)
+		spec := pif.EngineSpec{Name: name}
 		switch name {
 		case "pif":
-			cfg := pif.DefaultPIFConfig()
-			registry := "pif" // untuned = exactly the registry engine
 			if history > 0 {
-				cfg.HistoryRegions = history
-				registry = ""
+				// -history tunes only the history capacity: pin the index
+				// at its default so the schema's history/4 derivation does
+				// not resize it (matching the historical flag semantics).
+				spec = spec.With("history", float64(history)).
+					With("index", float64(pif.DefaultPIFConfig().IndexEntries))
 			}
 			if sabs > 0 {
-				cfg.NumSABs = sabs
-				registry = ""
+				spec = spec.With("sabs", float64(sabs))
 			}
 			if window > 0 {
-				cfg.SABWindow = window
-				registry = ""
+				spec = spec.With("window", float64(window))
 			}
-			out = append(out, engine{name, registry, func() pif.Prefetcher { return pif.NewPIF(cfg) }})
 		case "nextline":
-			registry := ""
-			if degree == 4 { // the registry's nextline degree
-				registry = "nextline"
-			}
-			out = append(out, engine{name, registry, func() pif.Prefetcher { return pif.NewNextLine(degree) }})
-		default:
-			// Validate the name up front so a typo fails before any job runs.
-			if _, err := pif.PrefetcherByName(name); err != nil {
-				return nil, err
-			}
-			n := name
-			out = append(out, engine{n, n, func() pif.Prefetcher {
-				p, err := pif.PrefetcherByName(n)
-				if err != nil {
-					panic(err) // validated above
-				}
-				return p
-			}})
+			spec = spec.With("degree", float64(degree))
 		}
+		if err := pif.ValidateEngineSpec(spec); err != nil {
+			return nil, err
+		}
+		out = append(out, engine{name, spec})
 	}
 	return out, nil
 }

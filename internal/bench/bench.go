@@ -70,6 +70,8 @@ type Measurement struct {
 	// RecordsPerSec is decode/replay throughput (0 where records are not
 	// the unit of work).
 	RecordsPerSec float64 `json:"records_per_sec,omitempty"`
+	// JobsPerSec is grid-job throughput (runner-suite benchmarks only).
+	JobsPerSec float64 `json:"jobs_per_sec,omitempty"`
 	// MBPerSec is on-disk trace bytes consumed per second (decode
 	// benchmarks only).
 	MBPerSec float64 `json:"mb_per_sec,omitempty"`
@@ -264,15 +266,15 @@ func Run(cfg Config, logf func(format string, args ...any)) (Artifact, error) {
 		}
 	})
 
-	newPF := func() prefetch.Prefetcher { return prefetch.NewNextLine(4) }
+	engine := prefetch.Spec{Name: "nextline", Params: map[string]float64{"degree": 4}}
 	seq := run("sim_replay/store", records, storeBytes, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := sim.RunJob(context.Background(), sim.Job{
-				Config:        simCfg,
-				Workload:      wl,
-				From:          sim.StoreSource(dir),
-				NewPrefetcher: newPF,
+				Config:   simCfg,
+				Workload: wl,
+				From:     sim.StoreSource(dir),
+				Engine:   engine,
 			}); err != nil {
 				b.Fatal(err)
 			}
@@ -282,11 +284,11 @@ func Run(cfg Config, logf func(format string, args ...any)) (Artifact, error) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := runner.ShardedReplay(context.Background(), runner.ShardedOptions{
-				Dir:           dir,
-				Workload:      wl,
-				Config:        simCfg,
-				Shards:        cfg.Shards,
-				NewPrefetcher: newPF,
+				Dir:      dir,
+				Workload: wl,
+				Config:   simCfg,
+				Shards:   cfg.Shards,
+				Engine:   engine,
 			}); err != nil {
 				b.Fatal(err)
 			}

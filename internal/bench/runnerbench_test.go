@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallRunnerConfig keeps the suite-under-test fast, mirroring
+// smallConfig: structure and comparison rules are pinned here, the
+// committed artifact's invariants are enforced by CI on the default
+// fixture.
+func smallRunnerConfig() RunnerConfig {
+	return RunnerConfig{
+		Workload:      "DSS Qry2",
+		WarmupInstrs:  20_000,
+		MeasureInstrs: 10_000,
+		Engines:       []string{"pif", "none"},
+		BudgetsKB:     []int{8},
+		Parallel:      2,
+	}
+}
+
+func TestRunRunnerArtifactStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the real benchmark suite")
+	}
+	a, err := RunRunner(smallRunnerConfig(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schema != SchemaVersion {
+		t.Errorf("schema = %d, want %d", a.Schema, SchemaVersion)
+	}
+	want := []string{"runner/jobs_parallel_2", "runner/jobs_serial", "runner/spec_resolve"}
+	got := a.Names()
+	if len(got) != len(want) {
+		t.Fatalf("benchmarks = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("benchmarks = %v, want %v", got, want)
+		}
+	}
+	for _, m := range a.Benchmarks {
+		if m.NsPerOp <= 0 {
+			t.Errorf("%s: ns/op = %f", m.Name, m.NsPerOp)
+		}
+		if strings.HasPrefix(m.Name, "runner/") && m.JobsPerSec <= 0 {
+			t.Errorf("%s: jobs/s = %f, want > 0", m.Name, m.JobsPerSec)
+		}
+	}
+	if a.Derived.ParallelSpeedup <= 0 || a.Derived.ResolveOverhead <= 0 {
+		t.Errorf("derived ratios = %+v, want > 0", a.Derived)
+	}
+
+	// Freshness: identical structure passes; any structural drift fails.
+	if err := CheckRunnerFresh(a, a); err != nil {
+		t.Errorf("self-comparison: %v", err)
+	}
+	mutated := a
+	mutated.Config.Parallel++
+	if err := CheckRunnerFresh(mutated, a); err == nil {
+		t.Error("config drift not detected")
+	}
+	mutated = a
+	mutated.Schema++
+	if err := CheckRunnerFresh(mutated, a); err == nil {
+		t.Error("schema drift not detected")
+	}
+	mutated = a
+	mutated.Benchmarks = append([]Measurement{}, a.Benchmarks[1:]...)
+	if err := CheckRunnerFresh(mutated, a); err == nil {
+		t.Error("benchmark-set drift not detected")
+	}
+}
+
+func TestCheckRunnerInvariants(t *testing.T) {
+	good := RunnerArtifact{
+		Schema:  SchemaVersion,
+		Derived: RunnerDerived{ParallelSpeedup: 1.5, ResolveOverhead: 0.005},
+	}
+	if err := CheckRunnerInvariants(good); err != nil {
+		t.Errorf("good artifact rejected: %v", err)
+	}
+	heavy := good
+	heavy.Derived.ResolveOverhead = 0.2
+	if err := CheckRunnerInvariants(heavy); err == nil {
+		t.Error("heavyweight spec resolution accepted")
+	}
+	broken := good
+	broken.Derived.ParallelSpeedup = 0
+	if err := CheckRunnerInvariants(broken); err == nil {
+		t.Error("non-positive parallel speedup accepted")
+	}
+}

@@ -1,29 +1,108 @@
 package core
 
-import "repro/internal/prefetch"
+import (
+	"errors"
 
-// The PIF variants are registered with the prefetch engine registry so
-// that job-based execution (internal/runner) and the CLIs can name them
-// without constructing configurations by hand. Each factory returns a
-// fresh engine: PIF is stateful and instances must never be shared across
-// concurrent simulation jobs.
+	"repro/internal/prefetch"
+)
+
+// PIFBytesPerRegion is the storage-budget accounting for PIF history: a
+// region record is a base address plus the spatial footprint bitmap,
+// ~41 bits rounded to 6 bytes (MANA's accounting, Section 5 sizing).
+const PIFBytesPerRegion = 6
+
+// The PIF variants register their schemas with the prefetch engine
+// registry so that job-based execution (internal/runner), sweeps, the
+// remote wire, and the CLIs can all carry PIF configurations as plain
+// declarative specs. New constructs a fresh engine per call: PIF is
+// stateful and instances must never be shared across concurrent jobs.
 func init() {
-	prefetch.Register("pif", func() prefetch.Prefetcher { return New(DefaultConfig()) })
+	prefetch.Register(prefetch.Schema{
+		Name: "pif",
+		Doc:  "Proactive Instruction Fetch (paper configuration)",
+		Params: []prefetch.Param{
+			{Name: "history", Kind: prefetch.KindInt, Default: float64(32 << 10), Min: 1,
+				Help: "history buffer capacity in spatial regions"},
+			{Name: "index", Kind: prefetch.KindInt, Default: float64(8 << 10), Min: 1,
+				Help: "index table entries (history/4 when only history is set)"},
+			{Name: "budget_kb", Kind: prefetch.KindInt, Default: 0, Min: 1,
+				Help: "history storage budget in KB (6 B/region); derives history and index"},
+			{Name: "sabs", Kind: prefetch.KindInt, Default: 4, Min: 1,
+				Help: "stream address buffers"},
+			{Name: "window", Kind: prefetch.KindInt, Default: 7, Min: 1,
+				Help: "regions tracked per stream address buffer"},
+			{Name: "tdepth", Kind: prefetch.KindInt, Default: 4, Min: 0,
+				Help: "temporal-compactor MRU depth (0 disables compaction)"},
+			{Name: "tdepth_tl1", Kind: prefetch.KindInt, Default: 16, Min: 0,
+				Help: "trap-level-1 compactor MRU depth"},
+			{Name: "sep", Kind: prefetch.KindBool, Default: 1,
+				Help: "separate per-trap-level histories"},
+		},
+		Derive: func(p prefetch.Params, set map[string]bool) error {
+			switch {
+			case set["budget_kb"]:
+				if set["history"] || set["index"] {
+					return errors.New("params budget_kb and history/index are mutually exclusive")
+				}
+				regions := int(p["budget_kb"]) << 10 / PIFBytesPerRegion
+				if regions < 1 {
+					regions = 1
+				}
+				idx := regions / 4
+				if idx < 1 {
+					idx = 1
+				}
+				p["history"] = float64(regions)
+				p["index"] = float64(idx)
+			case set["history"] && !set["index"]:
+				// Scale the index with the history, matching the paper's
+				// 4:1 region-to-index ratio.
+				idx := int(p["history"]) / 4
+				if idx < 1 {
+					idx = 1
+				}
+				p["index"] = float64(idx)
+			}
+			return nil
+		},
+		New: func(p prefetch.Params) prefetch.Prefetcher { return New(pifConfigOf(p)) },
+	})
 
 	// The competitive-comparison variant "without history storage
 	// limitations" (Figure 10): effectively unlimited history and index.
-	prefetch.Register("pif-unlimited", func() prefetch.Prefetcher {
-		cfg := DefaultConfig()
-		cfg.HistoryRegions = 1 << 22
-		cfg.IndexEntries = 1 << 22
-		return New(cfg)
+	prefetch.Register(prefetch.Schema{
+		Name: "pif-unlimited",
+		Doc:  "PIF with effectively unlimited history and index (Figure 10)",
+		New: func(prefetch.Params) prefetch.Prefetcher {
+			cfg := DefaultConfig()
+			cfg.HistoryRegions = 1 << 22
+			cfg.IndexEntries = 1 << 22
+			return New(cfg)
+		},
 	})
 
 	// A single shared history for all trap levels (the paper's "Retire"
 	// recording point, without per-trap-level stream separation).
-	prefetch.Register("pif-nosep", func() prefetch.Prefetcher {
-		cfg := DefaultConfig()
-		cfg.SeparateTrapLevels = false
-		return New(cfg)
+	prefetch.Register(prefetch.Schema{
+		Name: "pif-nosep",
+		Doc:  "PIF with one shared history across trap levels",
+		New: func(prefetch.Params) prefetch.Prefetcher {
+			cfg := DefaultConfig()
+			cfg.SeparateTrapLevels = false
+			return New(cfg)
+		},
 	})
+}
+
+// pifConfigOf maps a resolved "pif" parameter set onto the engine config.
+func pifConfigOf(p prefetch.Params) Config {
+	cfg := DefaultConfig()
+	cfg.HistoryRegions = int(p["history"])
+	cfg.IndexEntries = int(p["index"])
+	cfg.NumSABs = int(p["sabs"])
+	cfg.SABWindow = int(p["window"])
+	cfg.TemporalDepth = int(p["tdepth"])
+	cfg.TemporalDepthTL1 = int(p["tdepth_tl1"])
+	cfg.SeparateTrapLevels = p["sep"] != 0
+	return cfg
 }

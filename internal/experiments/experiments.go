@@ -424,7 +424,7 @@ func (e *Env) RunJobs(jobs []runner.Job) ([]runner.Result, error) {
 	for i := range jobs {
 		// Replay jobs never touch the program; building (or adopting) an
 		// image for them would only waste cache space.
-		if jobs[i].Program == nil && jobs[i].Source == nil && jobs[i].NewSource == nil {
+		if jobs[i].Program == nil && jobs[i].Source == nil {
 			prog, err := e.Program(jobs[i].Workload)
 			if err != nil {
 				return nil, err

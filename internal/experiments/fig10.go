@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"repro/internal/core"
 	"repro/internal/prefetch"
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -43,27 +42,27 @@ func Fig10(e *Env) (Fig10Result, error) {
 	opts := e.Options()
 	res := Fig10Result{}
 
-	pifCfg := core.DefaultConfig()
-	pifCfg.HistoryRegions = 1 << 22 // effectively unlimited
-	pifCfg.IndexEntries = 1 << 22
-	tifsCfg := prefetch.DefaultTIFSConfig() // HistoryBlocks 0 = unlimited
+	unlimited := float64(1 << 22) // effectively unlimited history/index
 
-	mkValue := func(name string, mk prefetch.Factory, perfect bool) sweep.Value {
+	mkValue := func(name string, spec prefetch.Spec, perfect bool) sweep.Value {
 		return sweep.Value{
 			Key:  sweep.KeyOf(name),
 			Name: name,
 			Apply: func(s *sweep.Settings) {
-				s.Factory = mk
+				s.Engine = spec
 				s.Sim.PerfectL1 = perfect
 			},
 		}
 	}
 	engines := sweep.Axis{Name: "engine", Values: []sweep.Value{
-		mkValue("None", func() prefetch.Prefetcher { return prefetch.None{} }, false),
-		mkValue("Next-Line", func() prefetch.Prefetcher { return prefetch.NewNextLine(NextLineDegree) }, false),
-		mkValue("TIFS", func() prefetch.Prefetcher { return prefetch.NewTIFS(tifsCfg) }, false),
-		mkValue("PIF", func() prefetch.Prefetcher { return core.New(pifCfg) }, false),
-		mkValue("Perfect", func() prefetch.Prefetcher { return prefetch.None{} }, true),
+		mkValue("None", prefetch.Spec{Name: "none"}, false),
+		mkValue("Next-Line", prefetch.Spec{Name: "nextline",
+			Params: map[string]float64{"degree": NextLineDegree}}, false),
+		// TIFS defaults to unlimited history (HistoryBlocks 0).
+		mkValue("TIFS", prefetch.Spec{Name: "tifs"}, false),
+		mkValue("PIF", prefetch.Spec{Name: "pif",
+			Params: map[string]float64{"history": unlimited, "index": unlimited}}, false),
+		mkValue("Perfect", prefetch.Spec{Name: "none"}, true),
 	}}
 
 	g, err := e.RunGrid(sweep.Spec{

@@ -26,10 +26,11 @@ type Fig9LeftResult struct {
 // lifetime) contributes its advance count at the log2 bucket of its
 // length, so long streams' larger contribution is visible directly.
 //
-// The sweep spec has a single workload axis whose values also carry the
-// cell's engine factory: each cell's PIF instance is built with a
+// The sweep spec has a single workload axis whose values also install an
+// Instrument hook: each cell's freshly resolved PIF instance gets a
 // stream-end hook bound to that cell's private histogram, so concurrent
-// jobs never share engine or histogram state.
+// jobs never share engine or histogram state. The hook is process-local,
+// which is exactly why it rides Instrument rather than the engine spec.
 func Fig9Left(e *Env) (Fig9LeftResult, error) {
 	opts := e.Options()
 	res := Fig9LeftResult{}
@@ -45,14 +46,13 @@ func Fig9Left(e *Env) (Fig9LeftResult, error) {
 			Name: wl.Name,
 			Apply: func(s *sweep.Settings) {
 				s.Workload = wl
-				s.Factory = func() prefetch.Prefetcher {
-					pif := core.New(core.DefaultConfig())
-					pif.SetStreamEndHook(func(advances uint64) {
+				s.Engine = prefetch.Spec{Name: "pif"}
+				s.Instrument = func(p prefetch.Prefetcher) {
+					p.(*core.PIF).SetStreamEndHook(func(advances uint64) {
 						if advances > 0 {
 							hist.ObserveN(stats.Log2Bucket(advances), advances)
 						}
 					})
-					return pif
 				}
 			},
 		})
@@ -133,15 +133,19 @@ func Fig9Right(e *Env) (Fig9RightResult, error) {
 	opts := e.Options()
 	res := Fig9RightResult{Sizes: Fig9HistorySizes}
 
+	// Only the history capacity varies; the index stays at its default
+	// size (an explicit index param suppresses the schema's history/4
+	// scaling), isolating the history buffer as in the paper's figure.
+	defaultIndex := float64(core.DefaultConfig().IndexEntries)
 	hist := sweep.Axis{Name: "history"}
 	for _, size := range Fig9HistorySizes {
-		cfg := core.DefaultConfig()
-		cfg.HistoryRegions = size
+		spec := prefetch.Spec{Name: "pif",
+			Params: map[string]float64{"history": float64(size), "index": defaultIndex}}
 		hist.Values = append(hist.Values, sweep.Value{
 			Key:  fmt.Sprintf("%dk", size>>10),
 			Name: fmt.Sprintf("%dK", size>>10),
 			Apply: func(s *sweep.Settings) {
-				s.Factory = func() prefetch.Prefetcher { return core.New(cfg) }
+				s.Engine = spec
 			},
 		})
 	}

@@ -25,16 +25,17 @@ import (
 // (Options.SweepWorkloads overrides), whose footprints keep the axes
 // differentiating where the standard six saturate.
 
-// Per-entry storage accounting for history-budget sweeps. The paper's PIF
-// history holds spatial region records (a ~34-bit region-aligned trigger
-// address plus a 7-bit neighbor bit vector, ~41 bits ≈ 6 bytes rounded to
-// the next byte with valid/replacement state); TIFS logs raw block
-// pointers (~36-bit block address ≈ 5 bytes). Budgets divide by these, so
-// a grid column compares the engines at equal history storage, not equal
-// entry counts.
+// Per-entry storage accounting for history-budget sweeps, re-exported
+// from the engines that declare them (the schemas' budget_kb derivations
+// divide by these). The paper's PIF history holds spatial region records
+// (a ~34-bit region-aligned trigger address plus a 7-bit neighbor bit
+// vector, ~41 bits ≈ 6 bytes rounded to the next byte with
+// valid/replacement state); TIFS logs raw block pointers (~36-bit block
+// address ≈ 5 bytes). Budgets divide by these, so a grid column compares
+// the engines at equal history storage, not equal entry counts.
 const (
-	PIFBytesPerRegion = 6
-	TIFSBytesPerBlock = 5
+	PIFBytesPerRegion = core.PIFBytesPerRegion
+	TIFSBytesPerBlock = prefetch.TIFSBytesPerBlock
 )
 
 // SweepHistoryBudgetsKB is the swept history storage budget. The paper's
@@ -42,66 +43,12 @@ const (
 // half; the low end starves both engines visibly.
 var SweepHistoryBudgetsKB = []int{8, 32, 128, 512, 2048}
 
-// ApplyEngineParams is the sweep Finish hook shared by the sweep artifacts
-// and the `experiments sweep` CLI mode: it resolves swept engine
-// parameters into a concrete engine factory. Recognized Params:
-//
-//   - "budget_kb": history storage budget in KB; for "pif" it sizes
-//     HistoryRegions (PIFBytesPerRegion per entry, index scaled to the
-//     default 4:1 history:index ratio), for "tifs" HistoryBlocks
-//     (TIFSBytesPerBlock per entry). History-less engines ("none",
-//     "nextline") ignore it, so mixed-engine grids stay expressible.
-//   - "history": history capacity in entries (regions for "pif", blocks
-//     for "tifs"), mutually exclusive with "budget_kb".
-//
-// Any other engine combined with a history param is an error: the PIF
-// variants ("pif-unlimited", "pif-nosep") have history storage this hook
-// does not size, and silently running them identically at every swept
-// budget would present duplicate numbers as distinct design points.
-func ApplyEngineParams(s *sweep.Settings) error {
-	budget, hasBudget := s.Params["budget_kb"]
-	entries, hasEntries := s.Params["history"]
-	if hasBudget && hasEntries {
-		return fmt.Errorf("params budget_kb and history are mutually exclusive")
-	}
-	if !hasBudget && !hasEntries {
-		return nil
-	}
-	switch s.PrefetcherName {
-	case "pif":
-		cfg := core.DefaultConfig()
-		if hasBudget {
-			cfg.HistoryRegions = max(1, int(budget)<<10/PIFBytesPerRegion)
-		} else {
-			cfg.HistoryRegions = max(1, int(entries))
-		}
-		cfg.IndexEntries = max(1, cfg.HistoryRegions/4)
-		s.Factory = func() prefetch.Prefetcher { return core.New(cfg) }
-		s.PrefetcherName = ""
-	case "tifs":
-		cfg := prefetch.DefaultTIFSConfig()
-		if hasBudget {
-			cfg.HistoryBlocks = max(1, int(budget)<<10/TIFSBytesPerBlock)
-		} else {
-			cfg.HistoryBlocks = max(1, int(entries))
-		}
-		s.Factory = func() prefetch.Prefetcher { return prefetch.NewTIFS(cfg) }
-		s.PrefetcherName = ""
-	case "none", "nextline":
-		// History-less engines ignore the axis so mixed-engine grids stay
-		// expressible: the cell is the same baseline at every budget, and
-		// the grid says so by construction (same engine name per column).
-	case "":
-		return fmt.Errorf("cell has an explicit engine factory; swept history parameters need a registry engine name (pif or tifs) to size")
-	default:
-		return fmt.Errorf("engine %q does not support swept history parameters (use pif or tifs, or drop the budget/history axis)", s.PrefetcherName)
-	}
-	return nil
-}
-
-// budgetAxis builds the history storage-budget axis.
+// budgetAxis builds the history storage-budget axis: each value overlays
+// budget_kb on the cell's engine spec, and the engine's own schema
+// derives its history sizing from it (or ignores it, for history-less
+// baselines).
 func budgetAxis(kbs []int) sweep.Axis {
-	return sweep.ParamAxis("budget", "budget_kb",
+	return sweep.EngineParamAxis("budget", "budget_kb",
 		func(v int) string { return fmt.Sprintf("%dkb", v) },
 		func(v int) string { return fmt.Sprintf("%dKB", v) },
 		kbs)
@@ -152,10 +99,10 @@ func SweepHistory(e *Env) (SweepHistoryResult, error) {
 	res := SweepHistoryResult{BudgetsKB: SweepHistoryBudgetsKB}
 
 	baseGrid, err := e.RunGrid(sweep.Spec{
-		Name:           "sweep-history-base",
-		Base:           scfg,
-		BasePrefetcher: "none",
-		Axes:           []sweep.Axis{sweep.WorkloadAxis("workload", wls)},
+		Name:       "sweep-history-base",
+		Base:       scfg,
+		BaseEngine: prefetch.Spec{Name: "none"},
+		Axes:       []sweep.Axis{sweep.WorkloadAxis("workload", wls)},
 	})
 	if err != nil {
 		return res, err
@@ -168,7 +115,6 @@ func SweepHistory(e *Env) (SweepHistoryResult, error) {
 			sweep.EngineAxis("engine", "pif", "tifs"),
 			budgetAxis(SweepHistoryBudgetsKB),
 		},
-		Finish: ApplyEngineParams,
 	})
 	if err != nil {
 		return res, err
@@ -368,16 +314,26 @@ func axisErr(token, format string, args ...any) error {
 }
 
 // BuildSweep constructs an ad-hoc sweep spec from CLI axis specifications
-// of the form "name=v1,v2,...", applied in flag order. Supported axes:
+// of the form "name=v1,v2,...", applied in flag order, plus optional
+// engine specs from repeated -engine flags. Supported axes:
 //
 //   - workload=<suite or names>: "std" (the standard six), "xl" (the XL
 //     suite), "all" (both), or comma-separated profile names ("OLTP DB2").
-//   - engine=<registry names>: prefetch engines ("none", "nextline",
-//     "tifs", "pif", "pif-unlimited", ...). Defaults to "pif" when absent.
+//   - engine=<engine specs>: prefetch engines ("none", "nextline",
+//     "tifs", "pif", "pif-unlimited", ...), each optionally
+//     parameterized against its schema ("pif:history=64K"). Defaults to
+//     "pif" when absent. Specs with several parameters contain commas,
+//     so they arrive through repeated -engine flags (engineSpecs)
+//     instead; the two spellings build the same axis and may not be
+//     combined.
 //   - history=<entry counts>: history capacity in entries, with an
-//     optional K/M suffix ("32K"); sizes PIF regions or TIFS blocks.
+//     optional K/M suffix ("32K"); overlays the history param on each
+//     cell's engine spec (PIF regions, TIFS blocks; history-less
+//     engines ignore it by schema).
 //   - budget=<KB values>: history storage budget in KB, with an optional
-//     K/M suffix meaning KB multiples; mutually exclusive with history.
+//     K/M suffix meaning KB multiples; overlays budget_kb, which each
+//     engine's schema derives its history sizing from. Mutually
+//     exclusive with history (the schemas reject the combination).
 //   - l1=<sizes>: L1-I capacity with an optional K/M suffix in bytes
 //     ("32K", "64K"); bare numbers mean KB.
 //   - source=<record sources>: where each cell's instruction stream
@@ -393,14 +349,14 @@ func axisErr(token, format string, args ...any) error {
 //     recorded trace are comparable regardless of the run's
 //     warmup/measure split (the sweep-window artifact's convention).
 //
-// The resulting spec validates each cell's system configuration at
-// expansion time, so an impossible geometry fails before any simulation
-// starts. Malformed axis specs are usage errors quoting the offending
-// -axis token.
-func BuildSweep(e *Env, name string, axisSpecs []string) (sweep.Spec, error) {
+// The resulting spec validates each cell's engine parameters and system
+// configuration at build/expansion time, so a bad parameter or an
+// impossible geometry fails before any simulation starts. Malformed axis
+// specs are usage errors quoting the offending -axis or -engine token.
+func BuildSweep(e *Env, name string, axisSpecs, engineSpecs []string) (sweep.Spec, error) {
 	opts := e.Options()
-	if len(axisSpecs) == 0 {
-		return sweep.Spec{}, fmt.Errorf("experiments: sweep needs at least one -axis")
+	if len(axisSpecs) == 0 && len(engineSpecs) == 0 {
+		return sweep.Spec{}, fmt.Errorf("experiments: sweep needs at least one -axis or -engine")
 	}
 	// The name doubles as the stored grid-summary artifact ID; reject a
 	// name that would only fail at persistence time, after the whole grid
@@ -409,9 +365,9 @@ func BuildSweep(e *Env, name string, axisSpecs []string) (sweep.Spec, error) {
 		return sweep.Spec{}, fmt.Errorf("experiments: sweep name %q is not a valid artifact ID (alphanumeric start, then [A-Za-z0-9._-], at most 64 bytes, not \"run\")", name)
 	}
 	spec := sweep.Spec{
-		Name:           name,
-		Base:           opts.SimConfig(),
-		BasePrefetcher: "pif",
+		Name:       name,
+		Base:       opts.SimConfig(),
+		BaseEngine: prefetch.Spec{Name: "pif"},
 	}
 	seen := map[string]bool{}
 	for _, as := range axisSpecs {
@@ -432,18 +388,18 @@ func BuildSweep(e *Env, name string, axisSpecs []string) (sweep.Spec, error) {
 			}
 			ax = sweep.WorkloadAxis("workload", wls)
 		case "engine":
-			for _, v := range vals {
-				if _, err := prefetch.Lookup(v); err != nil {
-					return sweep.Spec{}, axisErr(as, "%v", err)
-				}
+			ax, err = engineSpecAxis(vals, func(err error) error {
+				return axisErr(as, "%v", err)
+			})
+			if err != nil {
+				return sweep.Spec{}, err
 			}
-			ax = sweep.EngineAxis("engine", vals...)
 		case "history":
 			ints, err := parseSizes(vals, 1)
 			if err != nil {
 				return sweep.Spec{}, axisErr(as, "%v", err)
 			}
-			ax = sweep.ParamAxis("history", "history",
+			ax = sweep.EngineParamAxis("history", "history",
 				func(v int) string { return strconv.Itoa(v) }, nil, ints)
 		case "budget":
 			ints, err := parseSizes(vals, 1)
@@ -456,6 +412,17 @@ func BuildSweep(e *Env, name string, axisSpecs []string) (sweep.Spec, error) {
 			ints, err := parseSizes(vals, 1024)
 			if err != nil {
 				return sweep.Spec{}, axisErr(as, "%v", err)
+			}
+			// The Finish hook used to validate each cell's system after
+			// axis mutation; with cells now validated through engine
+			// schemas instead, check the swept geometries here so an
+			// impossible size still fails before any simulation starts.
+			for _, n := range ints {
+				sys := opts.SimConfig().System
+				sys.L1ISizeBytes = n
+				if err := sys.Validate(); err != nil {
+					return sweep.Spec{}, axisErr(as, "%v", err)
+				}
 			}
 			ax = l1Axis(ints)
 		case "source":
@@ -473,18 +440,48 @@ func BuildSweep(e *Env, name string, axisSpecs []string) (sweep.Spec, error) {
 		}
 		spec.Axes = append(spec.Axes, ax)
 	}
+	if len(engineSpecs) > 0 {
+		if seen["engine"] {
+			return sweep.Spec{}, fmt.Errorf("experiments: -engine and -axis engine are mutually exclusive (both build the engine axis)")
+		}
+		ax, err := engineSpecAxis(engineSpecs, func(err error) error {
+			return fmt.Errorf("experiments: -engine: %v", err)
+		})
+		if err != nil {
+			return sweep.Spec{}, err
+		}
+		spec.Axes = append(spec.Axes, ax)
+	}
 	if !seen["workload"] {
 		// Default the workload axis (first, so it is the slow axis and
 		// rendered rows group by workload) to the sweep suite.
 		spec.Axes = append([]sweep.Axis{sweep.WorkloadAxis("workload", opts.SweepSuite())}, spec.Axes...)
 	}
-	spec.Finish = func(s *sweep.Settings) error {
-		if err := ApplyEngineParams(s); err != nil {
-			return err
-		}
-		return s.Sim.System.Validate()
+	if err := spec.Base.System.Validate(); err != nil {
+		return sweep.Spec{}, fmt.Errorf("experiments: sweep base system: %w", err)
 	}
 	return spec, nil
+}
+
+// engineSpecAxis builds the engine axis from CLI engine-spec strings
+// ("pif", "tifs", "pif:history=64K", "pif:sabs=2,window=9"): each value
+// merges its parsed spec into the cell, keyed by the sanitized spec
+// string so a plain name keys identically to the pre-spec CLI. wrapErr
+// decorates a bad value's error with the offending flag token.
+func engineSpecAxis(vals []string, wrapErr func(error) error) (sweep.Axis, error) {
+	ax := sweep.Axis{Name: "engine"}
+	for _, v := range vals {
+		spec, err := prefetch.ParseSpec(v)
+		if err != nil {
+			return sweep.Axis{}, wrapErr(err)
+		}
+		ax.Values = append(ax.Values, sweep.Value{
+			Key:   sweep.KeyOf(v),
+			Name:  v,
+			Apply: func(s *sweep.Settings) { s.MergeEngine(spec) },
+		})
+	}
+	return ax, nil
 }
 
 // sourceChoice parses one value of the CLI source axis ("live", "store",

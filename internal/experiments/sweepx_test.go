@@ -181,7 +181,7 @@ func TestEnvCollectsJobResults(t *testing.T) {
 
 func TestBuildSweep(t *testing.T) {
 	opts := QuickOptions()
-	spec, err := BuildSweep(NewEnv(opts), "s", []string{"workload=xl", "engine=pif,tifs", "budget=8,32"})
+	spec, err := BuildSweep(NewEnv(opts), "s", []string{"workload=xl", "engine=pif,tifs", "budget=8,32"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,17 +195,17 @@ func TestBuildSweep(t *testing.T) {
 	if _, err := g.Jobs(); err != nil {
 		t.Fatal(err)
 	}
-	// Budget resolved into per-engine factories.
+	// The budget axis overlays budget_kb on each cell's engine spec.
 	c, err := g.At("workload", "oltp-xl", "engine", "pif", "budget", "8kb")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.Settings.Factory == nil || c.Settings.PrefetcherName != "" {
-		t.Fatalf("budget not resolved to a factory: %+v", c.Settings)
+	if c.Settings.Engine.Name != "pif" || c.Settings.Engine.Params["budget_kb"] != 8 {
+		t.Fatalf("budget not overlaid on engine spec: %+v", c.Settings.Engine)
 	}
 
 	// Default workload axis (sweep suite) and default engine (pif).
-	spec, err = BuildSweep(NewEnv(opts), "s", []string{"l1=32K,64K"})
+	spec, err = BuildSweep(NewEnv(opts), "s", []string{"l1=32K,64K"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,15 +216,16 @@ func TestBuildSweep(t *testing.T) {
 	if g.Size() != len(workload.XLSuite())*2 {
 		t.Fatalf("default workload axis size = %d", g.Size())
 	}
-	if g.Cells[0].Settings.PrefetcherName != "pif" {
-		t.Fatalf("default engine = %q", g.Cells[0].Settings.PrefetcherName)
+	if g.Cells[0].Settings.Engine.Name != "pif" {
+		t.Fatalf("default engine = %q", g.Cells[0].Settings.Engine.Name)
 	}
 	if got := g.Cells[0].Settings.Sim.System.L1ISizeBytes; got != 32<<10 {
 		t.Fatalf("l1 axis not applied: %d", got)
 	}
 
 	// Errors: unknown axis, bad engine, bad workload, dup axis, bad size,
-	// impossible geometry, history+budget conflict.
+	// impossible geometry, history+budget conflict (the pif schema's
+	// Derive rejects the pair), a param the engine does not take.
 	for _, specs := range [][]string{
 		{"nope=1"},
 		{"engine=warpdrive"},
@@ -233,10 +234,11 @@ func TestBuildSweep(t *testing.T) {
 		{"l1=banana"},
 		{"l1=33K"}, // 33KB / 2-way / 64B: set count not a power of two
 		{"engine=pif", "budget=8", "history=1K"},
-		{"engine=pif-unlimited", "budget=8"}, // history-backed variant the hook cannot size
+		{"engine=pif-unlimited", "budget=8"}, // schema declares no budget_kb
+		{"engine=pif:stride=2"},
 		{},
 	} {
-		spec, err := BuildSweep(NewEnv(opts), "s", specs)
+		spec, err := BuildSweep(NewEnv(opts), "s", specs, nil)
 		if err == nil {
 			_, err = spec.Expand()
 		}
@@ -246,7 +248,7 @@ func TestBuildSweep(t *testing.T) {
 	}
 
 	// Workload names and suite aliases mix and dedupe.
-	spec, err = BuildSweep(NewEnv(opts), "s", []string{"workload=DSS Qry2,xl,DSS Qry2", "engine=none"})
+	spec, err = BuildSweep(NewEnv(opts), "s", []string{"workload=DSS Qry2,xl,DSS Qry2", "engine=none"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +263,7 @@ func TestBuildSweep(t *testing.T) {
 
 // TestBuildSweepHistoryEntries covers the entries-based history axis.
 func TestBuildSweepHistoryEntries(t *testing.T) {
-	spec, err := BuildSweep(NewEnv(QuickOptions()), "s", []string{"workload=xl", "engine=pif,none", "history=1K,32K"})
+	spec, err := BuildSweep(NewEnv(QuickOptions()), "s", []string{"workload=xl", "engine=pif,none", "history=1K,32K"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,56 +271,89 @@ func TestBuildSweepHistoryEntries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// pif cells resolve factories; none cells ignore the param and keep
-	// the registry name, so mixed-engine grids stay runnable.
+	// pif cells carry the history param; none cells carry it too but
+	// their schema declares it ignored, so mixed-engine grids stay
+	// runnable.
 	pifCell, err := g.At("workload", "web-xl", "engine", "pif", "history", "1024")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pifCell.Settings.Factory == nil {
-		t.Fatal("history not resolved for pif")
+	if pifCell.Settings.Engine.Name != "pif" || pifCell.Settings.Engine.Params["history"] != 1024 {
+		t.Fatalf("history not overlaid for pif: %+v", pifCell.Settings.Engine)
 	}
 	noneCell, err := g.At("workload", "web-xl", "engine", "none", "history", "1024")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if noneCell.Settings.PrefetcherName != "none" {
-		t.Fatalf("none cell = %+v", noneCell.Settings)
+	if noneCell.Settings.Engine.Name != "none" {
+		t.Fatalf("none cell = %+v", noneCell.Settings.Engine)
+	}
+	if r, err := prefetch.Resolved(noneCell.Settings.Engine); err != nil || len(r.Params) != 0 {
+		t.Fatalf("none cell does not resolve cleanly: %v %v", r, err)
 	}
 	if _, err := g.Jobs(); err != nil {
 		t.Fatal(err)
 	}
 }
 
-// TestApplyEngineParamsDirect covers the Finish hook in isolation.
-func TestApplyEngineParamsDirect(t *testing.T) {
-	s := &sweep.Settings{PrefetcherName: "tifs", Params: map[string]float64{"budget_kb": 32}}
-	if err := ApplyEngineParams(s); err != nil {
+// TestBuildSweepEngineFlag covers the repeated -engine flag: full engine
+// specs (multi-param, so comma-bearing) build the same axis the -axis
+// spelling does, and the two spellings are mutually exclusive.
+func TestBuildSweepEngineFlag(t *testing.T) {
+	env := NewEnv(QuickOptions())
+	spec, err := BuildSweep(env, "s", []string{"workload=xl"},
+		[]string{"pif:sabs=2,window=9", "tifs:budget_kb=64"})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Factory == nil || s.PrefetcherName != "" {
-		t.Fatalf("tifs budget unresolved: %+v", s)
-	}
-	s = &sweep.Settings{PrefetcherName: "pif", Params: map[string]float64{"budget_kb": 32, "history": 1024}}
-	if err := ApplyEngineParams(s); err == nil {
-		t.Fatal("budget+history accepted")
-	}
-	s = &sweep.Settings{PrefetcherName: "nextline", Params: map[string]float64{"budget_kb": 32}}
-	if err := ApplyEngineParams(s); err != nil {
+	g, err := spec.Expand()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if s.PrefetcherName != "nextline" {
-		t.Fatalf("history-less engine mutated: %+v", s)
+	if g.Size() != len(workload.XLSuite())*2 {
+		t.Fatalf("size = %d", g.Size())
 	}
-	// History-backed engines this hook cannot size must error rather than
-	// silently running identical cells at every swept budget.
-	s = &sweep.Settings{PrefetcherName: "pif-unlimited", Params: map[string]float64{"budget_kb": 32}}
-	if err := ApplyEngineParams(s); err == nil {
-		t.Fatal("pif-unlimited with a budget accepted")
+	c, err := g.At("workload", "oltp-xl", "engine", sweep.KeyOf("pif:sabs=2,window=9"))
+	if err != nil {
+		t.Fatal(err)
 	}
-	s = &sweep.Settings{Factory: func() prefetch.Prefetcher { return prefetch.None{} }, Params: map[string]float64{"history": 1024}}
-	if err := ApplyEngineParams(s); err == nil {
-		t.Fatal("explicit factory with a history param accepted")
+	if c.Settings.Engine.Name != "pif" || c.Settings.Engine.Params["sabs"] != 2 || c.Settings.Engine.Params["window"] != 9 {
+		t.Fatalf("engine spec not applied: %+v", c.Settings.Engine)
+	}
+	c, err = g.At("workload", "oltp-xl", "engine", sweep.KeyOf("tifs:budget_kb=64"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Settings.Engine.Name != "tifs" || c.Settings.Engine.Params["budget_kb"] != 64 {
+		t.Fatalf("engine spec not applied: %+v", c.Settings.Engine)
+	}
+
+	// A single-param spec also works through the -axis spelling and
+	// produces the same cell key.
+	spec, err = BuildSweep(env, "s", []string{"workload=xl", "engine=pif:history=64K"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err = g.At("workload", "oltp-xl", "engine", sweep.KeyOf("pif:history=64K"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Settings.Engine.Params["history"] != 64<<10 {
+		t.Fatalf("K suffix not applied: %+v", c.Settings.Engine)
+	}
+
+	// Both spellings at once is a usage error, as is a malformed spec.
+	if _, err := BuildSweep(env, "s", []string{"engine=pif"}, []string{"tifs"}); err == nil {
+		t.Error("-engine alongside -axis engine accepted")
+	}
+	if _, err := BuildSweep(env, "s", nil, []string{"pif:stride=2"}); err == nil {
+		t.Error("bad -engine spec accepted")
+	} else if !strings.Contains(err.Error(), `"stride"`) {
+		t.Errorf("bad -engine spec error does not quote the param: %v", err)
 	}
 }
 
@@ -349,8 +384,10 @@ func TestBuildSweepAxisErrors(t *testing.T) {
 		{[]string{"source=slice"}, `"source=slice"`},
 		{[]string{"source=live@x"}, `"source=live@x"`},
 		{[]string{"source=slice@0:0"}, `"source=slice@0:0"`},
+		{[]string{"engine=pif:history="}, `"engine=pif:history="`},
+		{[]string{"engine=pif:history=banana"}, `"engine=pif:history=banana"`},
 	} {
-		_, err := BuildSweep(env, "s", tc.specs)
+		_, err := BuildSweep(env, "s", tc.specs, nil)
 		if err == nil {
 			t.Errorf("BuildSweep(%v) accepted", tc.specs)
 			continue
@@ -381,7 +418,7 @@ func TestBuildSweepSourceAxis(t *testing.T) {
 		spec, err := BuildSweep(env, "s", []string{
 			"engine=nextline",
 			"source=live,slice@0:45000,slice@45000:45000",
-		})
+		}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/prefetch"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -91,24 +92,29 @@ func SweepWindow(e *Env) (SweepWindowResult, error) {
 		})
 	}
 
-	g, err := e.RunGrid(sweep.Spec{
-		Name:           "sweep-window",
-		Base:           scfg,
-		BasePrefetcher: "pif",
-		Axes: []sweep.Axis{
-			sweep.WorkloadAxis("workload", wls),
-			offAxis,
-			lenAxis,
-		},
-		// Finish runs after every axis mutation, so the workload and both
-		// window params are final here: resolve them into the cell's
-		// slice source and measured interval.
-		Finish: func(s *sweep.Settings) error {
+	// The length axis is the innermost (last) axis, so its Apply runs after
+	// the workload and offset mutations: both window params are final here,
+	// and it resolves them into the cell's slice source and measured
+	// interval directly.
+	for i := range lenAxis.Values {
+		inner := lenAxis.Values[i].Apply
+		lenAxis.Values[i].Apply = func(s *sweep.Settings) {
+			inner(s)
 			w := windowFor(warmup, measure, int(s.Params["win_off_pct"]), int(s.Params["win_len_pct"]))
 			s.Sim.WarmupInstrs = 0
 			s.Sim.MeasureInstrs = w.Len
 			s.Source = e.WindowSource(s.Workload, w)
-			return nil
+		}
+	}
+
+	g, err := e.RunGrid(sweep.Spec{
+		Name:       "sweep-window",
+		Base:       scfg,
+		BaseEngine: prefetch.Spec{Name: "pif"},
+		Axes: []sweep.Axis{
+			sweep.WorkloadAxis("workload", wls),
+			offAxis,
+			lenAxis,
 		},
 	})
 	if err != nil {

@@ -1,76 +1,72 @@
 package prefetch
 
-import (
-	"fmt"
-	"sort"
-	"strings"
-	"sync"
-)
+import "errors"
 
-// Factory constructs a fresh prefetch engine. Engines are stateful, so
-// every simulation job needs its own instance: the registry hands out
-// factories, never shared engines.
-type Factory func() Prefetcher
+// TIFSBytesPerBlock is the storage-budget accounting for TIFS history:
+// a history entry is one block address plus index overhead, ~36 bits
+// rounded to 5 bytes (MANA's accounting, applied to TIFS's log).
+const TIFSBytesPerBlock = 5
 
-// The registry maps engine names to factories. The baselines in this
-// package register themselves below; the PIF variants register from
-// internal/core's init (core depends on this package, not vice versa).
-var (
-	regMu     sync.RWMutex
-	factories = map[string]Factory{}
-)
-
-// Register adds a named engine factory. It panics on an empty name, a nil
-// factory, or a duplicate registration — registry population is
-// init-time programmer input.
-func Register(name string, f Factory) {
-	if name == "" || f == nil {
-		panic(fmt.Sprintf("prefetch: Register(%q) with empty name or nil factory", name))
-	}
-	regMu.Lock()
-	defer regMu.Unlock()
-	if _, dup := factories[name]; dup {
-		panic(fmt.Sprintf("prefetch: duplicate registration of %q", name))
-	}
-	factories[name] = f
-}
-
-// Lookup returns the factory registered under name.
-func Lookup(name string) (Factory, error) {
-	regMu.RLock()
-	f, ok := factories[name]
-	regMu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("prefetch: unknown engine %q (have %s)", name, strings.Join(Names(), ", "))
-	}
-	return f, nil
-}
-
-// NewByName constructs a fresh engine instance by registry name.
-func NewByName(name string) (Prefetcher, error) {
-	f, err := Lookup(name)
-	if err != nil {
-		return nil, err
-	}
-	return f(), nil
-}
-
-// Names returns the registered engine names in sorted order.
-func Names() []string {
-	regMu.RLock()
-	defer regMu.RUnlock()
-	names := make([]string, 0, len(factories))
-	for n := range factories {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
-}
-
+// The baseline engines register their schemas here; the PIF variants
+// register from internal/core's init (core depends on this package, not
+// vice versa). History-less engines declare budget_kb and history in
+// Ignores so mixed-engine budget sweeps stay valid across the whole
+// axis.
 func init() {
-	Register("none", func() Prefetcher { return None{} })
-	// Degree 4 is the "aggressive" next-line configuration of the paper's
-	// competitive comparison.
-	Register("nextline", func() Prefetcher { return NewNextLine(4) })
-	Register("tifs", func() Prefetcher { return NewTIFS(DefaultTIFSConfig()) })
+	Register(Schema{
+		Name: "none",
+		Doc:  "no prefetching (baseline)",
+		// The baseline crosses every mixed-engine sweep, so it also
+		// swallows the nextline degree axis.
+		Ignores: []string{"budget_kb", "history", "degree"},
+		New:     func(Params) Prefetcher { return None{} },
+	})
+	Register(Schema{
+		Name: "nextline",
+		Doc:  "aggressive next-line prefetcher [Smith 1978; Jouppi 1990]",
+		Params: []Param{
+			// Degree 4 is the "aggressive" next-line configuration of the
+			// paper's competitive comparison.
+			{Name: "degree", Kind: KindInt, Default: 4, Min: 1,
+				Help: "sequential successor blocks fetched per access"},
+		},
+		Ignores: []string{"budget_kb", "history"},
+		New: func(p Params) Prefetcher {
+			return NewNextLine(int(p["degree"]))
+		},
+	})
+	Register(Schema{
+		Name: "tifs",
+		Doc:  "Temporal Instruction Fetch Streaming (miss-stream replay)",
+		Params: []Param{
+			{Name: "history", Kind: KindInt, Default: 0, Min: 0,
+				Help: "miss-history buffer capacity in blocks (0 = unlimited)"},
+			{Name: "budget_kb", Kind: KindInt, Default: 0, Min: 1,
+				Help: "history storage budget in KB (5 B/block); derives history"},
+			{Name: "streams", Kind: KindInt, Default: 4, Min: 1,
+				Help: "concurrent stream buffers"},
+			{Name: "lookahead", Kind: KindInt, Default: 12, Min: 1,
+				Help: "replay window depth in blocks"},
+		},
+		Derive: func(p Params, set map[string]bool) error {
+			if set["budget_kb"] {
+				if set["history"] {
+					return errors.New("params budget_kb and history are mutually exclusive")
+				}
+				blocks := int(p["budget_kb"]) << 10 / TIFSBytesPerBlock
+				if blocks < 1 {
+					blocks = 1
+				}
+				p["history"] = float64(blocks)
+			}
+			return nil
+		},
+		New: func(p Params) Prefetcher {
+			return NewTIFS(TIFSConfig{
+				HistoryBlocks: int(p["history"]),
+				Streams:       int(p["streams"]),
+				Lookahead:     int(p["lookahead"]),
+			})
+		},
+	})
 }

@@ -58,6 +58,32 @@ func TestRegistryNamesSorted(t *testing.T) {
 	}
 }
 
+func TestSchemasSortedAndDescribed(t *testing.T) {
+	schemas := Schemas()
+	if len(schemas) < 3 {
+		t.Fatalf("Schemas() = %d entries", len(schemas))
+	}
+	for i := 1; i < len(schemas); i++ {
+		if schemas[i-1].Name >= schemas[i].Name {
+			t.Errorf("Schemas() not sorted at %d", i)
+		}
+	}
+	for _, s := range schemas {
+		d := s.Describe()
+		if !strings.HasPrefix(d, s.Name+" — ") {
+			t.Errorf("Describe(%s) header = %q", s.Name, strings.SplitN(d, "\n", 2)[0])
+		}
+		for _, p := range s.Params {
+			if !strings.Contains(d, p.Name) {
+				t.Errorf("Describe(%s) missing param %q", s.Name, p.Name)
+			}
+		}
+		if len(s.Ignores) > 0 && !strings.Contains(d, "accepts and ignores") {
+			t.Errorf("Describe(%s) does not list ignored params", s.Name)
+		}
+	}
+}
+
 func TestRegisterRejectsBadInput(t *testing.T) {
 	mustPanic := func(name string, fn func()) {
 		t.Helper()
@@ -68,7 +94,14 @@ func TestRegisterRejectsBadInput(t *testing.T) {
 		}()
 		fn()
 	}
-	mustPanic("empty name", func() { Register("", func() Prefetcher { return None{} }) })
-	mustPanic("nil factory", func() { Register("x", nil) })
-	mustPanic("duplicate", func() { Register("none", func() Prefetcher { return None{} }) })
+	ctor := func(Params) Prefetcher { return None{} }
+	mustPanic("empty name", func() { Register(Schema{Name: "", New: ctor}) })
+	mustPanic("nil constructor", func() { Register(Schema{Name: "x"}) })
+	mustPanic("duplicate", func() { Register(Schema{Name: "none", New: ctor}) })
+	mustPanic("duplicate param", func() {
+		Register(Schema{Name: "x", New: ctor, Params: []Param{{Name: "a"}, {Name: "a"}}})
+	})
+	mustPanic("empty param name", func() {
+		Register(Schema{Name: "x", New: ctor, Params: []Param{{Name: ""}}})
+	})
 }

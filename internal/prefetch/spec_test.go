@@ -1,0 +1,332 @@
+package prefetch_test
+
+// Spec-layer tests live in an external test package so they can exercise
+// the PIF schemas, which internal/core registers (core imports prefetch,
+// so the internal test package cannot import core back).
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/prefetch"
+)
+
+// registerTestSchema adds a schema exercising the corners no production
+// engine needs: a Max-bounded int, a float param, and a bool.
+var registerTestSchema = sync.OnceFunc(func() {
+	prefetch.Register(prefetch.Schema{
+		Name: "zz-test",
+		Doc:  "test-only schema",
+		Params: []prefetch.Param{
+			{Name: "bounded", Kind: prefetch.KindInt, Default: 4, Min: 1, Max: 8},
+			{Name: "ratio", Kind: prefetch.KindFloat, Default: 0.5, Min: 0, Max: 1},
+			{Name: "flag", Kind: prefetch.KindBool, Default: 0},
+		},
+		New: func(prefetch.Params) prefetch.Prefetcher { return prefetch.None{} },
+	})
+})
+
+func TestValidateErrors(t *testing.T) {
+	registerTestSchema()
+	cases := []struct {
+		name string
+		spec prefetch.Spec
+		want []string // every fragment the error must contain
+	}{
+		{"unknown engine",
+			prefetch.Spec{Name: "warpdrive"},
+			[]string{`unknown engine "warpdrive"`, "nextline"}},
+		{"unknown param",
+			prefetch.Spec{Name: "pif", Params: map[string]float64{"stride": 2}},
+			[]string{`engine "pif"`, `unknown param "stride"`, "history"}},
+		{"unknown param on paramless engine",
+			prefetch.Spec{Name: "pif-unlimited", Params: map[string]float64{"budget_kb": 8}},
+			[]string{`unknown param "budget_kb"`, "takes no params"}},
+		{"non-integer for int param",
+			prefetch.Spec{Name: "nextline", Params: map[string]float64{"degree": 2.5}},
+			[]string{`param "degree"`, "value 2.5 is not an integer"}},
+		{"non-bool for bool param",
+			prefetch.Spec{Name: "pif", Params: map[string]float64{"sep": 2}},
+			[]string{`param "sep"`, "value 2 is not a bool"}},
+		{"below minimum",
+			prefetch.Spec{Name: "nextline", Params: map[string]float64{"degree": 0}},
+			[]string{`param "degree"`, "value 0 below minimum 1"}},
+		{"above maximum",
+			prefetch.Spec{Name: "zz-test", Params: map[string]float64{"bounded": 9}},
+			[]string{`param "bounded"`, "value 9 above maximum 8"}},
+		{"not finite",
+			prefetch.Spec{Name: "pif", Params: map[string]float64{"history": math.Inf(1)}},
+			[]string{`param "history"`, "is not finite"}},
+		{"NaN",
+			prefetch.Spec{Name: "zz-test", Params: map[string]float64{"ratio": math.NaN()}},
+			[]string{`param "ratio"`, "is not finite"}},
+		{"tifs budget and history conflict",
+			prefetch.Spec{Name: "tifs", Params: map[string]float64{"budget_kb": 8, "history": 1024}},
+			[]string{`engine "tifs"`, "mutually exclusive"}},
+		{"pif budget and history conflict",
+			prefetch.Spec{Name: "pif", Params: map[string]float64{"budget_kb": 8, "history": 1024}},
+			[]string{`engine "pif"`, "mutually exclusive"}},
+		{"pif budget and index conflict",
+			prefetch.Spec{Name: "pif", Params: map[string]float64{"budget_kb": 8, "index": 512}},
+			[]string{"mutually exclusive"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := prefetch.Validate(tc.spec)
+			if err == nil {
+				t.Fatalf("Validate(%v) accepted", tc.spec)
+			}
+			for _, frag := range tc.want {
+				if !strings.Contains(err.Error(), frag) {
+					t.Errorf("error %q missing %q", err, frag)
+				}
+			}
+		})
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	registerTestSchema()
+	for _, spec := range []prefetch.Spec{
+		{Name: "none"},
+		{Name: "pif"},
+		{Name: "pif", Params: map[string]float64{"budget_kb": 32}},
+		{Name: "tifs", Params: map[string]float64{"budget_kb": 64}},
+		// Ignored params pass on engines that declare them ignorable,
+		// even with values the declared kind would reject.
+		{Name: "none", Params: map[string]float64{"budget_kb": 8, "history": 1024, "degree": 2}},
+		{Name: "nextline", Params: map[string]float64{"degree": 2, "budget_kb": 8}},
+		{Name: "zz-test", Params: map[string]float64{"ratio": 0.25, "flag": 1}},
+	} {
+		if err := prefetch.Validate(spec); err != nil {
+			t.Errorf("Validate(%v): %v", spec, err)
+		}
+	}
+}
+
+func TestResolvedDerivations(t *testing.T) {
+	get := func(t *testing.T, s prefetch.Spec) prefetch.Spec {
+		t.Helper()
+		r, err := prefetch.Resolved(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	// PIF budget derives both history and index at 6 B/region, 4:1.
+	r := get(t, prefetch.Spec{Name: "pif", Params: map[string]float64{"budget_kb": 48}})
+	wantHist := float64(48 << 10 / core.PIFBytesPerRegion)
+	if r.Params["history"] != wantHist || r.Params["index"] != float64(int(wantHist)/4) {
+		t.Errorf("pif budget_kb=48 resolved to history=%g index=%g, want %g/%g",
+			r.Params["history"], r.Params["index"], wantHist, float64(int(wantHist)/4))
+	}
+	// History alone scales the index 4:1...
+	r = get(t, prefetch.Spec{Name: "pif", Params: map[string]float64{"history": 2048}})
+	if r.Params["index"] != 512 {
+		t.Errorf("pif history=2048 resolved index=%g, want 512", r.Params["index"])
+	}
+	// ...but an explicit index suppresses the scaling (the fig9R shape).
+	r = get(t, prefetch.Spec{Name: "pif", Params: map[string]float64{"history": 2048, "index": 8192}})
+	if r.Params["index"] != 8192 {
+		t.Errorf("explicit index overridden: %g", r.Params["index"])
+	}
+	// TIFS budget derives history at 5 B/block.
+	r = get(t, prefetch.Spec{Name: "tifs", Params: map[string]float64{"budget_kb": 64}})
+	if want := float64(64 << 10 / prefetch.TIFSBytesPerBlock); r.Params["history"] != want {
+		t.Errorf("tifs budget_kb=64 resolved history=%g, want %g", r.Params["history"], want)
+	}
+	// Defaults fill in untouched params.
+	r = get(t, prefetch.Spec{Name: "nextline"})
+	if r.Params["degree"] != 4 {
+		t.Errorf("nextline default degree = %g", r.Params["degree"])
+	}
+	// Ignored params are dropped from the resolved form.
+	r = get(t, prefetch.Spec{Name: "none", Params: map[string]float64{"budget_kb": 8}})
+	if len(r.Params) != 0 {
+		t.Errorf("none resolved params = %v, want empty", r.Params)
+	}
+}
+
+func TestSpecWithClones(t *testing.T) {
+	base := prefetch.Spec{Name: "pif", Params: map[string]float64{"sabs": 2}}
+	a := base.With("history", 1024)
+	b := base.With("history", 2048)
+	if base.Params["history"] != 0 || len(base.Params) != 1 {
+		t.Errorf("With mutated the base: %v", base.Params)
+	}
+	if a.Params["history"] != 1024 || b.Params["history"] != 2048 {
+		t.Errorf("derived specs wrong: %v %v", a.Params, b.Params)
+	}
+	if a.Params["sabs"] != 2 || b.Params["sabs"] != 2 {
+		t.Errorf("With dropped existing params: %v %v", a.Params, b.Params)
+	}
+	// With on a nil map allocates.
+	c := prefetch.Spec{Name: "none"}.With("x", 1)
+	if c.Params["x"] != 1 {
+		t.Errorf("With on nil map: %v", c.Params)
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	for _, tc := range []struct {
+		spec prefetch.Spec
+		want string
+	}{
+		{prefetch.Spec{Name: "pif"}, "pif"},
+		{prefetch.Spec{Name: "pif", Params: map[string]float64{"history": 2048, "budget_kb": 8}},
+			"pif:budget_kb=8,history=2048"},
+		{prefetch.Spec{Name: "zz", Params: map[string]float64{"r": 0.5}}, "zz:r=0.5"},
+	} {
+		if got := tc.spec.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	registerTestSchema()
+	cases := []struct {
+		in   string
+		want prefetch.Spec
+	}{
+		{"pif", prefetch.Spec{Name: "pif"}},
+		{"pif:budget_kb=32", prefetch.Spec{Name: "pif", Params: map[string]float64{"budget_kb": 32}}},
+		{"pif:history=64K", prefetch.Spec{Name: "pif", Params: map[string]float64{"history": 64 << 10}}},
+		{"pif:history=1M", prefetch.Spec{Name: "pif", Params: map[string]float64{"history": 1 << 20}}},
+		{"pif:sep=false", prefetch.Spec{Name: "pif", Params: map[string]float64{"sep": 0}}},
+		{"pif:sep=true,sabs=2", prefetch.Spec{Name: "pif", Params: map[string]float64{"sep": 1, "sabs": 2}}},
+		{"zz-test:ratio=0.25", prefetch.Spec{Name: "zz-test", Params: map[string]float64{"ratio": 0.25}}},
+		{" tifs : budget_kb = 8 ", prefetch.Spec{Name: "tifs", Params: map[string]float64{"budget_kb": 8}}},
+		// An engine ignoring a param still accepts it on the CLI.
+		{"none:budget_kb=8", prefetch.Spec{Name: "none", Params: map[string]float64{"budget_kb": 8}}},
+	}
+	for _, tc := range cases {
+		got, err := prefetch.ParseSpec(tc.in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if got.String() != tc.want.String() {
+			t.Errorf("ParseSpec(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"warpdrive", `unknown engine "warpdrive"`},
+		{"pif:", "empty parameter list"},
+		{"pif:history", `param "history" is not of the form k=v`},
+		{"pif:=2048", "not of the form k=v"},
+		{"pif:history=", "not of the form k=v"},
+		{"pif:history=2K,history=4K", `param "history" set twice`},
+		{"pif:stride=2", `unknown param "stride"`},
+		{"pif:history=banana", `bad value "banana"`},
+		{"pif:sep=maybe", `bad bool "maybe"`},
+		{"nextline:degree=0", "below minimum"},
+		{"pif:budget_kb=8,history=1K", "mutually exclusive"},
+	}
+	for _, tc := range cases {
+		_, err := prefetch.ParseSpec(tc.in)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) accepted", tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseSpec(%q) error %q missing %q", tc.in, err, tc.want)
+		}
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec := prefetch.Spec{Name: "pif", Params: map[string]float64{"budget_kb": 32, "sabs": 2}}
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canonical encoding: Go writes map keys sorted.
+	if want := `{"name":"pif","params":{"budget_kb":32,"sabs":2}}`; string(b) != want {
+		t.Errorf("Marshal = %s, want %s", b, want)
+	}
+	var back prefetch.Spec
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != spec.String() {
+		t.Errorf("round trip changed spec: %v -> %v", spec, back)
+	}
+	// Param-less specs omit the params key entirely.
+	b, err = json.Marshal(prefetch.Spec{Name: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"name":"none"}`; string(b) != want {
+		t.Errorf("Marshal = %s, want %s", b, want)
+	}
+}
+
+// FuzzEngineSpecRoundTrip feeds arbitrary JSON at the spec decoder: any
+// document that decodes into a spec passing Validate must survive both a
+// JSON round trip and a String()/ParseSpec round trip with an identical
+// resolved form. This is the serialization contract the sweep job files
+// and the remote wire rely on.
+func FuzzEngineSpecRoundTrip(f *testing.F) {
+	f.Add(`{"name":"pif"}`)
+	f.Add(`{"name":"pif","params":{"budget_kb":32}}`)
+	f.Add(`{"name":"pif","params":{"history":2048,"index":8192}}`)
+	f.Add(`{"name":"tifs","params":{"budget_kb":64,"streams":2}}`)
+	f.Add(`{"name":"nextline","params":{"degree":2}}`)
+	f.Add(`{"name":"none","params":{"budget_kb":8}}`)
+	f.Add(`{"name":"pif","params":{"sep":0}}`)
+	f.Add(`{"name":"warpdrive"}`)
+	f.Add(`{"name":"pif","params":{"degree":1e308}}`)
+	f.Add(`{}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		var spec prefetch.Spec
+		if err := json.Unmarshal([]byte(in), &spec); err != nil {
+			return
+		}
+		if prefetch.Validate(spec) != nil {
+			return
+		}
+		// JSON round trip preserves the canonical form.
+		b1, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("valid spec does not marshal: %v", err)
+		}
+		var back prefetch.Spec
+		if err := json.Unmarshal(b1, &back); err != nil {
+			t.Fatalf("marshal output does not decode: %v", err)
+		}
+		b2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b1) != string(b2) {
+			t.Fatalf("JSON round trip not stable:\n%s\n%s", b1, b2)
+		}
+		// CLI round trip: String() re-parses to the same resolved form.
+		reparsed, err := prefetch.ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("String() form %q does not re-parse: %v", spec.String(), err)
+		}
+		r1, err := prefetch.Resolved(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := prefetch.Resolved(reparsed)
+		if err != nil {
+			t.Fatalf("re-parsed spec does not resolve: %v", err)
+		}
+		if r1.String() != r2.String() {
+			t.Fatalf("CLI round trip changed resolved form:\n%s\n%s", r1, r2)
+		}
+	})
+}

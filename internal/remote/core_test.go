@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/prefetch"
 )
 
 // fakeClock is a manually advanced clock for Core tests.
@@ -41,7 +43,7 @@ func testCore(t *testing.T, opts CoreOptions) (*Core, *fakeClock) {
 }
 
 func testSpec(label string) JobSpec {
-	return JobSpec{V: WireVersion, Label: label, Workload: "OLTP DB2", Prefetcher: "none"}
+	return JobSpec{V: WireVersion, Label: label, Workload: "OLTP DB2", Engine: prefetch.Spec{Name: "none"}}
 }
 
 func testWireResult(label string) WireResult {

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/prefetch"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -28,31 +29,43 @@ import (
 // WireVersion stamps every wire object; a coordinator or worker
 // receiving another version refuses it rather than misinterpreting
 // fields.
-const WireVersion = 1
+//
+// Version history:
+//
+//	1: engines traveled as a bare registry name — tuned cells were refused.
+//	2: engines travel as a full prefetch.Spec (name + params), so every
+//	   sweep cell — budget-derived, history-swept, hand-tuned — runs
+//	   remotely exactly as it would locally.
+const WireVersion = 2
 
 // JobSpec is the wire form of a runner.Job: everything a worker needs to
 // rebuild and run the job locally, and nothing that cannot cross a
 // machine boundary. Workloads travel by registry name, sources by
-// sim.SourceSpec, prefetchers by registry name.
+// sim.SourceSpec, engines by declarative prefetch.Spec.
 type JobSpec struct {
-	V          int             `json:"v"`
-	Label      string          `json:"label,omitempty"`
-	Workload   string          `json:"workload"`
-	Config     sim.Config      `json:"config"`
-	Prefetcher string          `json:"prefetcher"`
-	Source     *sim.SourceSpec `json:"source,omitempty"`
+	V        int             `json:"v"`
+	Label    string          `json:"label,omitempty"`
+	Workload string          `json:"workload"`
+	Config   sim.Config      `json:"config"`
+	Engine   prefetch.Spec   `json:"engine"`
+	Source   *sim.SourceSpec `json:"source,omitempty"`
 }
 
 // EncodeJob converts a runner.Job to its wire form. Jobs carrying
-// process-local state — a prefetcher factory closure, an observer, an
-// opaque source — are rejected with a descriptive error: the remote
-// backend must refuse them loudly, never run a silently different job.
+// process-local state — an instrument hook, an observer, an opaque
+// source — are rejected with a descriptive error: the remote backend
+// must refuse them loudly, never run a silently different job. The
+// engine spec is validated against the registry before it travels, so a
+// bad param fails at submission, not on a worker.
 func EncodeJob(j runner.Job) (JobSpec, error) {
-	if j.NewPrefetcher != nil {
-		return JobSpec{}, fmt.Errorf("remote: job %q carries a prefetcher factory closure; remote jobs must name a registry engine (PrefetcherName)", j.Label)
+	if j.Engine.Name == "" {
+		return JobSpec{}, fmt.Errorf("remote: job %q names no engine", j.Label)
 	}
-	if j.PrefetcherName == "" {
-		return JobSpec{}, fmt.Errorf("remote: job %q names no prefetcher", j.Label)
+	if err := prefetch.Validate(j.Engine); err != nil {
+		return JobSpec{}, fmt.Errorf("remote: job %q: %w", j.Label, err)
+	}
+	if j.Instrument != nil {
+		return JobSpec{}, fmt.Errorf("remote: job %q carries an instrument callback; instruments are process-local", j.Label)
 	}
 	if j.Observer != nil {
 		return JobSpec{}, fmt.Errorf("remote: job %q carries an observer callback; observers are process-local", j.Label)
@@ -68,20 +81,16 @@ func EncodeJob(j runner.Job) (JobSpec, error) {
 		return JobSpec{}, fmt.Errorf("remote: job %q: workload %q differs from the registry profile of that name; a remote worker would simulate the wrong program", j.Label, j.Workload.Name)
 	}
 	spec := JobSpec{
-		V:          WireVersion,
-		Label:      j.Label,
-		Workload:   j.Workload.Name,
-		Config:     j.Config,
-		Prefetcher: j.PrefetcherName,
+		V:        WireVersion,
+		Label:    j.Label,
+		Workload: j.Workload.Name,
+		Config:   j.Config,
+		Engine:   j.Engine,
 	}
-	src := j.Source
-	if src == nil && j.NewSource != nil {
-		return JobSpec{}, fmt.Errorf("remote: job %q uses the deprecated NewSource iterator factory; remote jobs need a serializable sim.Source", j.Label)
-	}
-	if src != nil {
-		ss, ok := sim.SpecOf(src)
+	if j.Source != nil {
+		ss, ok := sim.SpecOf(j.Source)
 		if !ok {
-			return JobSpec{}, fmt.Errorf("remote: job %q carries an opaque source (%T); only live/store/slice sources serialize", j.Label, src)
+			return JobSpec{}, fmt.Errorf("remote: job %q carries an opaque source (%T); only live/store/slice sources serialize", j.Label, j.Source)
 		}
 		spec.Source = &ss
 	}
@@ -91,8 +100,9 @@ func EncodeJob(j runner.Job) (JobSpec, error) {
 }
 
 // Job rebuilds the runnable runner.Job a spec names, resolving the
-// workload and prefetcher through their registries and the source
-// through sim.SourceSpec.New.
+// workload through its registry, the engine spec against the prefetch
+// schemas (a spec corrupted or forged in transit fails here, before the
+// worker burns cycles on it), and the source through sim.SourceSpec.New.
 func (s JobSpec) Job() (runner.Job, error) {
 	if s.V != WireVersion {
 		return runner.Job{}, fmt.Errorf("remote: job spec has wire version %d, want %d", s.V, WireVersion)
@@ -101,11 +111,17 @@ func (s JobSpec) Job() (runner.Job, error) {
 	if err != nil {
 		return runner.Job{}, fmt.Errorf("remote: job %q: %w", s.Label, err)
 	}
+	if s.Engine.Name == "" {
+		return runner.Job{}, fmt.Errorf("remote: job %q names no engine", s.Label)
+	}
+	if err := prefetch.Validate(s.Engine); err != nil {
+		return runner.Job{}, fmt.Errorf("remote: job %q: %w", s.Label, err)
+	}
 	j := runner.Job{
-		Label:          s.Label,
-		Workload:       w,
-		Config:         s.Config,
-		PrefetcherName: s.Prefetcher,
+		Label:    s.Label,
+		Workload: w,
+		Config:   s.Config,
+		Engine:   s.Engine,
 	}
 	if s.Source != nil {
 		src, err := s.Source.New()

@@ -21,10 +21,10 @@ func serializableJob(t *testing.T) runner.Job {
 	cfg.WarmupInstrs = 1000
 	cfg.MeasureInstrs = 1000
 	return runner.Job{
-		Label:          "fig10/OLTP DB2/nextline",
-		Workload:       workload.OLTPDB2(),
-		Config:         cfg,
-		PrefetcherName: "nextline",
+		Label:    "fig10/OLTP DB2/nextline",
+		Workload: workload.OLTPDB2(),
+		Config:   cfg,
+		Engine:   prefetch.Spec{Name: "nextline"},
 	}
 }
 
@@ -47,12 +47,46 @@ func TestEncodeJobRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Label != j.Label || got.Workload != j.Workload || got.Config != j.Config || got.PrefetcherName != j.PrefetcherName {
+	if got.Label != j.Label || got.Workload != j.Workload || got.Config != j.Config || got.Engine.Name != j.Engine.Name {
 		t.Errorf("round trip changed job:\n%+v\n%+v", j, got)
 	}
 	ss, ok := sim.SpecOf(got.Source)
 	if !ok || ss.Kind != "slice" || ss.Path != "/tmp/store" || (ss.Window != trace.Window{Off: 10, Len: 20}) {
 		t.Errorf("source not round-tripped: %+v ok=%v", ss, ok)
+	}
+}
+
+// TestEncodeJobTunedEngine locks the wire-v2 capability: a tuned engine
+// spec — params and all — travels and rebuilds intact, where wire v1
+// refused anything beyond a bare registry name.
+func TestEncodeJobTunedEngine(t *testing.T) {
+	j := serializableJob(t)
+	j.Engine = prefetch.Spec{Name: "pif", Params: map[string]float64{
+		"budget_kb": 512,
+		"sabs":      2,
+	}}
+	spec, err := EncodeJob(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back JobSpec
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Job()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Engine.Name != "pif" || got.Engine.Params["budget_kb"] != 512 || got.Engine.Params["sabs"] != 2 {
+		t.Errorf("tuned engine did not round-trip: %+v", got.Engine)
+	}
+	// The rebuilt spec resolves to a working engine instance.
+	if _, err := prefetch.Resolve(got.Engine); err != nil {
+		t.Errorf("rebuilt engine spec does not resolve: %v", err)
 	}
 }
 
@@ -62,23 +96,25 @@ type nopObserver struct{}
 func (nopObserver) OnCorrectFetch(tl isa.TrapLevel, hit, wasPrefetched bool) {}
 
 func TestEncodeJobRejectsProcessLocalState(t *testing.T) {
-	factory, err := prefetch.Lookup("nextline")
-	if err != nil {
-		t.Fatal(err)
-	}
 	cases := []struct {
 		name string
 		mut  func(*runner.Job)
 		want string
 	}{
-		{"factory-closure", func(j *runner.Job) { j.NewPrefetcher = factory }, "factory closure"},
-		{"no-prefetcher", func(j *runner.Job) { j.PrefetcherName = "" }, "names no prefetcher"},
+		{"no-engine", func(j *runner.Job) { j.Engine = prefetch.Spec{} }, "names no engine"},
+		{"unknown-engine", func(j *runner.Job) { j.Engine = prefetch.Spec{Name: "dropout"} }, "unknown engine"},
+		{"invalid-engine-param", func(j *runner.Job) {
+			j.Engine = prefetch.Spec{Name: "nextline", Params: map[string]float64{"degree": 0}}
+		}, "below minimum"},
+		{"unknown-engine-param", func(j *runner.Job) {
+			j.Engine = prefetch.Spec{Name: "nextline", Params: map[string]float64{"stride": 2}}
+		}, "unknown param"},
+		{"instrument", func(j *runner.Job) {
+			j.Instrument = func(prefetch.Prefetcher) {}
+		}, "instrument callback"},
 		{"observer", func(j *runner.Job) { j.Observer = nopObserver{} }, "observer"},
 		{"unnamed-workload", func(j *runner.Job) { j.Workload = workload.Profile{} }, "unnamed workload"},
 		{"off-registry-workload", func(j *runner.Job) { j.Workload.Seed++ }, "differs from the registry"},
-		{"deprecated-newsource", func(j *runner.Job) {
-			j.NewSource = func() (trace.Iterator, error) { return nil, nil }
-		}, "deprecated NewSource"},
 		{"opaque-source", func(j *runner.Job) {
 			j.Source = sim.OpenerSource(func() (trace.Iterator, error) { return nil, nil })
 		}, "opaque source"},
@@ -95,6 +131,29 @@ func TestEncodeJobRejectsProcessLocalState(t *testing.T) {
 				t.Errorf("err = %v, want mention of %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestJobSpecRejectsForgedEngine asserts the worker-side decode
+// validates engine specs too: a spec corrupted or forged in transit
+// fails at Job(), before any simulation starts.
+func TestJobSpecRejectsForgedEngine(t *testing.T) {
+	mk := func() JobSpec {
+		spec, err := EncodeJob(serializableJob(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return spec
+	}
+	s := mk()
+	s.Engine.Name = ""
+	if _, err := s.Job(); err == nil || !strings.Contains(err.Error(), "names no engine") {
+		t.Errorf("engineless spec: %v", err)
+	}
+	s = mk()
+	s.Engine.Params = map[string]float64{"degree": -3}
+	if _, err := s.Job(); err == nil || !strings.Contains(err.Error(), "below minimum") {
+		t.Errorf("out-of-range spec: %v", err)
 	}
 }
 
@@ -128,8 +187,13 @@ func TestEncodeResultRoundTrip(t *testing.T) {
 }
 
 func TestWireVersionEnforced(t *testing.T) {
-	if _, err := (JobSpec{V: WireVersion + 1, Workload: "OLTP DB2", Prefetcher: "none"}).Job(); err == nil {
+	if _, err := (JobSpec{V: WireVersion + 1, Workload: "OLTP DB2", Engine: prefetch.Spec{Name: "none"}}).Job(); err == nil {
 		t.Error("future-version job spec accepted")
+	}
+	// A v1 peer (bare-name engine wire) must be refused, not
+	// misinterpreted.
+	if _, err := (JobSpec{V: 1, Workload: "OLTP DB2", Engine: prefetch.Spec{Name: "none"}}).Job(); err == nil {
+		t.Error("v1 job spec accepted")
 	}
 	if _, err := (WireResult{V: 0}).Result(); err == nil {
 		t.Error("unversioned result accepted")
@@ -139,20 +203,35 @@ func TestWireVersionEnforced(t *testing.T) {
 // FuzzJobSpecRoundTrip fuzzes the wire decode path: any JSON the
 // coordinator or a worker receives either fails decode/validation or
 // survives a marshal/unmarshal round trip unchanged — the same
-// guarantee FuzzArtifactRoundTrip gives the results store.
+// guarantee FuzzArtifactRoundTrip gives the results store. Engine param
+// payloads are part of the fuzzed surface.
 func FuzzJobSpecRoundTrip(f *testing.F) {
 	seed, err := EncodeJob(runner.Job{
-		Label:          "seed",
-		Workload:       workload.OLTPDB2(),
-		Config:         sim.DefaultConfig(),
-		PrefetcherName: "pif",
+		Label:    "seed",
+		Workload: workload.OLTPDB2(),
+		Config:   sim.DefaultConfig(),
+		Engine:   prefetch.Spec{Name: "pif"},
 	})
 	if err != nil {
 		f.Fatal(err)
 	}
 	b, _ := json.Marshal(seed)
 	f.Add(string(b))
-	f.Add(`{"v":1,"workload":"OLTP DB2","prefetcher":"none","source":{"kind":"slice","path":"/x","window":{"Off":1,"Len":2}}}`)
+	tuned, err := EncodeJob(runner.Job{
+		Label:    "tuned",
+		Workload: workload.WebApache(),
+		Config:   sim.DefaultConfig(),
+		Engine:   prefetch.Spec{Name: "tifs", Params: map[string]float64{"budget_kb": 64}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	tb, _ := json.Marshal(tuned)
+	f.Add(string(tb))
+	f.Add(`{"v":2,"workload":"OLTP DB2","engine":{"name":"none"},"source":{"kind":"slice","path":"/x","window":{"Off":1,"Len":2}}}`)
+	f.Add(`{"v":2,"workload":"OLTP DB2","engine":{"name":"pif","params":{"history":2048,"index":512}}}`)
+	f.Add(`{"v":2,"workload":"OLTP DB2","engine":{"name":"pif","params":{"history":1e309}}}`)
+	f.Add(`{"v":1,"workload":"OLTP DB2","prefetcher":"none"}`)
 	f.Add(`{"v":99}`)
 	f.Add(`{}`)
 	f.Fuzz(func(t *testing.T, in string) {

@@ -27,9 +27,23 @@ type JobResult struct {
 	Label string `json:"label,omitempty"`
 	// Point locates the job on its sweep's axes (axis name -> value key).
 	Point map[string]string `json:"point,omitempty"`
+	// Engine records the resolved prefetch-engine spec the job ran with:
+	// the registry name and every effective parameter (defaults applied,
+	// budget derivations resolved), so stored runs compare like-for-like
+	// even when cells derive parameters from budgets. Additive metadata:
+	// DiffJobResults compares Data only.
+	Engine *EngineRef `json:"engine,omitempty"`
 	// Data is the raw sim.Result in compact canonical JSON. DiffJobResults
 	// flattens its numeric leaves into per-job metric paths.
 	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// EngineRef is the persisted form of a resolved engine spec. It mirrors
+// prefetch.Spec without importing it (report stays a leaf package);
+// params serialize in canonical (sorted-key) order.
+type EngineRef struct {
+	Name   string             `json:"name"`
+	Params map[string]float64 `json:"params,omitempty"`
 }
 
 // ValidJobKey reports whether key is usable as a per-job result key (and

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/config"
+	"repro/internal/prefetch"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -123,9 +124,9 @@ func TestBackendReuseAcrossRuns(t *testing.T) {
 	}
 }
 
-// TestJobSourceCompat is the runner half of the back-compat contract:
-// the deprecated NewSource factory and the new Source field must produce
-// identical sim.Result JSON for the same recorded store, and both must
+// TestJobSourceCompat is the runner half of the source contract: a
+// serializable StoreSource and an opaque OpenerSource over the same
+// recorded store must produce identical sim.Result JSON, and both must
 // match the live run.
 func TestJobSourceCompat(t *testing.T) {
 	wl := workload.OLTPDB2()
@@ -146,11 +147,11 @@ func TestJobSourceCompat(t *testing.T) {
 	it.Close()
 
 	jobs := []Job{
-		{Label: "live", Workload: wl, Config: cfg, PrefetcherName: "tifs"},
-		{Label: "new-source", Workload: wl, Config: cfg, PrefetcherName: "tifs",
+		{Label: "live", Workload: wl, Config: cfg, Engine: prefetch.Spec{Name: "tifs"}},
+		{Label: "store-source", Workload: wl, Config: cfg, Engine: prefetch.Spec{Name: "tifs"},
 			Source: sim.StoreSource(dir)},
-		{Label: "deprecated-newsource", Workload: wl, Config: cfg, PrefetcherName: "tifs",
-			NewSource: func() (trace.Iterator, error) { return trace.OpenStore(dir) }},
+		{Label: "opener-source", Workload: wl, Config: cfg, Engine: prefetch.Spec{Name: "tifs"},
+			Source: sim.OpenerSource(func() (trace.Iterator, error) { return trace.OpenStore(dir) })},
 	}
 	results, err := Run(context.Background(), jobs, 3)
 	if err != nil {

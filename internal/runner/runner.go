@@ -29,7 +29,6 @@ import (
 	_ "repro/internal/core"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -42,13 +41,16 @@ type Job struct {
 	Workload workload.Profile
 	// Config parameterizes the simulation.
 	Config sim.Config
-	// NewPrefetcher constructs the job's private engine. Engines are
-	// stateful, so jobs carry factories, never instances. When nil,
-	// PrefetcherName is resolved through the prefetch registry.
-	NewPrefetcher prefetch.Factory
-	// PrefetcherName is a prefetch registry name ("pif", "tifs",
-	// "nextline", "none", ...), used when NewPrefetcher is nil.
-	PrefetcherName string
+	// Engine is the declarative spec of the job's prefetch engine: a
+	// registry name plus parameters ("pif" at its defaults, or a tuned
+	// variant). Engines are stateful, so jobs carry specs, never
+	// instances; the spec is resolved on whichever backend runs the job,
+	// which is how tuned engines travel over the remote wire.
+	Engine prefetch.Spec
+	// Instrument, when non-nil, receives the job's freshly constructed
+	// engine before the run (e.g. to attach a stream-end hook). It is
+	// process-local: remote backends refuse jobs carrying it.
+	Instrument func(prefetch.Prefetcher)
 	// Program optionally shares a pre-built (immutable) program image
 	// across jobs of the same workload.
 	Program *workload.Program
@@ -58,40 +60,10 @@ type Job struct {
 	// Sources are factories, not open iterators, so every job — and
 	// every retry on another backend node — opens its own.
 	Source sim.Source
-	// NewSource, when non-nil, opens a private retire-order record
-	// iterator for the job.
-	//
-	// Deprecated: use Source, which carries source metadata for
-	// validation and labeling. NewSource delegates through
-	// sim.OpenerSource and is ignored when Source is set.
-	NewSource func() (trace.Iterator, error)
 	// Observer, when non-nil, receives measured-interval callbacks. It is
 	// invoked from the job's worker goroutine and must be private to the
 	// job.
 	Observer sim.Observer
-}
-
-// factory resolves the job's engine factory.
-func (j Job) factory() (prefetch.Factory, error) {
-	if j.NewPrefetcher != nil {
-		return j.NewPrefetcher, nil
-	}
-	if j.PrefetcherName != "" {
-		return prefetch.Lookup(j.PrefetcherName)
-	}
-	return nil, fmt.Errorf("runner: job %q names no prefetcher", j.Label)
-}
-
-// source resolves the job's record source (nil = live execution),
-// folding the deprecated NewSource field through its shim.
-func (j Job) source() sim.Source {
-	if j.Source != nil {
-		return j.Source
-	}
-	if j.NewSource != nil {
-		return sim.OpenerSource(j.NewSource)
-	}
-	return nil
 }
 
 // Result is the outcome of one job.
@@ -135,7 +107,7 @@ func Workers(n int) int {
 
 // Backend executes submitted simulation jobs. It is the *where to run*
 // axis of the pipeline API, orthogonal to what is simulated (the job's
-// Source) and with which engine (the job's prefetcher factory):
+// Source) and with which engine (the job's Engine spec):
 // LocalBackend fans jobs out over an in-process worker pool, and a
 // multi-node backend shipping runner.Job/Result as its wire unit drops
 // in without touching any driver.
@@ -268,19 +240,19 @@ func (b *LocalBackend) Close() error {
 func runJob(ctx context.Context, idx int, j Job) Result {
 	res := Result{Index: idx, Label: j.Label}
 	start := time.Now()
-	factory, err := j.factory()
-	if err != nil {
-		res.Err = err
+	if j.Engine.Name == "" {
+		res.Err = fmt.Errorf("runner: job %q names no engine", j.Label)
 		res.Elapsed = time.Since(start)
 		return res
 	}
 	res.Sim, res.Err = sim.RunJob(ctx, sim.Job{
-		Config:        j.Config,
-		Workload:      j.Workload,
-		Program:       j.Program,
-		From:          j.source(),
-		NewPrefetcher: factory,
-		Observer:      j.Observer,
+		Config:     j.Config,
+		Workload:   j.Workload,
+		Program:    j.Program,
+		From:       j.Source,
+		Engine:     j.Engine,
+		Instrument: j.Instrument,
+		Observer:   j.Observer,
 	})
 	res.Elapsed = time.Since(start)
 	return res

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"testing"
 
 	"repro/internal/prefetch"
@@ -29,10 +28,10 @@ func testJobs(t *testing.T, n int) []Job {
 	for i := range jobs {
 		wl := suite[i%len(suite)]
 		jobs[i] = Job{
-			Label:          fmt.Sprintf("job%d/%s", i, wl.Name),
-			Workload:       wl,
-			Config:         testConfig(),
-			PrefetcherName: "nextline",
+			Label:    fmt.Sprintf("job%d/%s", i, wl.Name),
+			Workload: wl,
+			Config:   testConfig(),
+			Engine:   prefetch.Spec{Name: "nextline"},
 		}
 	}
 	return jobs
@@ -66,22 +65,24 @@ func TestRunSubmissionOrder(t *testing.T) {
 }
 
 func TestRunFreshEnginePerJob(t *testing.T) {
-	// A factory counting constructions proves each job gets its own
-	// engine instance (engines are stateful; sharing would corrupt runs).
-	var built atomic.Int32
+	// The instrument hook sees each job's resolved engine instance;
+	// distinct pointers prove each job gets its own engine (engines are
+	// stateful; sharing would corrupt runs).
+	var mu sync.Mutex
+	seen := map[prefetch.Prefetcher]bool{}
 	jobs := testJobs(t, 4)
 	for i := range jobs {
-		jobs[i].PrefetcherName = ""
-		jobs[i].NewPrefetcher = func() prefetch.Prefetcher {
-			built.Add(1)
-			return prefetch.None{}
+		jobs[i].Instrument = func(p prefetch.Prefetcher) {
+			mu.Lock()
+			seen[p] = true
+			mu.Unlock()
 		}
 	}
 	if _, err := Run(context.Background(), jobs, 2); err != nil {
 		t.Fatal(err)
 	}
-	if got := built.Load(); got != int32(len(jobs)) {
-		t.Errorf("factory called %d times, want %d", got, len(jobs))
+	if len(seen) != len(jobs) {
+		t.Errorf("saw %d distinct engine instances, want %d", len(seen), len(jobs))
 	}
 }
 
@@ -89,15 +90,15 @@ func TestRunRegistryNames(t *testing.T) {
 	// The blank import of internal/core must make the PIF variants
 	// resolvable alongside the in-package baselines.
 	for _, name := range []string{"none", "nextline", "tifs", "pif", "pif-unlimited", "pif-nosep"} {
-		if _, err := prefetch.Lookup(name); err != nil {
-			t.Errorf("Lookup(%q): %v", name, err)
+		if _, err := prefetch.LookupSchema(name); err != nil {
+			t.Errorf("LookupSchema(%q): %v", name, err)
 		}
 	}
 }
 
 func TestRunUnknownEngine(t *testing.T) {
 	jobs := testJobs(t, 2)
-	jobs[1].PrefetcherName = "dropout"
+	jobs[1].Engine = prefetch.Spec{Name: "dropout"}
 	_, err := Run(context.Background(), jobs, 2)
 	if err == nil {
 		t.Fatal("unknown engine name accepted")
@@ -106,7 +107,7 @@ func TestRunUnknownEngine(t *testing.T) {
 
 func TestRunNoEngine(t *testing.T) {
 	jobs := testJobs(t, 1)
-	jobs[0].PrefetcherName = ""
+	jobs[0].Engine = prefetch.Spec{}
 	if _, err := Run(context.Background(), jobs, 1); err == nil {
 		t.Fatal("job without engine accepted")
 	}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/prefetch"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -30,10 +31,10 @@ func Jobs(tb testing.TB, n int) []runner.Job {
 	for i := range jobs {
 		wl := suite[i%len(suite)]
 		jobs[i] = runner.Job{
-			Label:          fmt.Sprintf("job%d/%s", i, wl.Name),
-			Workload:       wl,
-			Config:         cfg,
-			PrefetcherName: "nextline",
+			Label:    fmt.Sprintf("job%d/%s", i, wl.Name),
+			Workload: wl,
+			Config:   cfg,
+			Engine:   prefetch.Spec{Name: "nextline"},
 		}
 	}
 	return jobs

@@ -32,11 +32,9 @@ type ShardedOptions struct {
 	// false, each shard warms with a fixed Config.WarmupInstrs-record
 	// prefix and merged timing lands within window tolerances.
 	Exact bool
-	// NewPrefetcher constructs each shard's private engine. When nil,
-	// PrefetcherName is resolved through the registry.
-	NewPrefetcher prefetch.Factory
-	// PrefetcherName is the registry fallback engine name.
-	PrefetcherName string
+	// Engine is the declarative spec each shard resolves into its own
+	// private engine instance.
+	Engine prefetch.Spec
 	// Backend executes the shard jobs; nil runs a private LocalBackend
 	// with one worker per shard.
 	Backend Backend
@@ -87,12 +85,11 @@ func ShardedReplay(ctx context.Context, opt ShardedOptions) (ShardedResult, erro
 		cfg.WarmupInstrs = p.WarmupInstrs
 		cfg.MeasureInstrs = p.MeasureInstrs
 		jobs[k] = Job{
-			Label:          fmt.Sprintf("shard %d/%d %s", k+1, len(plans), p.Window),
-			Workload:       opt.Workload,
-			Config:         cfg,
-			NewPrefetcher:  opt.NewPrefetcher,
-			PrefetcherName: opt.PrefetcherName,
-			Source:         sim.SliceSource(opt.Dir, p.Window),
+			Label:    fmt.Sprintf("shard %d/%d %s", k+1, len(plans), p.Window),
+			Workload: opt.Workload,
+			Config:   cfg,
+			Engine:   opt.Engine,
+			Source:   sim.SliceSource(opt.Dir, p.Window),
 		}
 	}
 

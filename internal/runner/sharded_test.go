@@ -12,17 +12,6 @@ import (
 	"repro/internal/workload"
 )
 
-// mustFactory resolves a registry engine for the sequential baseline runs
-// (sim.Job has no name field; the registry lookup lives in the runner).
-func mustFactory(t *testing.T, name string) prefetch.Factory {
-	t.Helper()
-	f, err := prefetch.Lookup(name)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return f
-}
-
 // recordShardStore records warmup+measure records of wl into a store at
 // dir with the given chunk size.
 func recordShardStore(t testing.TB, dir string, wl workload.Profile, cfg sim.Config, chunkRecords uint64) {
@@ -65,10 +54,10 @@ func TestShardedReplayExactParity(t *testing.T) {
 	recordShardStore(t, dir, wl, cfg, 1<<14)
 
 	seq, err := sim.RunJob(context.Background(), sim.Job{
-		Config:        cfg,
-		Workload:      wl,
-		From:          sim.StoreSource(dir),
-		NewPrefetcher: mustFactory(t, "pif"),
+		Config:   cfg,
+		Workload: wl,
+		From:     sim.StoreSource(dir),
+		Engine:   prefetch.Spec{Name: "pif"},
 	})
 	if err != nil {
 		t.Fatalf("sequential replay: %v", err)
@@ -76,12 +65,12 @@ func TestShardedReplayExactParity(t *testing.T) {
 
 	for _, shards := range []int{4, 7} {
 		got, err := ShardedReplay(context.Background(), ShardedOptions{
-			Dir:            dir,
-			Workload:       wl,
-			Config:         cfg,
-			Shards:         shards,
-			Exact:          true,
-			PrefetcherName: "pif",
+			Dir:      dir,
+			Workload: wl,
+			Config:   cfg,
+			Shards:   shards,
+			Exact:    true,
+			Engine:   prefetch.Spec{Name: "pif"},
 		})
 		if err != nil {
 			t.Fatalf("%d shards: %v", shards, err)
@@ -147,20 +136,20 @@ func TestShardedReplayApproximate(t *testing.T) {
 	recordShardStore(t, dir, wl, cfg, 1<<14)
 
 	seq, err := sim.RunJob(context.Background(), sim.Job{
-		Config:        cfg,
-		Workload:      wl,
-		From:          sim.StoreSource(dir),
-		NewPrefetcher: mustFactory(t, "nextline"),
+		Config:   cfg,
+		Workload: wl,
+		From:     sim.StoreSource(dir),
+		Engine:   prefetch.Spec{Name: "nextline"},
 	})
 	if err != nil {
 		t.Fatalf("sequential replay: %v", err)
 	}
 	got, err := ShardedReplay(context.Background(), ShardedOptions{
-		Dir:            dir,
-		Workload:       wl,
-		Config:         cfg,
-		Shards:         4,
-		PrefetcherName: "nextline",
+		Dir:      dir,
+		Workload: wl,
+		Config:   cfg,
+		Shards:   4,
+		Engine:   prefetch.Spec{Name: "nextline"},
 	})
 	if err != nil {
 		t.Fatal(err)

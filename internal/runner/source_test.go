@@ -7,13 +7,14 @@ import (
 	"testing"
 
 	"repro/internal/config"
+	"repro/internal/prefetch"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 // TestPoolReplayFromStore runs the same job live and from a sharded trace
-// store through the pool's NewSource path and asserts identical results —
+// store through the pool's Source path and asserts identical results —
 // the end-to-end wiring of the streaming replay through the execution
 // engine, with per-job private sources opened and closed by the pool.
 func TestPoolReplayFromStore(t *testing.T) {
@@ -35,11 +36,11 @@ func TestPoolReplayFromStore(t *testing.T) {
 	it.Close()
 
 	jobs := []Job{
-		{Label: "live", Workload: wl, Config: cfg, PrefetcherName: "tifs"},
-		{Label: "replay", Workload: wl, Config: cfg, PrefetcherName: "tifs",
-			NewSource: func() (trace.Iterator, error) { return trace.OpenStore(dir) }},
-		{Label: "replay2", Workload: wl, Config: cfg, PrefetcherName: "tifs",
-			NewSource: func() (trace.Iterator, error) { return trace.OpenStore(dir) }},
+		{Label: "live", Workload: wl, Config: cfg, Engine: prefetch.Spec{Name: "tifs"}},
+		{Label: "replay", Workload: wl, Config: cfg, Engine: prefetch.Spec{Name: "tifs"},
+			Source: sim.StoreSource(dir)},
+		{Label: "replay2", Workload: wl, Config: cfg, Engine: prefetch.Spec{Name: "tifs"},
+			Source: sim.StoreSource(dir)},
 	}
 	results, err := Pool{Workers: 3}.Run(context.Background(), jobs)
 	if err != nil {
@@ -66,8 +67,8 @@ func TestPoolSourceOpenFailure(t *testing.T) {
 	wl := workload.OLTPDB2()
 	cfg := sim.Config{System: config.Default(), MeasureInstrs: 1000}
 	jobs := []Job{{
-		Label: "bad-source", Workload: wl, Config: cfg, PrefetcherName: "none",
-		NewSource: func() (trace.Iterator, error) { return trace.OpenStore("/nonexistent/store") },
+		Label: "bad-source", Workload: wl, Config: cfg, Engine: prefetch.Spec{Name: "none"},
+		Source: sim.OpenerSource(func() (trace.Iterator, error) { return trace.OpenStore("/nonexistent/store") }),
 	}}
 	results, err := Pool{}.Run(context.Background(), jobs)
 	if err == nil {

@@ -25,10 +25,10 @@ func BenchmarkReplayJob(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, err := RunJob(context.Background(), Job{
-			Config:        cfg,
-			Workload:      wl,
-			From:          StoreSource(dir),
-			NewPrefetcher: func() prefetch.Prefetcher { return prefetch.NewNextLine(4) },
+			Config:   cfg,
+			Workload: wl,
+			From:     StoreSource(dir),
+			Engine:   prefetch.Spec{Name: "nextline"},
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -56,11 +56,11 @@ func TestStepSteadyStateAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, newPF := range []func() prefetch.Prefetcher{
-		func() prefetch.Prefetcher { return prefetch.None{} },
-		func() prefetch.Prefetcher { return prefetch.NewNextLine(4) },
+	for _, pf := range []prefetch.Prefetcher{
+		prefetch.None{},
+		prefetch.NewNextLine(4),
 	} {
-		s := New(cfg, newPF(), wl.Seed)
+		s := New(cfg, pf, wl.Seed)
 		for _, r := range stream { // warm caches, maps, predictor state
 			s.Step(r)
 		}

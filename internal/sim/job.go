@@ -12,13 +12,14 @@ import (
 )
 
 // Job names one simulation: a record source (live workload execution by
-// default), a configuration, and a factory producing a fresh prefetch
+// default), a configuration, and a declarative spec for the prefetch
 // engine. Jobs are the unit of work of the execution backends
 // (internal/runner): because every engine is stateful, a job carries a
-// factory rather than an instance, and RunJob constructs everything it
+// spec rather than an instance, and RunJob constructs everything it
 // touches, so any number of jobs can run concurrently — goroutine safety
 // by construction, with no package-level state anywhere in the
-// simulation path.
+// simulation path. The spec is plain data, so the same job runs
+// identically on a local worker or across the remote wire.
 type Job struct {
 	// Config parameterizes the run (system, warmup, measured interval).
 	Config Config
@@ -47,8 +48,15 @@ type Job struct {
 	// Deprecated: use From with StoreSource/SliceSource/OpenerSource,
 	// which carry source metadata and manage the iterator's lifetime.
 	Source trace.Iterator
-	// NewPrefetcher constructs the job's private prefetch engine.
-	NewPrefetcher func() prefetch.Prefetcher
+	// Engine is the declarative spec of the job's prefetch engine: a
+	// registry name plus parameters, resolved into a fresh private
+	// instance through the prefetch registry when the job runs.
+	Engine prefetch.Spec
+	// Instrument, when non-nil, is invoked once with the job's freshly
+	// constructed engine before the run starts (e.g. to attach a
+	// stream-end hook). It is process-local state: remote backends
+	// refuse jobs carrying it.
+	Instrument func(prefetch.Prefetcher)
 	// Observer, when non-nil, receives per-event callbacks during the
 	// measured interval. It must be private to the job (observers are
 	// invoked from the job's goroutine).
@@ -60,21 +68,39 @@ type Job struct {
 // check off the per-instruction hot path.
 const cancelCheckMask = 1<<16 - 1
 
-// RunJob executes one simulation job: resolve the record source, build
-// (or adopt) the program image when executing live, construct a fresh
-// prefetcher, warm up, measure. The context is polled periodically; on
-// cancellation the run is aborted and ctx.Err() returned. RunJob is safe
-// for concurrent use — it shares no mutable state with other runs beyond
-// the read-only Program.
+// RunJob executes one simulation job: resolve the engine spec into a
+// fresh prefetcher, resolve the record source, build (or adopt) the
+// program image when executing live, warm up, measure. The context is
+// polled periodically; on cancellation the run is aborted and ctx.Err()
+// returned. RunJob is safe for concurrent use — it shares no mutable
+// state with other runs beyond the read-only Program.
 func RunJob(ctx context.Context, j Job) (Result, error) {
+	if j.Engine.Name == "" {
+		return Result{}, fmt.Errorf("sim: job for %q names no engine", j.Workload.Name)
+	}
+	p, err := prefetch.Resolve(j.Engine)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: job for %q: %w", j.Workload.Name, err)
+	}
+	if j.Instrument != nil {
+		j.Instrument(p)
+	}
+	return RunWith(ctx, j, p)
+}
+
+// RunWith executes a job with an already-constructed engine instance,
+// bypassing the job's Engine spec. It exists for instance-based entry
+// points (pif.SimulateSource, parity tests); the instance must be
+// private to this run — engines are stateful.
+func RunWith(ctx context.Context, j Job, p prefetch.Prefetcher) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if j.Config.MeasureInstrs == 0 {
 		return Result{}, fmt.Errorf("sim: zero measurement interval")
 	}
-	if j.NewPrefetcher == nil {
-		return Result{}, fmt.Errorf("sim: job for %q has no prefetcher factory", j.Workload.Name)
+	if p == nil {
+		return Result{}, fmt.Errorf("sim: job for %q has no prefetch engine", j.Workload.Name)
 	}
 	if j.From != nil && j.Source != nil {
 		return Result{}, fmt.Errorf("sim: job for %q sets both From and the deprecated Source iterator", j.Workload.Name)
@@ -82,7 +108,7 @@ func RunJob(ctx context.Context, j Job) (Result, error) {
 	if j.Source != nil {
 		// Deprecated pre-opened iterator path: the caller owns the
 		// iterator's lifetime.
-		return replayJob(ctx, j, j.Source)
+		return replayJob(ctx, j, p, j.Source)
 	}
 	if j.From != nil {
 		if ls, ok := j.From.(*liveSource); ok {
@@ -99,7 +125,7 @@ func RunJob(ctx context.Context, j Job) (Result, error) {
 				// job's own warmup/measure split — no iterator
 				// goroutine, and byte-identical to a job with no
 				// source at all.
-				return liveJob(ctx, j)
+				return liveJob(ctx, j, p)
 			}
 		}
 		if j.Workload.Name == "" {
@@ -113,7 +139,7 @@ func RunJob(ctx context.Context, j Job) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		res, rerr := runOpened(ctx, j, it, info)
+		res, rerr := runOpened(ctx, j, p, it, info)
 		if c, ok := it.(io.Closer); ok {
 			if cerr := c.Close(); cerr != nil && rerr == nil {
 				rerr = cerr
@@ -121,11 +147,11 @@ func RunJob(ctx context.Context, j Job) (Result, error) {
 		}
 		return res, rerr
 	}
-	return liveJob(ctx, j)
+	return liveJob(ctx, j, p)
 }
 
 // runOpened validates an opened source against the job and replays it.
-func runOpened(ctx context.Context, j Job, it trace.Iterator, info SourceInfo) (Result, error) {
+func runOpened(ctx context.Context, j Job, p prefetch.Prefetcher, it trace.Iterator, info SourceInfo) (Result, error) {
 	if info.Workload != "" && j.Workload.Name != "" && info.Workload != j.Workload.Name {
 		return Result{}, fmt.Errorf("sim: job for %q replays a source recorded from %q (%s)",
 			j.Workload.Name, info.Workload, info)
@@ -134,11 +160,11 @@ func runOpened(ctx context.Context, j Job, it trace.Iterator, info SourceInfo) (
 		return Result{}, fmt.Errorf("sim: %s supplies %d records, need %d (warmup+measure)",
 			info, info.Records, need)
 	}
-	return replayJob(ctx, j, it)
+	return replayJob(ctx, j, p, it)
 }
 
 // liveJob executes the job by running the workload program.
-func liveJob(ctx context.Context, j Job) (Result, error) {
+func liveJob(ctx context.Context, j Job, p prefetch.Prefetcher) (Result, error) {
 	prog := j.Program
 	if prog == nil {
 		var err error
@@ -149,7 +175,7 @@ func liveJob(ctx context.Context, j Job) (Result, error) {
 	}
 
 	ex := workload.NewExecutor(prog)
-	s := New(j.Config, j.NewPrefetcher(), j.Workload.Seed)
+	s := New(j.Config, p, j.Workload.Seed)
 
 	// The cancellation wrapper does not perturb the instruction stream, so
 	// completed runs are bit-identical whether or not a cancelable context
@@ -195,8 +221,8 @@ const replayBatch = 4096
 // into one preallocated buffer, so the replay loop performs no per-record
 // interface calls and no allocation, and peak memory is the source's own
 // buffer (one store chunk, one executor batch), never the trace length.
-func replayJob(ctx context.Context, j Job, src trace.Iterator) (Result, error) {
-	s := New(j.Config, j.NewPrefetcher(), j.Workload.Seed)
+func replayJob(ctx context.Context, j Job, p prefetch.Prefetcher, src trace.Iterator) (Result, error) {
+	s := New(j.Config, p, j.Workload.Seed)
 	b := trace.Batched(src)
 	buf := make([]trace.Record, replayBatch)
 	feed := func(n uint64) error {

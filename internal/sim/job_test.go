@@ -29,9 +29,9 @@ func TestRunJobMatchesRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	viaJob, err := RunJob(context.Background(), Job{
-		Config:        cfg,
-		Workload:      wl,
-		NewPrefetcher: func() prefetch.Prefetcher { return prefetch.NewNextLine(4) },
+		Config:   cfg,
+		Workload: wl,
+		Engine:   prefetch.Spec{Name: "nextline"},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -52,18 +52,18 @@ func TestRunJobSharedProgram(t *testing.T) {
 		t.Fatal(err)
 	}
 	own, err := RunJob(context.Background(), Job{
-		Config:        cfg,
-		Workload:      wl,
-		NewPrefetcher: func() prefetch.Prefetcher { return prefetch.None{} },
+		Config:   cfg,
+		Workload: wl,
+		Engine:   prefetch.Spec{Name: "none"},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	shared, err := RunJob(context.Background(), Job{
-		Config:        cfg,
-		Workload:      wl,
-		Program:       prog,
-		NewPrefetcher: func() prefetch.Prefetcher { return prefetch.None{} },
+		Config:   cfg,
+		Workload: wl,
+		Program:  prog,
+		Engine:   prefetch.Spec{Name: "none"},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -89,9 +89,9 @@ func TestRunJobCanceled(t *testing.T) {
 	cancel()
 	cfg := jobConfig()
 	_, err := RunJob(ctx, Job{
-		Config:        cfg,
-		Workload:      workload.OLTPDB2(),
-		NewPrefetcher: func() prefetch.Prefetcher { return prefetch.None{} },
+		Config:   cfg,
+		Workload: workload.OLTPDB2(),
+		Engine:   prefetch.Spec{Name: "none"},
 	})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
@@ -110,9 +110,9 @@ func TestRunJobCancelMidRun(t *testing.T) {
 	cfg.MeasureInstrs = 5_000_000
 	fired := false
 	_, err := RunJob(ctx, Job{
-		Config:        cfg,
-		Workload:      workload.OLTPDB2(),
-		NewPrefetcher: func() prefetch.Prefetcher { return prefetch.None{} },
+		Config:   cfg,
+		Workload: workload.OLTPDB2(),
+		Engine:   prefetch.Spec{Name: "none"},
 		Observer: obsFunc(func() {
 			if !fired {
 				fired = true

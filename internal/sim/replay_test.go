@@ -52,9 +52,9 @@ func TestReplayMatchesLive(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "store")
 	recordStore(t, dir, wl, cfg, 1<<14) // ~16 chunks
 
-	newPF := func() prefetch.Prefetcher { return prefetch.NewNextLine(4) }
+	engine := prefetch.Spec{Name: "nextline"}
 
-	live, err := RunJob(context.Background(), Job{Config: cfg, Workload: wl, NewPrefetcher: newPF})
+	live, err := RunJob(context.Background(), Job{Config: cfg, Workload: wl, Engine: engine})
 	if err != nil {
 		t.Fatalf("live RunJob: %v", err)
 	}
@@ -63,7 +63,7 @@ func TestReplayMatchesLive(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer src.Close()
-	replayed, err := RunJob(context.Background(), Job{Config: cfg, Workload: wl, Source: src, NewPrefetcher: newPF})
+	replayed, err := RunJob(context.Background(), Job{Config: cfg, Workload: wl, Source: src, Engine: engine})
 	if err != nil {
 		t.Fatalf("replay RunJob: %v", err)
 	}
@@ -88,10 +88,10 @@ func TestReplayShortSourceFails(t *testing.T) {
 	cfg := replayConfig()
 	short := make(trace.Stream, 1000)
 	_, err := RunJob(context.Background(), Job{
-		Config:        cfg,
-		Workload:      wl,
-		Source:        short.Iter(),
-		NewPrefetcher: func() prefetch.Prefetcher { return prefetch.None{} },
+		Config:   cfg,
+		Workload: wl,
+		Source:   short.Iter(),
+		Engine:   prefetch.Spec{Name: "none"},
 	})
 	if !errors.Is(err, io.ErrUnexpectedEOF) {
 		t.Errorf("short source error = %v, want io.ErrUnexpectedEOF", err)
@@ -112,10 +112,10 @@ func TestReplayCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	_, err = RunJob(ctx, Job{
-		Config:        cfg,
-		Workload:      wl,
-		Source:        src,
-		NewPrefetcher: func() prefetch.Prefetcher { return prefetch.None{} },
+		Config:   cfg,
+		Workload: wl,
+		Source:   src,
+		Engine:   prefetch.Spec{Name: "none"},
 	})
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("canceled replay error = %v, want context.Canceled", err)
@@ -140,10 +140,10 @@ func BenchmarkReplayFromStore(b *testing.B) {
 			b.Fatal(err)
 		}
 		_, err = RunJob(context.Background(), Job{
-			Config:        cfg,
-			Workload:      wl,
-			Source:        src,
-			NewPrefetcher: func() prefetch.Prefetcher { return prefetch.None{} },
+			Config:   cfg,
+			Workload: wl,
+			Source:   src,
+			Engine:   prefetch.Spec{Name: "none"},
 		})
 		if err != nil {
 			b.Fatal(err)

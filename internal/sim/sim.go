@@ -285,8 +285,9 @@ func (s *Simulator) result(workload string) Result {
 }
 
 // Run executes the full methodology for one workload/prefetcher pair:
-// build program, warm up, measure. It is a serial convenience over RunJob;
-// the engine instance pf must not be shared with concurrent runs.
+// build program, warm up, measure. It is a serial convenience over
+// RunWith; the engine instance pf must not be shared with concurrent
+// runs.
 func Run(cfg Config, wl workload.Profile, pf prefetch.Prefetcher) (Result, error) {
 	return RunWithObserver(cfg, wl, pf, nil)
 }
@@ -294,10 +295,9 @@ func Run(cfg Config, wl workload.Profile, pf prefetch.Prefetcher) (Result, error
 // RunWithObserver is Run with an Observer attached for the measured
 // interval (warmup events are not observed).
 func RunWithObserver(cfg Config, wl workload.Profile, pf prefetch.Prefetcher, obs Observer) (Result, error) {
-	return RunJob(context.Background(), Job{
-		Config:        cfg,
-		Workload:      wl,
-		NewPrefetcher: func() prefetch.Prefetcher { return pf },
-		Observer:      obs,
-	})
+	return RunWith(context.Background(), Job{
+		Config:   cfg,
+		Workload: wl,
+		Observer: obs,
+	}, pf)
 }

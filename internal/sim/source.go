@@ -156,8 +156,7 @@ func (s sliceSource) Open(ctx context.Context) (trace.Iterator, SourceInfo, erro
 }
 
 // OpenerSource adapts a bare iterator factory to the Source interface —
-// the shim behind the deprecated runner.Job.NewSource field, and the
-// escape hatch for custom record sources that predate SourceInfo.
+// the escape hatch for custom record sources that predate SourceInfo.
 func OpenerSource(open func() (trace.Iterator, error)) Source {
 	return SourceFunc(func(ctx context.Context) (trace.Iterator, SourceInfo, error) {
 		it, err := open()

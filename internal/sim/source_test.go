@@ -39,16 +39,16 @@ func TestSourcePathsIdentical(t *testing.T) {
 	cfg := replayConfig()
 	dir := filepath.Join(t.TempDir(), "store")
 	recordStore(t, dir, wl, cfg, 1<<14)
-	newPF := func() prefetch.Prefetcher { return prefetch.NewNextLine(4) }
+	engine := prefetch.Spec{Name: "nextline"}
 	total := cfg.WarmupInstrs + cfg.MeasureInstrs
 
-	live := runJSON(t, Job{Config: cfg, Workload: wl, NewPrefetcher: newPF})
+	live := runJSON(t, Job{Config: cfg, Workload: wl, Engine: engine})
 
 	variants := map[string]Job{
-		"live-source":        {Config: cfg, Workload: wl, From: LiveSource(wl), NewPrefetcher: newPF},
-		"live-source-phases": {Config: cfg, Workload: wl, From: LiveSource(wl, cfg.WarmupInstrs, cfg.MeasureInstrs), NewPrefetcher: newPF},
-		"store-source":       {Config: cfg, Workload: wl, From: StoreSource(dir), NewPrefetcher: newPF},
-		"slice-source":       {Config: cfg, Workload: wl, From: SliceSource(dir, trace.Window{Off: 0, Len: total}), NewPrefetcher: newPF},
+		"live-source":        {Config: cfg, Workload: wl, From: LiveSource(wl), Engine: engine},
+		"live-source-phases": {Config: cfg, Workload: wl, From: LiveSource(wl, cfg.WarmupInstrs, cfg.MeasureInstrs), Engine: engine},
+		"store-source":       {Config: cfg, Workload: wl, From: StoreSource(dir), Engine: engine},
+		"slice-source":       {Config: cfg, Workload: wl, From: SliceSource(dir, trace.Window{Off: 0, Len: total}), Engine: engine},
 	}
 	for name, j := range variants {
 		if got := runJSON(t, j); got != live {
@@ -62,7 +62,7 @@ func TestSourcePathsIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer src.Close()
-	if got := runJSON(t, Job{Config: cfg, Workload: wl, Source: src, NewPrefetcher: newPF}); got != live {
+	if got := runJSON(t, Job{Config: cfg, Workload: wl, Source: src, Engine: engine}); got != live {
 		t.Errorf("deprecated Source iterator differs from live:\nlive: %s\ngot:  %s", live, got)
 	}
 }
@@ -81,9 +81,9 @@ func TestSliceSourceSubRange(t *testing.T) {
 	wcfg := cfg
 	wcfg.WarmupInstrs = 40_000
 	wcfg.MeasureInstrs = 80_000 // warmup+measure == window length
-	newPF := func() prefetch.Prefetcher { return prefetch.NewNextLine(4) }
+	engine := prefetch.Spec{Name: "nextline"}
 
-	viaSlice := runJSON(t, Job{Config: wcfg, Workload: wl, From: SliceSource(dir, w), NewPrefetcher: newPF})
+	viaSlice := runJSON(t, Job{Config: wcfg, Workload: wl, From: SliceSource(dir, w), Engine: engine})
 
 	r, err := trace.OpenStore(dir)
 	if err != nil {
@@ -95,7 +95,7 @@ func TestSliceSourceSubRange(t *testing.T) {
 		t.Fatal(err)
 	}
 	sub := full[w.Off:w.End()]
-	viaMemory := runJSON(t, Job{Config: wcfg, Workload: wl, Source: sub.Iter(), NewPrefetcher: newPF})
+	viaMemory := runJSON(t, Job{Config: wcfg, Workload: wl, Source: sub.Iter(), Engine: engine})
 	if viaSlice != viaMemory {
 		t.Errorf("slice replay differs from in-memory sub-range:\nslice:  %s\nmemory: %s", viaSlice, viaMemory)
 	}
@@ -109,15 +109,15 @@ func TestSourceValidation(t *testing.T) {
 	cfg := replayConfig()
 	dir := filepath.Join(t.TempDir(), "store")
 	recordStore(t, dir, wl, cfg, 1<<14)
-	newPF := func() prefetch.Prefetcher { return prefetch.None{} }
+	engine := prefetch.Spec{Name: "none"}
 	total := cfg.WarmupInstrs + cfg.MeasureInstrs
 
 	// A slice shorter than warmup+measure fails up front with the record
 	// budget in the message.
 	_, err := RunJob(context.Background(), Job{
 		Config: cfg, Workload: wl,
-		From:          SliceSource(dir, trace.Window{Off: 0, Len: total / 2}),
-		NewPrefetcher: newPF,
+		From:   SliceSource(dir, trace.Window{Off: 0, Len: total / 2}),
+		Engine: engine,
 	})
 	if err == nil || !strings.Contains(err.Error(), "need") {
 		t.Errorf("short slice error = %v, want record-budget error", err)
@@ -126,8 +126,8 @@ func TestSourceValidation(t *testing.T) {
 	// An out-of-range window is a hard open error.
 	_, err = RunJob(context.Background(), Job{
 		Config: cfg, Workload: wl,
-		From:          SliceSource(dir, trace.Window{Off: total, Len: 1}),
-		NewPrefetcher: newPF,
+		From:   SliceSource(dir, trace.Window{Off: total, Len: 1}),
+		Engine: engine,
 	})
 	if err == nil || !strings.Contains(err.Error(), "out of range") {
 		t.Errorf("out-of-range slice error = %v, want out-of-range error", err)
@@ -138,8 +138,8 @@ func TestSourceValidation(t *testing.T) {
 	other := workload.WebApache()
 	_, err = RunJob(context.Background(), Job{
 		Config: cfg, Workload: other,
-		From:          StoreSource(dir),
-		NewPrefetcher: newPF,
+		From:   StoreSource(dir),
+		Engine: engine,
 	})
 	if err == nil || !strings.Contains(err.Error(), "recorded from") {
 		t.Errorf("workload-mismatch error = %v", err)
@@ -148,9 +148,9 @@ func TestSourceValidation(t *testing.T) {
 	// From and the deprecated Source iterator are mutually exclusive.
 	_, err = RunJob(context.Background(), Job{
 		Config: cfg, Workload: wl,
-		From:          StoreSource(dir),
-		Source:        (trace.Stream{}).Iter(),
-		NewPrefetcher: newPF,
+		From:   StoreSource(dir),
+		Source: (trace.Stream{}).Iter(),
+		Engine: engine,
 	})
 	if err == nil || !strings.Contains(err.Error(), "both") {
 		t.Errorf("From+Source conflict error = %v", err)
@@ -159,8 +159,8 @@ func TestSourceValidation(t *testing.T) {
 	// A live source for a different workload than the job's is rejected.
 	_, err = RunJob(context.Background(), Job{
 		Config: cfg, Workload: other,
-		From:          LiveSource(wl),
-		NewPrefetcher: newPF,
+		From:   LiveSource(wl),
+		Engine: engine,
 	})
 	if err == nil {
 		t.Error("live-source workload mismatch accepted")
@@ -218,10 +218,10 @@ func TestSourceEOFStillHardError(t *testing.T) {
 	cfg := replayConfig()
 	short := make(trace.Stream, 1000)
 	_, err := RunJob(context.Background(), Job{
-		Config:        cfg,
-		Workload:      wl,
-		From:          OpenerSource(func() (trace.Iterator, error) { return short.Iter(), nil }),
-		NewPrefetcher: func() prefetch.Prefetcher { return prefetch.None{} },
+		Config:   cfg,
+		Workload: wl,
+		From:     OpenerSource(func() (trace.Iterator, error) { return short.Iter(), nil }),
+		Engine:   prefetch.Spec{Name: "none"},
 	})
 	if !errors.Is(err, io.ErrUnexpectedEOF) {
 		t.Errorf("short opener source error = %v, want io.ErrUnexpectedEOF", err)
@@ -235,14 +235,14 @@ func TestSourceEOFStillHardError(t *testing.T) {
 func TestSourceWorkloadAdoption(t *testing.T) {
 	wl := workload.OLTPDB2()
 	cfg := replayConfig()
-	newPF := func() prefetch.Prefetcher { return prefetch.NewNextLine(4) }
+	engine := prefetch.Spec{Name: "nextline"}
 
-	named := runJSON(t, Job{Config: cfg, Workload: wl, NewPrefetcher: newPF})
+	named := runJSON(t, Job{Config: cfg, Workload: wl, Engine: engine})
 	for name, src := range map[string]Source{
 		"phaseless": LiveSource(wl),
 		"phased":    LiveSource(wl, cfg.WarmupInstrs, cfg.MeasureInstrs),
 	} {
-		got := runJSON(t, Job{Config: cfg, From: src, NewPrefetcher: newPF})
+		got := runJSON(t, Job{Config: cfg, From: src, Engine: engine})
 		if got != named {
 			t.Errorf("%s live source without Job.Workload differs from the named run:\nnamed: %s\ngot:   %s", name, named, got)
 		}
@@ -250,7 +250,7 @@ func TestSourceWorkloadAdoption(t *testing.T) {
 
 	dir := filepath.Join(t.TempDir(), "store")
 	recordStore(t, dir, wl, cfg, 1<<14)
-	_, err := RunJob(context.Background(), Job{Config: cfg, From: StoreSource(dir), NewPrefetcher: newPF})
+	_, err := RunJob(context.Background(), Job{Config: cfg, From: StoreSource(dir), Engine: engine})
 	if err == nil || !strings.Contains(err.Error(), "workload") {
 		t.Errorf("replay without a workload profile = %v, want a hard error", err)
 	}

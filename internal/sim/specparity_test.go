@@ -1,0 +1,70 @@
+package sim_test
+
+// Spec-vs-legacy parity: a hand-tuned PIF cell built through the
+// declarative spec path must produce the same sim.Result as one built by
+// constructing the engine directly. This is the contract that let the
+// closure-based factories be deleted without perturbing any golden. The
+// test lives in an external package so it can import internal/core (the
+// sim package itself must not depend on a concrete engine).
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestSpecMatchesTunedClosure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test skipped in -short mode")
+	}
+	cfg := sim.DefaultConfig()
+	cfg.WarmupInstrs = 200_000
+	cfg.MeasureInstrs = 200_000
+	wl := workload.OLTPDB2()
+
+	// The legacy way: hand-build the engine config and construct directly.
+	pifCfg := core.DefaultConfig()
+	pifCfg.HistoryRegions = 2048
+	pifCfg.IndexEntries = 512
+	pifCfg.NumSABs = 2
+	pifCfg.SABWindow = 5
+	direct, err := sim.RunWith(context.Background(), sim.Job{Config: cfg, Workload: wl}, core.New(pifCfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The declarative way: the same tuning as a spec, resolved by RunJob.
+	spec := prefetch.Spec{Name: "pif", Params: map[string]float64{
+		"history": 2048,
+		"index":   512,
+		"sabs":    2,
+		"window":  5,
+	}}
+	viaSpec, err := sim.RunJob(context.Background(), sim.Job{Config: cfg, Workload: wl, Engine: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct != viaSpec {
+		t.Errorf("spec-built PIF diverges from hand-built:\ndirect: %+v\nspec:   %+v", direct, viaSpec)
+	}
+
+	// And the derivation path: history alone must mean index = history/4,
+	// i.e. exactly the hand-built 2048/512 cell above.
+	derived, err := sim.RunJob(context.Background(), sim.Job{
+		Config:   cfg,
+		Workload: wl,
+		Engine: prefetch.Spec{Name: "pif", Params: map[string]float64{
+			"history": 2048, "sabs": 2, "window": 5,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct != derived {
+		t.Errorf("derived-index PIF diverges from hand-built:\ndirect:  %+v\nderived: %+v", direct, derived)
+	}
+}

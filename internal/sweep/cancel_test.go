@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/prefetch"
 	"repro/internal/runner"
 )
 
@@ -37,7 +38,7 @@ func TestRunCancellationMidGrid(t *testing.T) {
 			},
 		})
 	}
-	spec := Spec{Name: "cancel", Base: tinySim(), BasePrefetcher: "none", Axes: []Axis{ax}}
+	spec := Spec{Name: "cancel", Base: tinySim(), BaseEngine: prefetch.Spec{Name: "none"}, Axes: []Axis{ax}}
 
 	eng := PoolEngine{
 		Ctx:     ctx,

@@ -3,6 +3,7 @@ package sweep
 import (
 	"fmt"
 
+	"repro/internal/prefetch"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -124,9 +125,11 @@ func (g *Grid) Result(pairs ...string) (runner.Result, error) {
 }
 
 // ReportJobs converts every executed cell into a persistable per-job
-// result (key, point, raw sim.Result as canonical JSON) for the results
-// store (results/<run-id>/jobs/<key>.json). It fails on an unexecuted grid
-// or any failed cell.
+// result (key, point, resolved engine spec, raw sim.Result as canonical
+// JSON) for the results store (results/<run-id>/jobs/<key>.json). The
+// recorded engine carries every effective parameter — defaults applied,
+// budget derivations resolved — so stored runs compare like-for-like. It
+// fails on an unexecuted grid or any failed cell.
 func (g *Grid) ReportJobs() ([]report.JobResult, error) {
 	if g.Results == nil {
 		return nil, fmt.Errorf("sweep %s: grid has no results", g.Spec.Name)
@@ -141,6 +144,13 @@ func (g *Grid) ReportJobs() ([]report.JobResult, error) {
 		jr, err := report.NewJobResult(c.Key, c.Label, c.Point, r.Sim)
 		if err != nil {
 			return nil, err
+		}
+		if c.Settings.Engine.Name != "" {
+			resolved, rerr := prefetch.Resolved(c.Settings.Engine)
+			if rerr != nil {
+				return nil, fmt.Errorf("sweep %s: cell %s: %w", g.Spec.Name, c.Key, rerr)
+			}
+			jr.Engine = &report.EngineRef{Name: resolved.Name, Params: resolved.Params}
 		}
 		out = append(out, jr)
 	}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/prefetch"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -39,9 +40,9 @@ func TestSourceAxis(t *testing.T) {
 	// choice defers reading the settings until open time, so axis order
 	// must not matter.
 	spec := Spec{
-		Name:           "src",
-		Base:           cfg,
-		BasePrefetcher: "nextline",
+		Name:       "src",
+		Base:       cfg,
+		BaseEngine: prefetch.Spec{Name: "nextline"},
 		Axes: []Axis{
 			SourceAxis("source", []SourceChoice{
 				{Key: "live"},

@@ -1,13 +1,13 @@
 // Package sweep is the declarative design-space exploration engine of the
-// evaluation harness. A Spec names parameter axes — workloads, prefetcher
-// factories and config variants, config.System mutations, sim options —
-// and Expand crosses them into a Grid of keyed cells, one per point of the
-// design space. Run turns every cell into a runner.Job and fans the grid
-// out through the existing worker pool; Each runs an arbitrary per-cell
-// analysis the same way (for trace-based measurements that are not
-// simulations). Results come back addressable by axis values, in row-major
-// submission order, so tables projected from a grid are byte-identical to
-// the hand-rolled serial loops they replace.
+// evaluation harness. A Spec names parameter axes — workloads, prefetch
+// engine specs and their parameters, config.System mutations, sim
+// options — and Expand crosses them into a Grid of keyed cells, one per
+// point of the design space. Run turns every cell into a runner.Job and
+// fans the grid out through the existing worker pool; Each runs an
+// arbitrary per-cell analysis the same way (for trace-based measurements
+// that are not simulations). Results come back addressable by axis
+// values, in row-major submission order, so tables projected from a grid
+// are byte-identical to the hand-rolled serial loops they replace.
 //
 // The experiment drivers in internal/experiments define their variant
 // tables as Specs (fig9, fig10, table1, fig8 right, and the MANA-style
@@ -37,9 +37,8 @@ import (
 // slices without re-executing the workload per cell. See DESIGN.md §9.
 
 // Settings is the accumulated configuration of one cell: every axis value
-// along the cell's point applies its mutation in axis order, then the
-// Spec's Finish hook (if any) resolves derived state such as an engine
-// factory built from swept parameters.
+// along the cell's point applies its mutation in axis order, building up
+// the engine spec, workload, and simulation config the cell runs with.
 type Settings struct {
 	// Workload is the simulated workload profile (required for Run).
 	Workload workload.Profile
@@ -47,20 +46,35 @@ type Settings struct {
 	// machine description; axis values mutate it freely (PerfectL1, L1-I
 	// geometry, latencies, ...).
 	Sim sim.Config
-	// Params carries named scalar axis values (history budgets, region
-	// sizes, ...) for the Finish hook or an Each analysis to interpret.
+	// Params carries named scalar axis values (window positions, region
+	// sizes, ...) for non-engine consumers — a source axis or an Each
+	// analysis. Engine parameters go through Engine instead.
 	Params map[string]float64
-	// Factory, when non-nil, constructs the cell's private prefetch
-	// engine. Exactly one of Factory and PrefetcherName must be set by the
-	// time a cell becomes a job.
-	Factory prefetch.Factory
-	// PrefetcherName names a prefetch-registry engine instead of an
-	// explicit factory.
-	PrefetcherName string
+	// Engine is the cell's declarative prefetch-engine spec: an engine
+	// axis sets its name, engine-parameter axes (budget, history) merge
+	// into its params, and Expand validates the assembled spec against
+	// the engine's schema. Required (non-empty name) by the time a cell
+	// becomes a job.
+	Engine prefetch.Spec
+	// Instrument, when non-nil, receives the cell job's freshly
+	// constructed engine before the run. Process-local: incompatible
+	// with remote backends.
+	Instrument func(prefetch.Prefetcher)
 	// Source, when non-nil, supplies the cell's record stream (a trace
 	// store or a window of one) instead of live workload execution; set
-	// by a source axis or a Finish hook.
+	// by a source axis.
 	Source sim.Source
+}
+
+// MergeEngine overlays an engine spec onto the cell: the engine name is
+// replaced and the value's params overlay any already-applied ones.
+// Param maps are cloned on write, so cells sharing a BaseEngine cannot
+// contaminate each other.
+func (s *Settings) MergeEngine(v prefetch.Spec) {
+	s.Engine.Name = v.Name
+	for k, pv := range v.Params {
+		s.Engine = s.Engine.With(k, pv)
+	}
 }
 
 // Value is one keyed setting of an axis. Key is the cell-key coordinate
@@ -103,9 +117,10 @@ func WorkloadAxis(name string, wls []workload.Profile) Axis {
 	return ax
 }
 
-// EngineAxis builds a prefetch-engine axis from registry names; each value
-// sets the cell's PrefetcherName (a Finish hook may replace it with a
-// parameterized factory).
+// EngineAxis builds a prefetch-engine axis from registry names; each
+// value sets the cell's engine name while keeping any params already
+// merged by parameter axes (axis order does not matter). Parameterized
+// values need EngineSpecAxis.
 func EngineAxis(name string, engines ...string) Axis {
 	ax := Axis{Name: name}
 	for _, eng := range engines {
@@ -113,8 +128,49 @@ func EngineAxis(name string, engines ...string) Axis {
 		ax.Values = append(ax.Values, Value{
 			Key:   KeyOf(eng),
 			Name:  eng,
-			Apply: func(s *Settings) { s.PrefetcherName = eng },
+			Apply: func(s *Settings) { s.Engine.Name = eng },
 		})
+	}
+	return ax
+}
+
+// EngineSpecAxis builds a prefetch-engine axis from full specs: each
+// value merges its spec into the cell (name replaced, params overlaid),
+// keyed by the sanitized display name.
+func EngineSpecAxis(name string, specs []prefetch.Spec, names []string) Axis {
+	ax := Axis{Name: name}
+	for i, spec := range specs {
+		spec := spec
+		display := spec.String()
+		if i < len(names) && names[i] != "" {
+			display = names[i]
+		}
+		ax.Values = append(ax.Values, Value{
+			Key:   KeyOf(display),
+			Name:  display,
+			Apply: func(s *Settings) { s.MergeEngine(spec) },
+		})
+	}
+	return ax
+}
+
+// EngineParamAxis builds a scalar engine-parameter axis: each value
+// overlays ints[i] as param on the cell's engine spec, keyed and labeled
+// by key(ints[i]) (label falls back to the key when nil). Whether the
+// value is meaningful — or ignored, for engines that declare it so — is
+// decided by the engine's schema when Expand validates the cell.
+func EngineParamAxis(name, param string, key, label func(v int) string, ints []int) Axis {
+	ax := Axis{Name: name}
+	for _, v := range ints {
+		v := v
+		val := Value{
+			Key:   key(v),
+			Apply: func(s *Settings) { s.Engine = s.Engine.With(param, float64(v)) },
+		}
+		if label != nil {
+			val.Name = label(v)
+		}
+		ax.Values = append(ax.Values, val)
 	}
 	return ax
 }
@@ -184,19 +240,16 @@ type Spec struct {
 	// Base is the starting simulation configuration of every cell (system,
 	// warmup, measured interval); axis values mutate private copies.
 	Base sim.Config
-	// BasePrefetcher optionally names the registry engine cells start
-	// with; an engine axis or Finish hook overrides it.
-	BasePrefetcher string
+	// BaseEngine optionally seeds the engine spec cells start with
+	// (typically a bare registry name); engine and engine-parameter axes
+	// merge into it.
+	BaseEngine prefetch.Spec
 	// Axes are the swept dimensions, crossed in order: the last axis
 	// varies fastest (row-major expansion).
 	Axes []Axis
 	// Label, when non-nil, overrides the default job label
 	// ("<name>/<value name>/<value name>...").
 	Label func(c *Cell) string
-	// Finish, when non-nil, runs after all axis mutations of a cell and
-	// resolves derived state (e.g. building an engine factory from swept
-	// Params). Returning an error aborts expansion.
-	Finish func(s *Settings) error
 }
 
 // Point locates one cell: axis name -> value key.
@@ -253,7 +306,9 @@ type Grid struct {
 
 // Expand validates the spec and crosses its axes into a grid of cells.
 // Every axis value's Apply runs in axis order on a private Settings copy
-// seeded from Base, then Finish resolves derived state.
+// seeded from Base and BaseEngine; each cell's assembled engine spec is
+// then validated against the engine's schema, so a bad parameter fails
+// the whole sweep before any simulation starts.
 func (s Spec) Expand() (*Grid, error) {
 	if s.Name == "" || !report.ValidJobKey(s.Name) {
 		return nil, fmt.Errorf("sweep: invalid spec name %q", s.Name)
@@ -300,9 +355,9 @@ func (s Spec) Expand() (*Grid, error) {
 		c.Index = idx
 		c.Point = make(Point, len(s.Axes))
 		c.Settings = Settings{
-			Sim:            s.Base,
-			Params:         map[string]float64{},
-			PrefetcherName: s.BasePrefetcher,
+			Sim:    s.Base,
+			Params: map[string]float64{},
+			Engine: s.BaseEngine,
 		}
 		var key, label strings.Builder
 		key.WriteString(s.Name)
@@ -321,8 +376,8 @@ func (s Spec) Expand() (*Grid, error) {
 				v.Apply(&c.Settings)
 			}
 		}
-		if s.Finish != nil {
-			if err := s.Finish(&c.Settings); err != nil {
+		if c.Settings.Engine.Name != "" {
+			if err := prefetch.Validate(c.Settings.Engine); err != nil {
 				return nil, fmt.Errorf("sweep %s: cell %s: %w", s.Name, key.String(), err)
 			}
 		}
@@ -347,8 +402,7 @@ func (s Spec) Expand() (*Grid, error) {
 }
 
 // Jobs converts every cell into a runner.Job in row-major order. It fails
-// if any cell lacks both a factory and a registry engine name, or names no
-// workload.
+// if any cell lacks an engine spec or names no workload.
 func (g *Grid) Jobs() ([]runner.Job, error) {
 	jobs := make([]runner.Job, len(g.Cells))
 	for i := range g.Cells {
@@ -356,16 +410,16 @@ func (g *Grid) Jobs() ([]runner.Job, error) {
 		if c.Settings.Workload.Name == "" {
 			return nil, fmt.Errorf("sweep %s: cell %s names no workload (add a WorkloadAxis)", g.Spec.Name, c.Key)
 		}
-		if c.Settings.Factory == nil && c.Settings.PrefetcherName == "" {
-			return nil, fmt.Errorf("sweep %s: cell %s names no prefetcher (add an engine axis, BasePrefetcher, or Finish)", g.Spec.Name, c.Key)
+		if c.Settings.Engine.Name == "" {
+			return nil, fmt.Errorf("sweep %s: cell %s names no engine (add an engine axis or BaseEngine)", g.Spec.Name, c.Key)
 		}
 		jobs[i] = runner.Job{
-			Label:          c.Label,
-			Workload:       c.Settings.Workload,
-			Config:         c.Settings.Sim,
-			NewPrefetcher:  c.Settings.Factory,
-			PrefetcherName: c.Settings.PrefetcherName,
-			Source:         c.Settings.Source,
+			Label:      c.Label,
+			Workload:   c.Settings.Workload,
+			Config:     c.Settings.Sim,
+			Engine:     c.Settings.Engine,
+			Instrument: c.Settings.Instrument,
+			Source:     c.Settings.Source,
 		}
 	}
 	return jobs, nil

@@ -32,7 +32,8 @@ func tinySim() sim.Config {
 }
 
 // testSpec is a 2x2x2 spec exercising every axis kind: workloads, a
-// registry-engine axis, and a scalar param axis consumed by Finish.
+// registry-engine axis, and an engine-parameter axis (nextline consumes
+// degree; none declares it ignored).
 func testSpec() Spec {
 	return Spec{
 		Name: "t",
@@ -40,7 +41,7 @@ func testSpec() Spec {
 		Axes: []Axis{
 			WorkloadAxis("workload", []workload.Profile{tinyProfile("Tiny A", 1), tinyProfile("Tiny B", 2)}),
 			EngineAxis("engine", "none", "nextline"),
-			ParamAxis("degree", "degree",
+			EngineParamAxis("degree", "degree",
 				func(v int) string { return fmt.Sprintf("%d", v) }, nil, []int{1, 2}),
 		},
 	}
@@ -91,11 +92,11 @@ func TestExpandShape(t *testing.T) {
 	if c.Settings.Workload.Name != "Tiny B" {
 		t.Errorf("workload = %q", c.Settings.Workload.Name)
 	}
-	if c.Settings.PrefetcherName != "nextline" {
-		t.Errorf("engine = %q", c.Settings.PrefetcherName)
+	if c.Settings.Engine.Name != "nextline" {
+		t.Errorf("engine = %q", c.Settings.Engine.Name)
 	}
-	if c.Settings.Params["degree"] != 1 {
-		t.Errorf("degree = %v", c.Settings.Params)
+	if c.Settings.Engine.Params["degree"] != 1 {
+		t.Errorf("degree = %v", c.Settings.Engine.Params)
 	}
 	if got := c.Point["workload"]; got != "tiny-b" {
 		t.Errorf("point workload = %q", got)
@@ -145,26 +146,28 @@ func TestExpandRejectsBadSpecs(t *testing.T) {
 	}
 }
 
-func TestExpandFinishError(t *testing.T) {
+func TestExpandCellValidationError(t *testing.T) {
+	// An engine-parameter value below the schema minimum fails the whole
+	// sweep at Expand, naming the offending cell.
 	spec := testSpec()
-	spec.Finish = func(s *Settings) error {
-		if s.Params["degree"] == 2 {
-			return fmt.Errorf("boom")
-		}
-		return nil
+	spec.Axes[2] = EngineParamAxis("degree", "degree",
+		func(v int) string { return fmt.Sprintf("d%d", v) }, nil, []int{0})
+	_, err := spec.Expand()
+	if err == nil || !strings.Contains(err.Error(), "below minimum") {
+		t.Fatalf("invalid cell param not surfaced: %v", err)
 	}
-	if _, err := spec.Expand(); err == nil || !strings.Contains(err.Error(), "boom") {
-		t.Fatalf("Finish error not surfaced: %v", err)
+	if !strings.Contains(err.Error(), "cell t.") {
+		t.Fatalf("error does not name the cell: %v", err)
 	}
 }
 
 func TestJobsValidation(t *testing.T) {
 	// A spec with no workload axis cannot become jobs.
 	spec := Spec{
-		Name:           "t",
-		Base:           tinySim(),
-		BasePrefetcher: "none",
-		Axes:           []Axis{EngineAxis("engine", "none")},
+		Name:       "t",
+		Base:       tinySim(),
+		BaseEngine: prefetch.Spec{Name: "none"},
+		Axes:       []Axis{EngineAxis("engine", "none")},
 	}
 	g, err := spec.Expand()
 	if err != nil {
@@ -183,7 +186,7 @@ func TestJobsValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := g.Jobs(); err == nil || !strings.Contains(err.Error(), "prefetcher") {
+	if _, err := g.Jobs(); err == nil || !strings.Contains(err.Error(), "engine") {
 		t.Fatalf("missing engine not reported: %v", err)
 	}
 }
@@ -193,15 +196,6 @@ func TestRunGridAddressing(t *testing.T) {
 		t.Skip("simulation test skipped in -short mode")
 	}
 	spec := testSpec()
-	// Consume the degree param so it affects the cell (nextline degree).
-	spec.Finish = func(s *Settings) error {
-		if s.PrefetcherName == "nextline" {
-			deg := int(s.Params["degree"])
-			s.Factory = func() prefetch.Prefetcher { return prefetch.NewNextLine(deg) }
-			s.PrefetcherName = ""
-		}
-		return nil
-	}
 	g, err := Run(PoolEngine{Ctx: context.Background(), Workers: 4}, spec)
 	if err != nil {
 		t.Fatal(err)

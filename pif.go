@@ -11,10 +11,12 @@
 //     (LiveSource), a recorded sharded trace store (StoreSource), or one
 //     record window of it (SliceSource, TraceWindow), so sweeps fan out
 //     over trace slices without re-executing workloads;
-//   - a prefetch engine names what is being evaluated: the PIF
-//     prefetcher itself (NewPIF, DefaultPIFConfig) or the baselines it
-//     is compared against (NewTIFS, NewNextLine, NoPrefetch, and the
-//     registry names behind PrefetcherByName);
+//   - a prefetch engine names what is being evaluated: a declarative,
+//     serializable EngineSpec ("pif", or "pif" tuned via params — see
+//     ParseEngineSpec and EngineSchemas for each engine's parameter
+//     schema) resolved through the engine registry, with direct
+//     constructors (NewPIF, NewTIFS, NewNextLine, NoPrefetch) for
+//     programmatic use;
 //   - a Backend names where jobs run: the in-process LocalBackend today,
 //     any Submit/Results/Close implementation tomorrow (RunJobsOn, Pool,
 //     ExperimentOptions.Backend).
@@ -103,13 +105,51 @@ func NewTIFS() Prefetcher { return prefetch.NewTIFS(prefetch.DefaultTIFSConfig()
 // NoPrefetch is the no-prefetcher baseline.
 func NoPrefetch() Prefetcher { return prefetch.None{} }
 
-// PrefetcherNames lists the registered engine factories ("none",
+// PrefetcherNames lists the registered engine schemas ("none",
 // "nextline", "tifs", "pif", and the PIF variants), in sorted order.
 func PrefetcherNames() []string { return prefetch.Names() }
 
-// PrefetcherByName constructs a fresh engine instance by registry name.
-// Engines are stateful: call once per simulation job.
+// PrefetcherByName constructs a fresh engine instance by registry name
+// with every parameter at its schema default. Engines are stateful:
+// call once per simulation job.
 func PrefetcherByName(name string) (Prefetcher, error) { return prefetch.NewByName(name) }
+
+// EngineSpec is the declarative, serializable form of a prefetch engine:
+// a registry name plus explicit parameter overrides, validated against
+// the engine's schema. It is the unit that crosses every boundary —
+// sweep axes, job records, the remote wire, and the -engine CLI flag.
+type EngineSpec = prefetch.Spec
+
+// EngineSchema is one registered engine's declared parameter schema.
+type EngineSchema = prefetch.Schema
+
+// EngineParam describes one parameter of an engine schema: name, kind,
+// default, and bounds.
+type EngineParam = prefetch.Param
+
+// EngineSchemas returns every registered engine's schema in sorted name
+// order — the data behind `pifsim -list-engines`.
+func EngineSchemas() []EngineSchema { return prefetch.Schemas() }
+
+// ParseEngineSpec parses the CLI engine-spec form "name" or
+// "name:k=v,k=v" (K/M suffixes are 1024 multiples for integer params)
+// and validates it against the engine's schema.
+func ParseEngineSpec(s string) (EngineSpec, error) { return prefetch.ParseSpec(s) }
+
+// ValidateEngineSpec checks a spec against its engine's schema without
+// constructing the engine.
+func ValidateEngineSpec(spec EngineSpec) error { return prefetch.Validate(spec) }
+
+// NewPrefetcherFromSpec resolves a spec into a fresh engine instance:
+// schema defaults are applied, explicit params validated, and derived
+// parameters (e.g. a pif budget_kb into history and index capacities)
+// computed. Engines are stateful: call once per simulation job.
+func NewPrefetcherFromSpec(spec EngineSpec) (Prefetcher, error) { return prefetch.Resolve(spec) }
+
+// ResolvedEngineSpec returns the spec with every effective parameter
+// made explicit (defaults applied, derivations computed) — what job
+// records persist so stored runs compare like-for-like.
+func ResolvedEngineSpec(spec EngineSpec) (EngineSpec, error) { return prefetch.Resolved(spec) }
 
 // Workload describes one synthetic server workload.
 type Workload = workload.Profile
@@ -272,12 +312,11 @@ func BuildTraceStore(dir, workload string, chunkRecords uint64, it TraceIterator
 // front-end seed. The source must supply at least warmup+measure
 // records; a short source is a hard error, never a short run.
 func SimulateSource(cfg SimConfig, w Workload, src Source, p Prefetcher) (SimResult, error) {
-	return sim.RunJob(context.Background(), sim.Job{
-		Config:        cfg,
-		Workload:      w,
-		From:          src,
-		NewPrefetcher: func() prefetch.Prefetcher { return p },
-	})
+	return sim.RunWith(context.Background(), sim.Job{
+		Config:   cfg,
+		Workload: w,
+		From:     src,
+	}, p)
 }
 
 // SimulateTrace replays a recorded retire-order stream through the
@@ -288,12 +327,11 @@ func SimulateSource(cfg SimConfig, w Workload, src Source, p Prefetcher) (SimRes
 // IteratorSource around a custom iterator), which validate source
 // metadata and manage the iterator's lifetime.
 func SimulateTrace(cfg SimConfig, w Workload, src TraceIterator, p Prefetcher) (SimResult, error) {
-	return sim.RunJob(context.Background(), sim.Job{
-		Config:        cfg,
-		Workload:      w,
-		Source:        src,
-		NewPrefetcher: func() prefetch.Prefetcher { return p },
-	})
+	return sim.RunWith(context.Background(), sim.Job{
+		Config:   cfg,
+		Workload: w,
+		Source:   src,
+	}, p)
 }
 
 // System is the simulated machine description (the paper's Table I).
@@ -319,7 +357,7 @@ func Simulate(cfg SimConfig, w Workload, p Prefetcher) (SimResult, error) {
 }
 
 // Job names one simulation for the parallel execution engine: a workload,
-// a configuration, and a prefetcher factory (or registry name).
+// a configuration, and a declarative engine spec.
 type Job = runner.Job
 
 // JobResult is the outcome of one job, tagged with its submission index.
@@ -369,11 +407,13 @@ var ErrBackendClosed = runner.ErrBackendClosed
 // workers ignore the local worker count). The caller must Close the
 // backend.
 //
-// Remote jobs travel by name: workload and prefetcher must resolve
-// through their registries and sources must be live/store/slice values
-// (store paths are resolved on the worker). Jobs carrying closures — a
-// tuned prefetcher factory, an observer, a custom source — are refused
-// at Submit with a descriptive error.
+// Remote jobs travel declaratively: the workload must resolve through
+// its registry, the engine spec (name plus params — tuned cells
+// included) is validated against the engine schemas before it ships,
+// and sources must be live/store/slice values (store paths are resolved
+// on the worker). Jobs carrying process-local state — an instrument
+// hook, an observer, a custom source — are refused at Submit with a
+// descriptive error.
 func DialBackend(spec string, workers int) (Backend, error) {
 	switch {
 	case spec == "" || spec == "local":
@@ -545,9 +585,26 @@ func SweepWorkloadAxis(name string, wls []Workload) SweepAxis {
 	return sweep.WorkloadAxis(name, wls)
 }
 
-// SweepEngineAxis builds a prefetch-engine axis from registry names.
+// SweepEngineAxis builds a prefetch-engine axis from registry names
+// (each cell runs that engine at its schema defaults).
 func SweepEngineAxis(name string, engines ...string) SweepAxis {
 	return sweep.EngineAxis(name, engines...)
+}
+
+// SweepEngineSpecAxis builds a prefetch-engine axis from full engine
+// specs — tuned variants sweep like any other value. names supplies
+// optional display labels (empty or short slices fall back to the
+// spec's canonical string form).
+func SweepEngineSpecAxis(name string, specs []EngineSpec, names []string) SweepAxis {
+	return sweep.EngineSpecAxis(name, specs, names)
+}
+
+// SweepEngineParamAxis builds an axis sweeping one integer engine
+// parameter (e.g. "budget_kb" over 8..512) on top of whatever engine
+// the cell already carries; key and label derive each value's cell key
+// and display name (label nil falls back to key).
+func SweepEngineParamAxis(axisName, param string, key, label func(v int) string, ints []int) SweepAxis {
+	return sweep.EngineParamAxis(axisName, param, key, label, ints)
 }
 
 // RunSweep expands a spec and executes every cell through the engine's
@@ -561,12 +618,14 @@ func ExpandSweep(spec SweepSpec) (*SweepGrid, error) { return spec.Expand() }
 
 // BuildSweepSpec constructs an ad-hoc sweep spec from CLI-style axis
 // specifications ("workload=xl", "engine=pif,tifs", "budget=32,256",
-// "source=live,slice@0:1M", ...); see the `experiments sweep` mode. The
-// environment resolves env-backed record sources (spilled stores, trace
-// windows) and supplies the base configuration; malformed axis specs are
-// usage errors naming the offending token.
-func BuildSweepSpec(env *ExperimentEnv, name string, axisSpecs []string) (SweepSpec, error) {
-	return experiments.BuildSweep(env, name, axisSpecs)
+// "source=live,slice@0:1M", ...) plus optional full engine specs
+// ("pif:budget_kb=32", repeatable -engine flags) that become the engine
+// axis; see the `experiments sweep` mode. The environment resolves
+// env-backed record sources (spilled stores, trace windows) and supplies
+// the base configuration; malformed axis or engine specs are usage
+// errors naming the offending token.
+func BuildSweepSpec(env *ExperimentEnv, name string, axisSpecs, engineSpecs []string) (SweepSpec, error) {
+	return experiments.BuildSweep(env, name, axisSpecs, engineSpecs)
 }
 
 // ExperimentArtifacts converts regenerated reports into schema artifacts,

@@ -239,8 +239,8 @@ func TestSourceBackendPublicAPI(t *testing.T) {
 	b := NewLocalBackend(2)
 	defer b.Close()
 	jobs := []Job{
-		{Label: "live", Workload: wl, Config: cfg, PrefetcherName: "tifs"},
-		{Label: "slice", Workload: wl, Config: cfg, PrefetcherName: "tifs", Source: SliceSource(dir, w)},
+		{Label: "live", Workload: wl, Config: cfg, Engine: EngineSpec{Name: "tifs"}},
+		{Label: "slice", Workload: wl, Config: cfg, Engine: EngineSpec{Name: "tifs"}, Source: SliceSource(dir, w)},
 	}
 	results, err := RunJobsOn(context.Background(), b, jobs, nil)
 	if err != nil {

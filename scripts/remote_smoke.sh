@@ -80,3 +80,27 @@ fi
 
 "$bin/experiments" diff "$work/local" "$work/remote"
 echo "remote smoke: local and remote runs identical (worker SIGKILLed mid-sweep)"
+
+# Tuned-engine sweeps: parameterized engine specs are wire data (wire
+# v2), so history- and budget-axis grids run remotely and must diff
+# clean against the same grids run locally. The two knobs are swept in
+# separate grids on purpose — each engine's schema rejects a cell
+# setting both history and budget_kb (ambiguous sizing), which is the
+# validation the coordinator now applies at encode time. The surviving
+# worker from the kill test executes everything.
+tuned_args=(sweep -quick -name tuned-history
+    -axis "workload=OLTP DB2" -axis engine=pif,tifs
+    -axis history=1K,4K)
+budget_args=(sweep -quick -name tuned-budget
+    -axis "workload=OLTP DB2" -axis engine=pif,tifs,none
+    -axis budget=8,32)
+
+"$bin/experiments" "${tuned_args[@]}" -out "$work/tuned-local"
+"$bin/experiments" "${tuned_args[@]}" -backend "remote@$addr" -out "$work/tuned-remote"
+"$bin/experiments" diff "$work/tuned-local" "$work/tuned-remote"
+
+"$bin/experiments" "${budget_args[@]}" -out "$work/budget-local"
+"$bin/experiments" "${budget_args[@]}" -backend "remote@$addr" -out "$work/budget-remote"
+"$bin/experiments" diff "$work/budget-local" "$work/budget-remote"
+
+echo "remote smoke: tuned engine sweeps (history, budget axes) identical local vs remote"
