@@ -2,8 +2,11 @@
 // performance artifacts:
 //
 //   - BENCH_replay.json (the default suite): store decode throughput
-//     (per-record vs batch), end-to-end simulation replay, sharded
-//     replay, and sweep-grid expansion, all with allocation profiles.
+//     (per-record vs batch vs zero-copy mmap), end-to-end simulation
+//     replay, sharded replay, sweep-cell execution (serial vs sharded),
+//     and sweep-grid expansion, all with allocation profiles. The
+//     config block records whether the mmap or read-file chunk path
+//     served the run.
 //   - BENCH_runner.json (-suite runner): job-execution throughput —
 //     grid jobs/sec through runner.RunOn serially and in parallel, and
 //     the per-job engine-spec resolution overhead.
@@ -19,8 +22,10 @@
 // structurally matches the regeneration (schema, fixture configuration,
 // benchmark set — raw timings are machine-dependent and not compared),
 // and enforces the suite's performance invariants on the fresh
-// measurements (replay: batch decode >= 2x per-record, ~0 allocs/record;
-// runner: spec resolution a few percent of job runtime at most).
+// measurements (replay: batch decode >= 2x per-record, ~0 allocs/record,
+// mmap decode no slower than read-file batch where mmap is active, and a
+// >= 1.5x sharded sweep-cell speedup on 4+ CPUs; runner: spec resolution
+// a few percent of job runtime at most).
 package main
 
 import (
@@ -87,15 +92,17 @@ func runReplay(out, check string, logf func(string, ...any)) int {
 			fmt.Fprintln(os.Stderr, "benchreplay:", err)
 			return 1
 		}
-		fmt.Printf("benchreplay: %s is fresh; measured batch speedup %.2fx, sharded %.2fx\n",
-			check, fresh.Derived.BatchSpeedup, fresh.Derived.ShardedSpeedup)
+		fmt.Printf("benchreplay: %s is fresh; measured batch speedup %.2fx, mmap %.2fx (%s), sharded %.2fx, sweep cell %.2fx\n",
+			check, fresh.Derived.BatchSpeedup, fresh.Derived.MmapSpeedup, fresh.Config.ChunkSource,
+			fresh.Derived.ShardedSpeedup, fresh.Derived.SweepCellSpeedup)
 		return 0
 	}
 	if !writeArtifact(out, fresh) {
 		return 1
 	}
-	fmt.Printf("benchreplay: wrote %s (batch speedup %.2fx, sharded %.2fx)\n",
-		out, fresh.Derived.BatchSpeedup, fresh.Derived.ShardedSpeedup)
+	fmt.Printf("benchreplay: wrote %s (batch speedup %.2fx, mmap %.2fx (%s), sharded %.2fx, sweep cell %.2fx)\n",
+		out, fresh.Derived.BatchSpeedup, fresh.Derived.MmapSpeedup, fresh.Config.ChunkSource,
+		fresh.Derived.ShardedSpeedup, fresh.Derived.SweepCellSpeedup)
 	return 0
 }
 

@@ -16,14 +16,18 @@
 //
 // The sweep mode runs an ad-hoc design-space sweep declared on the
 // command line: repeatable -axis flags name the axes (workload, engine,
-// history, budget, l1, source) and their values, the cross-product fans
-// out through the execution backend, and -out persists one raw result
-// per grid cell. A source axis (or the -source shorthand) selects where
-// each cell's instruction stream comes from — live execution, the
-// workload's spilled trace store (-tracedir), or a record window of a
-// store ("slice@off:len", optionally "@DIR" for a store recorded by
-// tracegen) — so sweeps fan out over trace slices without re-executing
-// workloads.
+// history, budget, l1, source, shards) and their values, the
+// cross-product fans out through the execution backend, and -out
+// persists one raw result per grid cell. A source axis (or the -source
+// shorthand) selects where each cell's instruction stream comes from —
+// live execution, the workload's spilled trace store (-tracedir), or a
+// record window of a store ("slice@off:len", optionally "@DIR" for a
+// store recorded by tracegen) — so sweeps fan out over trace slices
+// without re-executing workloads. -shards K splits every replay cell
+// into K window-shard jobs that fan out alongside the grid's other
+// cells (local pool or remote backend alike) and are stitched back into
+// the cell's result; cell keys and results are unchanged, so a sharded
+// run diffs exit-0 against an unsharded one.
 //
 // Usage:
 //
@@ -31,7 +35,7 @@
 //	            [-quick] [-warmup N] [-measure N] [-parallel N]
 //	            [-tracedir DIR] [-out DIR] [-v]
 //	experiments sweep -axis name=v1,v2,... [-axis ...] [-source SPEC]
-//	            [-quick] [-warmup N] [-measure N] [-parallel N]
+//	            [-shards K] [-quick] [-warmup N] [-measure N] [-parallel N]
 //	            [-tracedir DIR] [-out DIR] [-v]
 //	experiments diff [-abs X] [-rel Y] DIR_A DIR_B
 //
@@ -223,14 +227,16 @@ func (a *axisFlags) Set(v string) error { *a = append(*a, v); return nil }
 func sweepMain(args []string) int {
 	fs := flag.NewFlagSet("experiments sweep", flag.ExitOnError)
 	var axes axisFlags
-	fs.Var(&axes, "axis", "sweep axis as name=v1,v2,... (workload, engine, history, budget, l1, source); repeatable, crossed in flag order")
+	fs.Var(&axes, "axis", "sweep axis as name=v1,v2,... (workload, engine, history, budget, l1, source, shards); repeatable, crossed in flag order")
 	var engines axisFlags
 	fs.Var(&engines, "engine", "engine spec name[:param=value,...] for the engine axis (repeatable; tuned specs sweep like names — mutually exclusive with -axis engine=...)")
 	name := fs.String("name", "sweep", "sweep name (prefixes cell keys and job labels)")
 	source := fs.String("source", "", "record source for every cell: live, store, slice@off:len, store@DIR, or slice@off:len@DIR (shorthand for a one-value source axis; store/slice without @DIR replay the workload's spilled store under -tracedir, or its in-memory stream when -tracedir is unset)")
+	shards := fs.Int("shards", 0, "split every cell's replay into K window-shard jobs (cells need a replayable source, e.g. -source store; keys and results are unchanged, so sharded runs diff exit-0 against unsharded ones)")
+	shardApprox := fs.Bool("shard-approx", false, "shard with fixed per-shard warmup instead of the exact offset scheme: linear total work, so shards speed the cell up, at the cost of approximate (not bit-exact) results")
 	quick, warmup, measure, parallel, traceDir, out, backend, verbose, profile := scaleFlags(fs)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: experiments sweep -axis name=v1,v2,... [-axis ...] [-engine SPEC ...] [-source SPEC] [flags]")
+		fmt.Fprintln(os.Stderr, "usage: experiments sweep -axis name=v1,v2,... [-axis ...] [-engine SPEC ...] [-source SPEC] [-shards K] [flags]")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -264,6 +270,13 @@ func sweepMain(args []string) int {
 		fs.Usage()
 		return 2
 	}
+	if *shards < 0 {
+		fmt.Fprintln(os.Stderr, "experiments sweep: -shards must be >= 0")
+		fs.Usage()
+		return 2
+	}
+	spec.BaseShards = *shards
+	spec.BaseShardApprox = *shardApprox
 	start := time.Now()
 	grid, err := env.RunGrid(spec)
 	if err != nil {

@@ -69,7 +69,7 @@ func run() int {
 	degree := flag.Int("degree", 4, "next-line prefetch degree")
 	backendSpec := flag.String("backend", "local", "execution backend: local, or remote@ADDR (a pifcoord coordinator; jobs run on its worker fleet)")
 	shards := flag.Int("shards", 1, "split a store replay into N parallel windows and stitch the results (needs -trace)")
-	exact := flag.Bool("exact", false, "sharded replay: warm every shard with the full trace prefix so counters match sequential replay exactly")
+	exact := flag.Bool("exact", false, "sharded replay: measure each shard as a clock delta on the full trace prefix, so every counter — timing included — matches sequential replay bit for bit (parity mode; the last shard replays the whole trace, so expect no speedup)")
 	verbose := flag.Bool("v", false, "print full result struct (single job) or per-job progress")
 	var profile prof.Flags
 	profile.Register(flag.CommandLine)
@@ -322,8 +322,8 @@ func shardedRun(ctx context.Context, dir string, cfg pif.SimConfig, engines []en
 		printDetail(pif.JobResult{Sim: res.Merged, Elapsed: time.Since(start)}, perfect, verbose)
 		if verbose {
 			for k, p := range res.Plans {
-				fmt.Printf("  shard %d: window %s warmup %d measure %d uipc %.4f\n",
-					k, p.Window, p.WarmupInstrs, p.MeasureInstrs, res.Shards[k].UIPC)
+				fmt.Printf("  shard %d: window %s warmup %d offset %d measure %d uipc %.4f\n",
+					k, p.Window, p.WarmupInstrs, p.MeasureOffsetInstrs, p.MeasureInstrs, res.Shards[k].UIPC)
 			}
 		}
 	}

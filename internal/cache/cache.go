@@ -93,6 +93,21 @@ func (s *Stats) Add(o Stats) {
 	s.PrefetchUnused += o.PrefetchUnused
 }
 
+// Sub removes o from s field by field — the inverse of Add, used to
+// carve a measurement sub-interval out of cumulative counters (sharded
+// replay's offset snapshots). Every field is monotone over a run, so o
+// taken earlier in the same run never underflows s.
+func (s *Stats) Sub(o Stats) {
+	s.Accesses -= o.Accesses
+	s.Hits -= o.Hits
+	s.Misses -= o.Misses
+	s.PrefetchHits -= o.PrefetchHits
+	s.PrefetchFills -= o.PrefetchFills
+	s.DemandFills -= o.DemandFills
+	s.Evictions -= o.Evictions
+	s.PrefetchUnused -= o.PrefetchUnused
+}
+
 // Cache is a set-associative cache with true LRU replacement.
 // Lines are identified by isa.Block numbers.
 type Cache struct {

@@ -469,34 +469,65 @@ func (e *Env) WindowSource(p workload.Profile, w trace.Window) sim.Source {
 // windowSource builds the lazy dual-path source behind SourceFor and
 // WindowSource.
 func (e *Env) windowSource(p workload.Profile, w trace.Window, kind string) sim.Source {
-	return sim.SourceFunc(func(ctx context.Context) (trace.Iterator, sim.SourceInfo, error) {
-		if p.Name == "" {
-			return nil, sim.SourceInfo{}, fmt.Errorf("experiments: %s source has no workload (apply a workload axis before resolving sources)", kind)
-		}
-		if e.opts.storeDir() != "" {
-			dir, err := e.Spill(p)
-			if err != nil {
-				return nil, sim.SourceInfo{}, err
-			}
-			if kind == "store" {
-				return sim.StoreSource(dir).Open(ctx)
-			}
-			return sim.SliceSource(dir, w).Open(ctx)
-		}
-		s, err := e.Stream(p)
+	return envSource{e: e, p: p, w: w, kind: kind}
+}
+
+// envSource replays window w of a workload's warmup+measure stream from
+// the environment: the spilled on-disk store when the environment
+// persists traces, the cached in-memory stream otherwise. It implements
+// sim.Slicer, so sharded sweep execution can split env-backed cells the
+// same way it splits explicit store sources.
+type envSource struct {
+	e    *Env
+	p    workload.Profile
+	w    trace.Window
+	kind string
+}
+
+// Open implements sim.Source; the spill (or stream build) happens here,
+// so constructing the source costs nothing.
+func (s envSource) Open(ctx context.Context) (trace.Iterator, sim.SourceInfo, error) {
+	if s.p.Name == "" {
+		return nil, sim.SourceInfo{}, fmt.Errorf("experiments: %s source has no workload (apply a workload axis before resolving sources)", s.kind)
+	}
+	if s.e.opts.storeDir() != "" {
+		dir, err := s.e.Spill(s.p)
 		if err != nil {
 			return nil, sim.SourceInfo{}, err
 		}
-		if w.Len == 0 || w.End() > uint64(len(s)) || w.End() < w.Off {
-			return nil, sim.SourceInfo{}, fmt.Errorf("experiments: window %s of %q out of range (stream holds %d records)", w, p.Name, len(s))
+		if s.kind == "store" {
+			return sim.StoreSource(dir).Open(ctx)
 		}
-		return s[w.Off:w.End()].Iter(), sim.SourceInfo{
-			Kind:     kind,
-			Workload: p.Name,
-			Records:  w.Len,
-			Window:   w,
-		}, nil
-	})
+		return sim.SliceSource(dir, s.w).Open(ctx)
+	}
+	str, err := s.e.Stream(s.p)
+	if err != nil {
+		return nil, sim.SourceInfo{}, err
+	}
+	if s.w.Len == 0 || s.w.End() > uint64(len(str)) || s.w.End() < s.w.Off {
+		return nil, sim.SourceInfo{}, fmt.Errorf("experiments: window %s of %q out of range (stream holds %d records)", s.w, s.p.Name, len(str))
+	}
+	return str[s.w.Off:s.w.End()].Iter(), sim.SourceInfo{
+		Kind:     s.kind,
+		Workload: s.p.Name,
+		Records:  s.w.Len,
+		Window:   s.w,
+	}, nil
+}
+
+// Slice implements sim.Slicer: windows compose relative to this source's
+// own window, identically over the spilled-store and in-memory paths.
+// The sub-source opens as a slice regardless of this source's kind.
+func (s envSource) Slice(w trace.Window) (sim.Source, error) {
+	if w.End() > s.w.Len {
+		return nil, fmt.Errorf("experiments: slice window %s exceeds source window %s of %q", w, s.w, s.p.Name)
+	}
+	return envSource{
+		e:    s.e,
+		p:    s.p,
+		w:    trace.Window{Off: s.w.Off + w.Off, Len: w.Len},
+		kind: "slice",
+	}, nil
 }
 
 // ForEach runs fn(i) for every i in [0, n) across the environment's

@@ -348,6 +348,12 @@ func axisErr(token, format string, args ...any) error {
 //     window length as the measured interval — so several windows of one
 //     recorded trace are comparable regardless of the run's
 //     warmup/measure split (the sweep-window artifact's convention).
+//   - shards=<counts>: how many window-shard jobs each cell's replay fans
+//     out into (see sweep.ShardsAxis); cells on this axis need a
+//     replayable source (a source axis value other than "live", or the
+//     -shards flag's store requirements). "1" means unsharded. To shard
+//     every cell without changing cell keys, use the -shards flag
+//     (Spec.BaseShards) instead.
 //
 // The resulting spec validates each cell's engine parameters and system
 // configuration at build/expansion time, so a bad parameter or an
@@ -435,8 +441,18 @@ func BuildSweep(e *Env, name string, axisSpecs, engineSpecs []string) (sweep.Spe
 				choices = append(choices, c)
 			}
 			ax = sweep.SourceAxis("source", choices)
+		case "shards":
+			counts := make([]int, 0, len(vals))
+			for _, v := range vals {
+				n, err := strconv.Atoi(strings.TrimSpace(v))
+				if err != nil || n < 1 {
+					return sweep.Spec{}, axisErr(as, "bad shard count %q (want a positive integer)", v)
+				}
+				counts = append(counts, n)
+			}
+			ax = sweep.ShardsAxis("shards", counts)
 		default:
-			return sweep.Spec{}, axisErr(as, "unknown axis %q (have workload, engine, history, budget, l1, source)", axName)
+			return sweep.Spec{}, axisErr(as, "unknown axis %q (have workload, engine, history, budget, l1, source, shards)", axName)
 		}
 		spec.Axes = append(spec.Axes, ax)
 	}
@@ -549,12 +565,39 @@ func (e *Env) sourceChoice(v string) (sweep.SourceChoice, error) {
 // cell's settings (in particular the workload, possibly applied by a
 // later axis) are final.
 func (e *Env) lazySource(s *sweep.Settings, w trace.Window, slice bool) sim.Source {
-	return sim.SourceFunc(func(ctx context.Context) (trace.Iterator, sim.SourceInfo, error) {
-		if slice {
-			return e.WindowSource(s.Workload, w).Open(ctx)
-		}
-		return e.SourceFor(s.Workload).Open(ctx)
-	})
+	return lazyEnvSource{e: e, set: s, w: w, slice: slice}
+}
+
+// lazyEnvSource is an env-backed cell source that resolves the cell's
+// workload from its settings when needed rather than when the axis value
+// is applied — the workload axis may run after the source axis. It
+// implements sim.Slicer so `-shards` works with the CLI's env-backed
+// "store" and "slice@off:len" source values: sweep planning runs after
+// the grid is fully expanded, when the settings are final, so Slice can
+// resolve eagerly.
+type lazyEnvSource struct {
+	e     *Env
+	set   *sweep.Settings
+	w     trace.Window
+	slice bool
+}
+
+// resolve binds the source to the cell's (now final) workload.
+func (ls lazyEnvSource) resolve() envSource {
+	if ls.slice {
+		return ls.e.WindowSource(ls.set.Workload, ls.w).(envSource)
+	}
+	return ls.e.SourceFor(ls.set.Workload).(envSource)
+}
+
+// Open implements sim.Source.
+func (ls lazyEnvSource) Open(ctx context.Context) (trace.Iterator, sim.SourceInfo, error) {
+	return ls.resolve().Open(ctx)
+}
+
+// Slice implements sim.Slicer.
+func (ls lazyEnvSource) Slice(w trace.Window) (sim.Source, error) {
+	return ls.resolve().Slice(w)
 }
 
 // splitAxisSpec parses "name=v1,v2" into its parts.

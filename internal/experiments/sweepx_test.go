@@ -469,3 +469,80 @@ func TestBuildSweepSourceAxis(t *testing.T) {
 		}
 	}
 }
+
+// TestBuildSweepSharded is the CLI-level sharded-sweep parity contract:
+// a BaseShards grid over env-backed "store" sources — spilled to disk or
+// served from the in-memory stream cache — folds to per-cell results
+// bit-identical to the unsharded grid, so `-shards K` runs diff exit-0
+// against unsharded history. Also covers the "shards" CLI axis.
+func TestBuildSweepSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment tests are skipped in -short mode")
+	}
+	opts := QuickOptions()
+	opts.Workloads = opts.Workloads[:1]
+	opts.SweepWorkloads = opts.Workloads
+	opts.WarmupInstrs = 60_000
+	opts.MeasureInstrs = 30_000
+
+	for _, spill := range []bool{false, true} {
+		if spill {
+			opts.StoreDir = t.TempDir()
+			opts.TraceChunkRecords = 1 << 12
+		} else {
+			opts.StoreDir = ""
+		}
+		run := func(shards int) *sweep.Grid {
+			env := NewEnv(opts)
+			spec, err := BuildSweep(env, "s", []string{"engine=nextline,none", "source=store"}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec.BaseShards = shards
+			g, err := env.RunGrid(spec)
+			if err != nil {
+				t.Fatalf("spill=%v shards=%d: %v", spill, shards, err)
+			}
+			return g
+		}
+		plain, sharded := run(0), run(3)
+		if plain.Size() != 2 || sharded.Size() != 2 {
+			t.Fatalf("spill=%v: sizes %d/%d", spill, plain.Size(), sharded.Size())
+		}
+		for i := range plain.Results {
+			if plain.Cells[i].Key != sharded.Cells[i].Key {
+				t.Errorf("spill=%v cell %d: key changed to %q", spill, i, sharded.Cells[i].Key)
+			}
+			if sharded.Results[i].Err != nil {
+				t.Fatalf("spill=%v cell %s: %v", spill, sharded.Cells[i].Key, sharded.Results[i].Err)
+			}
+			if plain.Results[i].Sim != sharded.Results[i].Sim {
+				t.Errorf("spill=%v cell %s: sharded result diverges", spill, plain.Cells[i].Key)
+			}
+		}
+	}
+
+	// The "shards" CLI axis sweeps the count itself; exact mode keeps
+	// every cell's result identical.
+	env := NewEnv(opts)
+	spec, err := BuildSweep(env, "s", []string{"engine=nextline", "source=store", "shards=1,2"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := env.RunGrid(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 2 {
+		t.Fatalf("shards axis size = %d", g.Size())
+	}
+	if g.Results[0].Sim != g.Results[1].Sim {
+		t.Error("shards axis cells diverge in exact mode")
+	}
+	if _, err := BuildSweep(env, "s", []string{"shards=0"}, nil); err == nil {
+		t.Error("shards=0 accepted")
+	}
+	if _, err := BuildSweep(env, "s", []string{"shards=two"}, nil); err == nil {
+		t.Error("shards=two accepted")
+	}
+}

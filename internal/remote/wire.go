@@ -36,7 +36,10 @@ import (
 //	2: engines travel as a full prefetch.Spec (name + params), so every
 //	   sweep cell — budget-derived, history-swept, hand-tuned — runs
 //	   remotely exactly as it would locally.
-const WireVersion = 2
+//	3: sim.Config gained MeasureOffsetInstrs (exact sharded replay): a
+//	   v2 worker would silently drop the offset and measure the wrong
+//	   interval, so shard jobs must not reach one.
+const WireVersion = 3
 
 // JobSpec is the wire form of a runner.Job: everything a worker needs to
 // rebuild and run the job locally, and nothing that cannot cross a

@@ -19,6 +19,9 @@ func serializableJob(t *testing.T) runner.Job {
 	t.Helper()
 	cfg := sim.DefaultConfig()
 	cfg.WarmupInstrs = 1000
+	// A non-zero measure offset (an exact shard job) must round-trip;
+	// dropping it would measure the wrong interval (the wire v2→v3 bump).
+	cfg.MeasureOffsetInstrs = 500
 	cfg.MeasureInstrs = 1000
 	return runner.Job{
 		Label:    "fig10/OLTP DB2/nextline",
@@ -195,6 +198,12 @@ func TestWireVersionEnforced(t *testing.T) {
 	if _, err := (JobSpec{V: 1, Workload: "OLTP DB2", Engine: prefetch.Spec{Name: "none"}}).Job(); err == nil {
 		t.Error("v1 job spec accepted")
 	}
+	// A v2 peer predates Config.MeasureOffsetInstrs: it would silently
+	// drop the offset of an exact shard job and measure the wrong
+	// interval, so it too must be refused.
+	if _, err := (JobSpec{V: 2, Workload: "OLTP DB2", Engine: prefetch.Spec{Name: "none"}}).Job(); err == nil {
+		t.Error("v2 job spec accepted")
+	}
 	if _, err := (WireResult{V: 0}).Result(); err == nil {
 		t.Error("unversioned result accepted")
 	}
@@ -228,9 +237,11 @@ func FuzzJobSpecRoundTrip(f *testing.F) {
 	}
 	tb, _ := json.Marshal(tuned)
 	f.Add(string(tb))
-	f.Add(`{"v":2,"workload":"OLTP DB2","engine":{"name":"none"},"source":{"kind":"slice","path":"/x","window":{"Off":1,"Len":2}}}`)
-	f.Add(`{"v":2,"workload":"OLTP DB2","engine":{"name":"pif","params":{"history":2048,"index":512}}}`)
-	f.Add(`{"v":2,"workload":"OLTP DB2","engine":{"name":"pif","params":{"history":1e309}}}`)
+	f.Add(`{"v":3,"workload":"OLTP DB2","engine":{"name":"none"},"source":{"kind":"slice","path":"/x","window":{"Off":1,"Len":2}}}`)
+	f.Add(`{"v":3,"workload":"OLTP DB2","engine":{"name":"pif","params":{"history":2048,"index":512}}}`)
+	f.Add(`{"v":3,"workload":"OLTP DB2","engine":{"name":"pif","params":{"history":1e309}}}`)
+	f.Add(`{"v":3,"workload":"OLTP DB2","engine":{"name":"none"},"config":{"WarmupInstrs":10,"MeasureOffsetInstrs":5,"MeasureInstrs":10}}`)
+	f.Add(`{"v":2,"workload":"OLTP DB2","engine":{"name":"none"}}`)
 	f.Add(`{"v":1,"workload":"OLTP DB2","prefetcher":"none"}`)
 	f.Add(`{"v":99}`)
 	f.Add(`{}`)

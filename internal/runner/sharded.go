@@ -26,11 +26,15 @@ type ShardedOptions struct {
 	Config sim.Config
 	// Shards is the number of parallel windows (>= 1).
 	Shards int
-	// Exact selects full-prefix warmup: every shard replays the trace
-	// from record 0, so losslessly-mergeable counters match sequential
-	// replay bit for bit, at the cost of re-decoding prefixes. When
-	// false, each shard warms with a fixed Config.WarmupInstrs-record
-	// prefix and merged timing lands within window tolerances.
+	// Exact selects full-prefix replay: every shard replays the trace
+	// from record 0 with the sequential run's own warmup boundary and a
+	// measure offset up to its span, so the merged result — counters and
+	// timing both — matches sequential replay bit for bit, at the cost
+	// of re-replaying prefixes (the last shard replays the whole trace,
+	// so exact mode is about parity, not speedup). When false, each
+	// shard warms with a fixed Config.WarmupInstrs-record prefix, work
+	// parallelizes fully, and merged metrics land within window
+	// tolerances.
 	Exact bool
 	// Engine is the declarative spec each shard resolves into its own
 	// private engine instance.
@@ -81,13 +85,10 @@ func ShardedReplay(ctx context.Context, opt ShardedOptions) (ShardedResult, erro
 
 	jobs := make([]Job, len(plans))
 	for k, p := range plans {
-		cfg := opt.Config
-		cfg.WarmupInstrs = p.WarmupInstrs
-		cfg.MeasureInstrs = p.MeasureInstrs
 		jobs[k] = Job{
 			Label:    fmt.Sprintf("shard %d/%d %s", k+1, len(plans), p.Window),
 			Workload: opt.Workload,
-			Config:   cfg,
+			Config:   p.Config(opt.Config),
 			Engine:   opt.Engine,
 			Source:   sim.SliceSource(opt.Dir, p.Window),
 		}

@@ -42,11 +42,12 @@ func withinPct(got, want uint64, pct float64) bool {
 
 // TestShardedReplayExactParity is the sharded-replay acceptance bar: an
 // exact-mode sharded replay of one store on 4+ parallel workers must
-// reproduce the sequential replay's losslessly-mergeable counters bit
-// for bit — instruction, access, miss, coverage, and every L1 counter,
-// plus the whole-feed FE stats — with timing (cycles, stalls, UIPC)
-// within a few percent. CI runs this under -race, making it the data-race
-// probe for the parallel shard path.
+// reproduce the sequential replay bit for bit — every counter,
+// instruction, access, miss, coverage, L1 field, the whole-feed FE
+// stats, AND timing (cycles, stalls, UIPC), since exact shards measure
+// clock deltas on the sequential run's own clock (see
+// sim.Config.MeasureOffsetInstrs). CI runs this under -race, making it
+// the data-race probe for the parallel shard path.
 func TestShardedReplayExactParity(t *testing.T) {
 	wl := workload.OLTPXL()
 	cfg := testConfig() // 100K warmup + 100K measure
@@ -106,17 +107,17 @@ func TestShardedReplayExactParity(t *testing.T) {
 			t.Errorf("%d shards: identity = %s/%s, want %s/%s", shards, m.Workload, m.Prefetcher, seq.Workload, seq.Prefetcher)
 		}
 
-		// Timing: approximate (per-shard rounding, cleared in-flight
-		// prefetches at shard resets).
-		const tolPct = 5
-		if !withinPct(m.Cycles, seq.Cycles, tolPct) {
-			t.Errorf("%d shards: Cycles = %d, want %d ±%d%%", shards, m.Cycles, seq.Cycles, tolPct)
+		// Timing: exact — per-shard clock deltas telescope to the
+		// sequential clock (the reset sits at the same warmup boundary
+		// in every shard).
+		if m.Cycles != seq.Cycles {
+			t.Errorf("%d shards: Cycles = %d, want %d", shards, m.Cycles, seq.Cycles)
 		}
-		if !withinPct(m.StallCycles, seq.StallCycles, tolPct) {
-			t.Errorf("%d shards: StallCycles = %d, want %d ±%d%%", shards, m.StallCycles, seq.StallCycles, tolPct)
+		if m.StallCycles != seq.StallCycles {
+			t.Errorf("%d shards: StallCycles = %d, want %d", shards, m.StallCycles, seq.StallCycles)
 		}
-		if seq.UIPC > 0 && math.Abs(m.UIPC-seq.UIPC)/seq.UIPC*100 > tolPct {
-			t.Errorf("%d shards: UIPC = %f, want %f ±%d%%", shards, m.UIPC, seq.UIPC, tolPct)
+		if m.UIPC != seq.UIPC {
+			t.Errorf("%d shards: UIPC = %v, want %v", shards, m.UIPC, seq.UIPC)
 		}
 
 		// Coverage derives from lossless counters, so it is exact too.
@@ -190,8 +191,13 @@ func TestSplitReplayPlans(t *testing.T) {
 			t.Fatalf("shard %d: measure differs between modes: %d vs %d", k, e.MeasureInstrs, a.MeasureInstrs)
 		}
 		total += e.MeasureInstrs
-		if e.Window.Off != 0 || e.WarmupInstrs != start || e.Window.Len != start+e.MeasureInstrs {
-			t.Errorf("shard %d exact: window %s warmup %d (span start %d)", k, e.Window, e.WarmupInstrs, start)
+		if e.Window.Off != 0 || e.WarmupInstrs != cfg.WarmupInstrs ||
+			e.MeasureOffsetInstrs != start-cfg.WarmupInstrs || e.Window.Len != start+e.MeasureInstrs {
+			t.Errorf("shard %d exact: window %s warmup %d offset %d (span start %d)",
+				k, e.Window, e.WarmupInstrs, e.MeasureOffsetInstrs, start)
+		}
+		if a.MeasureOffsetInstrs != 0 {
+			t.Errorf("shard %d approx: offset %d, want 0", k, a.MeasureOffsetInstrs)
 		}
 		if a.WarmupInstrs != cfg.WarmupInstrs || a.Window.Off != start-cfg.WarmupInstrs ||
 			a.Window.Len != cfg.WarmupInstrs+a.MeasureInstrs {

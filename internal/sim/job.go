@@ -156,8 +156,8 @@ func runOpened(ctx context.Context, j Job, p prefetch.Prefetcher, it trace.Itera
 		return Result{}, fmt.Errorf("sim: job for %q replays a source recorded from %q (%s)",
 			j.Workload.Name, info.Workload, info)
 	}
-	if need := j.Config.WarmupInstrs + j.Config.MeasureInstrs; info.Records > 0 && info.Records < need {
-		return Result{}, fmt.Errorf("sim: %s supplies %d records, need %d (warmup+measure)",
+	if need := j.Config.WarmupInstrs + j.Config.MeasureOffsetInstrs + j.Config.MeasureInstrs; info.Records > 0 && info.Records < need {
+		return Result{}, fmt.Errorf("sim: %s supplies %d records, need %d (warmup+offset+measure)",
 			info, info.Records, need)
 	}
 	return replayJob(ctx, j, p, it)
@@ -203,12 +203,27 @@ func liveJob(ctx context.Context, j Job, p prefetch.Prefetcher) (Result, error) 
 		}
 		s.resetStats()
 	}
+	var snap Result
+	if j.Config.MeasureOffsetInstrs > 0 {
+		// The offset runs with statistics accumulating (no reset): the
+		// measured interval is reported as deltas against this snapshot,
+		// so state and clock evolve exactly as in an offset-free run.
+		ex.Run(j.Config.MeasureOffsetInstrs, step)
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		snap = s.result(j.Workload.Name)
+	}
 	s.obs = j.Observer
 	ex.Run(j.Config.MeasureInstrs, step)
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	return s.result(j.Workload.Name), nil
+	res := s.result(j.Workload.Name)
+	if j.Config.MeasureOffsetInstrs > 0 {
+		res = res.deltaFrom(snap)
+	}
+	return res, nil
 }
 
 // replayBatch is the record batch replayJob decodes per NextBatch call:
@@ -255,9 +270,24 @@ func replayJob(ctx context.Context, j Job, p prefetch.Prefetcher, src trace.Iter
 		}
 		s.resetStats()
 	}
+	var snap Result
+	if j.Config.MeasureOffsetInstrs > 0 {
+		// Replay the offset with statistics accumulating (no reset) and
+		// snapshot; the measured interval is reported as deltas, so the
+		// simulator's state and clock match an offset-free replay at
+		// every record (see Config.MeasureOffsetInstrs).
+		if err := feed(j.Config.MeasureOffsetInstrs); err != nil {
+			return Result{}, err
+		}
+		snap = s.result(j.Workload.Name)
+	}
 	s.obs = j.Observer
 	if err := feed(j.Config.MeasureInstrs); err != nil {
 		return Result{}, err
 	}
-	return s.result(j.Workload.Name), nil
+	res := s.result(j.Workload.Name)
+	if j.Config.MeasureOffsetInstrs > 0 {
+		res = res.deltaFrom(snap)
+	}
+	return res, nil
 }

@@ -16,14 +16,27 @@ import (
 
 // ShardPlan describes one shard of a sharded single-trace replay: the
 // store window the shard pulls (its warmup prefix plus its measured
-// span) and the warmup/measure split to replay it under.
+// span) and the warmup/offset/measure split to replay it under.
 type ShardPlan struct {
 	// Window is the absolute record range the shard reads.
 	Window trace.Window
 	// WarmupInstrs is the prefix replayed before statistics reset.
 	WarmupInstrs uint64
+	// MeasureOffsetInstrs is replayed between the reset and the measured
+	// span with statistics accumulating (exact mode only; see
+	// Config.MeasureOffsetInstrs). Zero in approximate mode.
+	MeasureOffsetInstrs uint64
 	// MeasureInstrs is the shard's measured span.
 	MeasureInstrs uint64
+}
+
+// Config returns base with the plan's warmup/offset/measure split
+// applied — the per-shard job configuration.
+func (p ShardPlan) Config(base Config) Config {
+	base.WarmupInstrs = p.WarmupInstrs
+	base.MeasureOffsetInstrs = p.MeasureOffsetInstrs
+	base.MeasureInstrs = p.MeasureInstrs
+	return base
 }
 
 // SplitReplay plans a K-way shard of one trace replay under cfg's
@@ -31,18 +44,24 @@ type ShardPlan struct {
 // (earlier shards take the remainder records, so spans differ by at most
 // one).
 //
-// In exact mode every shard's warmup is the full trace prefix [0, start):
-// each shard's simulator reaches its measured span with byte-identical
-// state to the sequential run, so event counters merge losslessly
-// (MergeShardResults). Total decode work is quadratic-ish in K — the
-// prefix re-decode is the price of exactness — but decode is far cheaper
-// than simulation, which is what actually parallelizes.
+// In exact mode every shard replays the full trace prefix [0, start):
+// the configured warmup (reset at the same boundary as the sequential
+// run) followed by a measure offset that accumulates statistics up to
+// the shard's span, which is then reported as counter deltas (see
+// Config.MeasureOffsetInstrs). Each shard's simulator therefore reaches
+// its span with byte-identical state AND clock to the sequential run,
+// so everything — event counters, Cycles, StallCycles, UIPC — merges
+// losslessly (MergeShardResults). The prefix re-replay makes total work
+// quadratic-ish in K and leaves the last shard replaying the whole
+// trace, so exact mode buys bit-exact parity, not wall-clock speedup;
+// use approximate mode when throughput is the point.
 //
 // In approximate mode every shard warms with a fixed-length prefix of
 // cfg.WarmupInstrs records immediately preceding its span — the same
 // cache/predictor warming the sweep-window artifact measures — so work
-// scales linearly with the trace, and merged timing metrics land within
-// that artifact's window-position tolerances.
+// scales linearly with the trace and shards parallelize fully, while
+// merged metrics land within that artifact's window-position
+// tolerances rather than exactly.
 func SplitReplay(cfg Config, shards int, exact bool) ([]ShardPlan, error) {
 	if shards <= 0 {
 		return nil, fmt.Errorf("sim: shard count %d, want >= 1", shards)
@@ -64,9 +83,10 @@ func SplitReplay(cfg Config, shards int, exact bool) ([]ShardPlan, error) {
 		}
 		if exact {
 			plans[k] = ShardPlan{
-				Window:        trace.Window{Off: 0, Len: start + n},
-				WarmupInstrs:  start,
-				MeasureInstrs: n,
+				Window:              trace.Window{Off: 0, Len: start + n},
+				WarmupInstrs:        cfg.WarmupInstrs,
+				MeasureOffsetInstrs: start - cfg.WarmupInstrs,
+				MeasureInstrs:       n,
 			}
 		} else {
 			warm := cfg.WarmupInstrs
@@ -97,10 +117,15 @@ func SplitReplay(cfg Config, shards int, exact bool) ([]ShardPlan, error) {
 //     whole feed), so the last shard — whose feed is the full prefix plus
 //     the final span, i.e. the whole trace — carries the sequential run's
 //     FE stats verbatim. Merge takes them from it, not a sum.
-//   - Timing — Cycles, StallCycles, and therefore UIPC — is approximate:
-//     each shard rounds instrs/width and data-stall cycles independently,
-//     and in-flight prefetch completion times are cleared at each shard's
-//     reset. Sums land within tolerance of sequential, never exactly.
+//   - Timing — Cycles, StallCycles, and therefore UIPC — is exact under
+//     exact sharding: each shard reports delta-of-clock over its span
+//     against the sequential run's own clock (the reset sits at the
+//     same warmup boundary, and offsets accumulate rather than
+//     re-resetting; see Config.MeasureOffsetInstrs), so the per-shard
+//     deltas telescope to the sequential totals bit for bit. Under
+//     approximate sharding each shard rounds instrs/width and
+//     data-stall cycles from its own reset, so sums land within
+//     tolerance of sequential, not exactly.
 //
 // UIPC is recomputed from the merged totals.
 func MergeShardResults(shards []Result) (Result, error) {

@@ -35,6 +35,16 @@ type Config struct {
 	// WarmupInstrs executes before statistics are reset (checkpoint
 	// warming in the paper's methodology).
 	WarmupInstrs uint64
+	// MeasureOffsetInstrs executes after the warmup reset but before the
+	// measured interval, with statistics accumulating: the run snapshots
+	// its counters after the offset and reports the measured interval as
+	// deltas against that snapshot. Because the reset still happens at
+	// the warmup boundary — the same point as an offset-free run — the
+	// simulator's clock and state at every instruction are byte-identical
+	// to the sequential run's, which is what lets sharded replay
+	// (SplitReplay exact mode) reconstruct the sequential counters
+	// exactly, timing included. Zero for ordinary runs.
+	MeasureOffsetInstrs uint64
 	// MeasureInstrs is the measured instruction count.
 	MeasureInstrs uint64
 }
@@ -278,6 +288,29 @@ func (s *Simulator) result(workload string) Result {
 		StallCycles:      s.stall,
 		PrefetchesIssued: s.prefIssued,
 	}
+	if r.Cycles > 0 {
+		r.UIPC = float64(r.Instructions) / float64(r.Cycles)
+	}
+	return r
+}
+
+// deltaFrom subtracts an earlier snapshot of the same run from r,
+// leaving the counters of the interval between the two snapshot points
+// (Config.MeasureOffsetInstrs support). Every subtracted field is a
+// monotone counter since the warmup reset, so the difference is exact.
+// FE statistics are whole-feed by convention — never reset at the
+// warmup boundary — so they pass through untouched; UIPC is recomputed
+// over the interval.
+func (r Result) deltaFrom(prev Result) Result {
+	r.Instructions -= prev.Instructions
+	r.Cycles -= prev.Cycles
+	r.StallCycles -= prev.StallCycles
+	r.CorrectAccesses -= prev.CorrectAccesses
+	r.CorrectMisses -= prev.CorrectMisses
+	r.CoveredMisses -= prev.CoveredMisses
+	r.PrefetchesIssued -= prev.PrefetchesIssued
+	r.L1.Sub(prev.L1)
+	r.UIPC = 0
 	if r.Cycles > 0 {
 		r.UIPC = float64(r.Instructions) / float64(r.Cycles)
 	}

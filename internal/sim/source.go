@@ -59,6 +59,18 @@ func (si SourceInfo) String() string {
 	}
 }
 
+// Slicer is implemented by sources that can address a contiguous
+// sub-range of their records: sharded sweep execution slices a cell's
+// source into per-shard windows (sweep.Settings.Shards), so any source
+// implementing Slicer can be sharded. w.Off is relative to the source's
+// own first record; slicing composes, so a slice of a slice addresses
+// the grand-parent range. Out-of-range windows are an error — at Slice
+// time when the source knows its length, otherwise at Open.
+type Slicer interface {
+	Source
+	Slice(w trace.Window) (Source, error)
+}
+
 // SourceFunc adapts a function to the Source interface.
 type SourceFunc func(ctx context.Context) (trace.Iterator, SourceInfo, error)
 
@@ -126,6 +138,12 @@ func (s storeSource) Open(ctx context.Context) (trace.Iterator, SourceInfo, erro
 	}, nil
 }
 
+// Slice implements Slicer: a window of a whole-store source is a slice
+// source; the store index validates bounds when the slice opens.
+func (s storeSource) Slice(w trace.Window) (Source, error) {
+	return SliceSource(s.dir, w), nil
+}
+
 // sliceSource replays one window of a sharded store.
 type sliceSource struct {
 	dir string
@@ -153,6 +171,16 @@ func (s sliceSource) Open(ctx context.Context) (trace.Iterator, SourceInfo, erro
 		Path:     s.dir,
 		Window:   s.w,
 	}, nil
+}
+
+// Slice implements Slicer: windows compose, so a slice of a slice
+// re-addresses the store with the offsets added. The sub-window must
+// lie inside this slice's own range.
+func (s sliceSource) Slice(w trace.Window) (Source, error) {
+	if w.End() > s.w.Len {
+		return nil, fmt.Errorf("sim: slice window %s exceeds source window %s", w, s.w)
+	}
+	return SliceSource(s.dir, trace.Window{Off: s.w.Off + w.Off, Len: w.Len}), nil
 }
 
 // OpenerSource adapts a bare iterator factory to the Source interface —

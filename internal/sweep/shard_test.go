@@ -1,0 +1,200 @@
+package sweep
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// recordSweepStore records warmup+measure records of wl into a store.
+func recordSweepStore(t *testing.T, dir string, wl workload.Profile, cfg sim.Config) {
+	t.Helper()
+	prog, err := workload.BuildProgram(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := workload.NewIterator(prog, cfg.WarmupInstrs, cfg.MeasureInstrs)
+	defer it.Close()
+	if _, err := trace.BuildStore(dir, wl.Name, 1<<12, it, cfg.WarmupInstrs, cfg.MeasureInstrs); err != nil {
+		t.Fatalf("BuildStore: %v", err)
+	}
+}
+
+// shardSpec is a two-cell replay sweep over one recorded store.
+func shardSpec(wl workload.Profile, dir string) Spec {
+	return Spec{
+		Name: "sh",
+		Base: tinySim(),
+		Axes: []Axis{
+			WorkloadAxis("workload", []workload.Profile{wl}),
+			EngineAxis("engine", "pif", "nextline"),
+			SourceAxis("source", []SourceChoice{{
+				Key: "store",
+				New: func(s *Settings) sim.Source { return sim.StoreSource(dir) },
+			}}),
+		},
+	}
+}
+
+// TestShardedSweepExactParity is the sweep-level parity bar: a grid run
+// with BaseShards > 1 must produce per-cell sim.Results bit-identical
+// to the unsharded grid — keys, labels, and every metric including
+// timing — which is what keeps `experiments diff` at exit 0 across
+// sharded and unsharded runs.
+func TestShardedSweepExactParity(t *testing.T) {
+	wl := tinyProfile("Tiny Sh", 3)
+	cfg := tinySim()
+	dir := filepath.Join(t.TempDir(), "store")
+	recordSweepStore(t, dir, wl, cfg)
+
+	spec := shardSpec(wl, dir)
+	plain, err := Run(PoolEngine{Workers: 4}, spec)
+	if err != nil {
+		t.Fatalf("unsharded run: %v", err)
+	}
+	spec.BaseShards = 3
+	sharded, err := Run(PoolEngine{Workers: 4}, spec)
+	if err != nil {
+		t.Fatalf("sharded run: %v", err)
+	}
+	if len(plain.Results) != len(sharded.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(plain.Results), len(sharded.Results))
+	}
+	for i := range plain.Results {
+		a, b := plain.Results[i], sharded.Results[i]
+		if plain.Cells[i].Key != sharded.Cells[i].Key {
+			t.Errorf("cell %d key %q vs %q", i, plain.Cells[i].Key, sharded.Cells[i].Key)
+		}
+		if b.Index != i || b.Label != plain.Cells[i].Label {
+			t.Errorf("cell %d folded identity: index %d label %q", i, b.Index, b.Label)
+		}
+		if !reflect.DeepEqual(a.Sim, b.Sim) {
+			t.Errorf("cell %s: sharded result diverges\nunsharded: %+v\nsharded:   %+v",
+				plain.Cells[i].Key, a.Sim, b.Sim)
+		}
+	}
+
+	// The persisted per-job forms must match too (Data is what
+	// experiments diff compares).
+	ja, err := plain.ReportJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := sharded.ReportJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ja {
+		if ja[i].Key != jb[i].Key || string(ja[i].Data) != string(jb[i].Data) {
+			t.Errorf("job %s: persisted data diverges", ja[i].Key)
+		}
+	}
+}
+
+// TestShardedSweepApproximate exercises the throughput mode: results
+// stay close to unsharded but the grid still executes and folds.
+func TestShardedSweepApproximate(t *testing.T) {
+	wl := tinyProfile("Tiny ShA", 4)
+	cfg := tinySim()
+	dir := filepath.Join(t.TempDir(), "store")
+	recordSweepStore(t, dir, wl, cfg)
+
+	spec := shardSpec(wl, dir)
+	spec.BaseShards = 4
+	spec.BaseShardApprox = true
+	g, err := Run(PoolEngine{Workers: 4}, spec)
+	if err != nil {
+		t.Fatalf("approx sharded run: %v", err)
+	}
+	for i, r := range g.Results {
+		if r.Err != nil {
+			t.Fatalf("cell %s: %v", g.Cells[i].Key, r.Err)
+		}
+		if r.Sim.Instructions != cfg.MeasureInstrs {
+			t.Errorf("cell %s: instructions = %d, want %d", g.Cells[i].Key, r.Sim.Instructions, cfg.MeasureInstrs)
+		}
+	}
+}
+
+// TestShardsAxis sweeps the shard count itself: every cell of a
+// shards-axis grid must agree exactly (exact mode), and the axis
+// extends cell keys.
+func TestShardsAxis(t *testing.T) {
+	wl := tinyProfile("Tiny ShX", 5)
+	cfg := tinySim()
+	dir := filepath.Join(t.TempDir(), "store")
+	recordSweepStore(t, dir, wl, cfg)
+
+	spec := Spec{
+		Name: "shx",
+		Base: cfg,
+		Axes: []Axis{
+			WorkloadAxis("workload", []workload.Profile{wl}),
+			EngineAxis("engine", "pif"),
+			SourceAxis("source", []SourceChoice{{
+				Key: "store",
+				New: func(s *Settings) sim.Source { return sim.StoreSource(dir) },
+			}}),
+			ShardsAxis("shards", []int{1, 2, 4}),
+		},
+	}
+	g, err := Run(PoolEngine{Workers: 4}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 3 {
+		t.Fatalf("size = %d, want 3", g.Size())
+	}
+	if !strings.HasSuffix(g.Cells[1].Key, "_shards-2") {
+		t.Errorf("cell 1 key = %q, want _shards-2 suffix", g.Cells[1].Key)
+	}
+	base := g.Results[0].Sim
+	for i := 1; i < g.Size(); i++ {
+		if !reflect.DeepEqual(g.Results[i].Sim, base) {
+			t.Errorf("cell %s diverges from unsharded:\n%+v\nvs\n%+v", g.Cells[i].Key, g.Results[i].Sim, base)
+		}
+	}
+}
+
+// TestShardedSweepErrors pins the failure modes: sharded cells refuse
+// non-sliceable sources, Grid.Jobs refuses sharded cells, and a shard
+// count exceeding the measured interval fails at planning.
+func TestShardedSweepErrors(t *testing.T) {
+	wl := tinyProfile("Tiny ShE", 6)
+	spec := Spec{
+		Name:       "she",
+		Base:       tinySim(),
+		BaseShards: 2,
+		Axes: []Axis{
+			WorkloadAxis("workload", []workload.Profile{wl}),
+			EngineAxis("engine", "pif"),
+		},
+	}
+	// Live cells (no source) cannot shard.
+	if _, err := Run(PoolEngine{Workers: 2}, spec); err == nil || !strings.Contains(err.Error(), "not sliceable") {
+		t.Errorf("live sharded run error = %v, want not-sliceable", err)
+	}
+	g, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Jobs(); err == nil || !strings.Contains(err.Error(), "sweep.Run") {
+		t.Errorf("Jobs on sharded grid = %v, want run-through-Run error", err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "store")
+	recordSweepStore(t, dir, wl, tinySim())
+	spec.Axes = append(spec.Axes, SourceAxis("source", []SourceChoice{{
+		Key: "store",
+		New: func(s *Settings) sim.Source { return sim.StoreSource(dir) },
+	}}))
+	spec.BaseShards = int(tinySim().MeasureInstrs) + 1
+	if _, err := Run(PoolEngine{Workers: 2}, spec); err == nil || !strings.Contains(err.Error(), "shards") {
+		t.Errorf("oversharded run error = %v, want shard-count error", err)
+	}
+}

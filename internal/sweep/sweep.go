@@ -21,6 +21,7 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/prefetch"
@@ -64,6 +65,22 @@ type Settings struct {
 	// store or a window of one) instead of live workload execution; set
 	// by a source axis.
 	Source sim.Source
+	// Shards, when > 1, makes the cell execute as that many window-shard
+	// jobs planned by sim.SplitReplay — each replaying a slice of the
+	// cell's source — and stitched back into one result with
+	// sim.MergeShardResults. The cell's key, label, and persisted result
+	// are unchanged; only its execution fans out, so one XL cell can use
+	// many workers (local or remote). Requires a sliceable source
+	// (sim.Slicer): store and slice sources shard, live execution does
+	// not. Seeded from Spec.BaseShards or set by a shards axis.
+	Shards int
+	// ShardApprox selects approximate (fixed-warmup) shard planning:
+	// shards parallelize fully — the throughput mode — but the stitched
+	// result matches the unsharded cell only within window tolerances.
+	// The default (false) is exact planning: the merged result is
+	// bit-identical to the unsharded cell (diffs stay clean), at the
+	// cost of each shard re-replaying its prefix.
+	ShardApprox bool
 }
 
 // MergeEngine overlays an engine spec onto the cell: the engine name is
@@ -232,6 +249,23 @@ func ParamAxis(name, param string, key, label func(v int) string, ints []int) Ax
 	return ax
 }
 
+// ShardsAxis builds a shard-count axis: each value sets how many
+// window-shard jobs the cell's execution fans out into (1 = unsharded;
+// see Settings.Shards). Unlike Spec.BaseShards — which leaves cell keys
+// untouched for clean sharded-vs-unsharded diffs — an axis makes the
+// shard count a swept coordinate, for studying sharding itself.
+func ShardsAxis(name string, counts []int) Axis {
+	ax := Axis{Name: name}
+	for _, v := range counts {
+		v := v
+		ax.Values = append(ax.Values, Value{
+			Key:   strconv.Itoa(v),
+			Apply: func(s *Settings) { s.Shards = v },
+		})
+	}
+	return ax
+}
+
 // Spec declares a design-space sweep.
 type Spec struct {
 	// Name identifies the sweep; it prefixes cell keys and default job
@@ -244,6 +278,13 @@ type Spec struct {
 	// (typically a bare registry name); engine and engine-parameter axes
 	// merge into it.
 	BaseEngine prefetch.Spec
+	// BaseShards seeds every cell's shard count (see Settings.Shards);
+	// the `-shards K` CLI path. Cell keys and labels are unaffected, so
+	// a sharded run diffs directly against an unsharded one. A shards
+	// axis overrides it per cell (and does extend the key).
+	BaseShards int
+	// BaseShardApprox seeds Settings.ShardApprox.
+	BaseShardApprox bool
 	// Axes are the swept dimensions, crossed in order: the last axis
 	// varies fastest (row-major expansion).
 	Axes []Axis
@@ -355,9 +396,11 @@ func (s Spec) Expand() (*Grid, error) {
 		c.Index = idx
 		c.Point = make(Point, len(s.Axes))
 		c.Settings = Settings{
-			Sim:    s.Base,
-			Params: map[string]float64{},
-			Engine: s.BaseEngine,
+			Sim:         s.Base,
+			Params:      map[string]float64{},
+			Engine:      s.BaseEngine,
+			Shards:      s.BaseShards,
+			ShardApprox: s.BaseShardApprox,
 		}
 		var key, label strings.Builder
 		key.WriteString(s.Name)
@@ -401,26 +444,42 @@ func (s Spec) Expand() (*Grid, error) {
 	return g, nil
 }
 
-// Jobs converts every cell into a runner.Job in row-major order. It fails
-// if any cell lacks an engine spec or names no workload.
+// cellJob validates a cell and converts it into its single (unsharded)
+// runner.Job.
+func (g *Grid) cellJob(c *Cell) (runner.Job, error) {
+	if c.Settings.Workload.Name == "" {
+		return runner.Job{}, fmt.Errorf("sweep %s: cell %s names no workload (add a WorkloadAxis)", g.Spec.Name, c.Key)
+	}
+	if c.Settings.Engine.Name == "" {
+		return runner.Job{}, fmt.Errorf("sweep %s: cell %s names no engine (add an engine axis or BaseEngine)", g.Spec.Name, c.Key)
+	}
+	return runner.Job{
+		Label:      c.Label,
+		Workload:   c.Settings.Workload,
+		Config:     c.Settings.Sim,
+		Engine:     c.Settings.Engine,
+		Instrument: c.Settings.Instrument,
+		Source:     c.Settings.Source,
+	}, nil
+}
+
+// Jobs converts every cell into a runner.Job in row-major order, one job
+// per cell. It fails if any cell lacks an engine spec, names no
+// workload, or requests sharded execution — sharded cells expand to
+// several jobs and must run through Run, which plans and stitches them.
 func (g *Grid) Jobs() ([]runner.Job, error) {
 	jobs := make([]runner.Job, len(g.Cells))
 	for i := range g.Cells {
 		c := &g.Cells[i]
-		if c.Settings.Workload.Name == "" {
-			return nil, fmt.Errorf("sweep %s: cell %s names no workload (add a WorkloadAxis)", g.Spec.Name, c.Key)
+		if c.Settings.Shards > 1 {
+			return nil, fmt.Errorf("sweep %s: cell %s requests %d shards; sharded cells run through sweep.Run, not Jobs",
+				g.Spec.Name, c.Key, c.Settings.Shards)
 		}
-		if c.Settings.Engine.Name == "" {
-			return nil, fmt.Errorf("sweep %s: cell %s names no engine (add an engine axis or BaseEngine)", g.Spec.Name, c.Key)
+		j, err := g.cellJob(c)
+		if err != nil {
+			return nil, err
 		}
-		jobs[i] = runner.Job{
-			Label:      c.Label,
-			Workload:   c.Settings.Workload,
-			Config:     c.Settings.Sim,
-			Engine:     c.Settings.Engine,
-			Instrument: c.Settings.Instrument,
-			Source:     c.Settings.Source,
-		}
+		jobs[i] = j
 	}
 	return jobs, nil
 }
@@ -437,20 +496,25 @@ type Engine interface {
 	ForEach(n int, fn func(i int) error) error
 }
 
-// Run expands the spec and executes every cell as a simulation job through
-// the engine's pool. The grid's Results are attached even when the run
-// fails partway (canceled contexts, job errors), so callers can salvage
-// completed cells; the error reports the first failure.
+// Run expands the spec and executes every cell through the engine's
+// pool. Unsharded cells run as one simulation job each; cells with
+// Settings.Shards > 1 fan out into per-window shard jobs (all cells'
+// jobs travel in one flat batch, so shards of one cell and other cells
+// parallelize together) and are stitched back into one per-cell result
+// by sim.MergeShardResults. The grid's Results are attached even when
+// the run fails partway (canceled contexts, job errors), so callers can
+// salvage completed cells; the error reports the first failure.
 func Run(eng Engine, s Spec) (*Grid, error) {
 	g, err := s.Expand()
 	if err != nil {
 		return nil, err
 	}
-	jobs, err := g.Jobs()
+	p, err := g.plan()
 	if err != nil {
 		return nil, err
 	}
-	g.Results, err = eng.RunJobs(jobs)
+	results, err := eng.RunJobs(p.jobs)
+	g.Results = p.fold(g, results)
 	return g, err
 }
 

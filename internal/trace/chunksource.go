@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// errMmapUnsupported is what mmapChunk reports on platforms without a
+// usable mmap syscall (see mmap_stub.go).
+var errMmapUnsupported = errors.New("trace: mmap is not supported on this platform")
+
+// ChunkSource abstracts how a store's chunk file images reach the
+// decoder. The ReadFile implementation copies each chunk into a fresh
+// heap buffer (the portable baseline); the mmap implementation maps the
+// chunk file and decodes straight from the page cache with zero copies.
+//
+// ChunkData returns the raw image of chunk i — header included — plus a
+// release callback that gives the bytes back (munmap on the mmap path,
+// a no-op on the heap path). The returned data is valid only until
+// release is called; callers must not retain sub-slices past it.
+// ChunkReader owns its chunk's release and invokes it exactly once from
+// Close, which is the single point where a mapping is torn down — the
+// lifetime rule that makes Seek/Close during decode safe (see DESIGN.md
+// §13).
+type ChunkSource interface {
+	ChunkData(i int) (data []byte, release func(), err error)
+	// Kind names the implementation: "mmap" or "readfile".
+	Kind() string
+}
+
+// ChunkSourceMode selects a store's chunk source at open time.
+type ChunkSourceMode int
+
+const (
+	// ChunkSourceAuto maps chunks when the platform supports it and a
+	// probe mapping of the first chunk succeeds, falling back to
+	// ReadFile otherwise. This is what OpenStore uses.
+	ChunkSourceAuto ChunkSourceMode = iota
+	// ChunkSourceMmap requires the mmap path; opening fails on
+	// platforms or filesystems that cannot map.
+	ChunkSourceMmap
+	// ChunkSourceReadFile forces the heap-copy path.
+	ChunkSourceReadFile
+)
+
+// readFileSource is the portable chunk source: one os.ReadFile per
+// chunk, image lifetime managed by the garbage collector.
+type readFileSource struct{ dir string }
+
+func (s readFileSource) ChunkData(i int) ([]byte, func(), error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, ChunkFileName(i)))
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: open chunk: %w", err)
+	}
+	return data, func() {}, nil
+}
+
+func (s readFileSource) Kind() string { return "readfile" }
+
+// mmapSource maps each chunk file read-only. Every ChunkData call owns
+// an independent mapping, released by its own callback, so concurrent
+// readers of one store never share mapping lifetime. A per-chunk map
+// failure after a store opened successfully falls back to a heap read
+// for that chunk rather than failing the replay.
+type mmapSource struct{ dir string }
+
+func (s mmapSource) ChunkData(i int) ([]byte, func(), error) {
+	path := filepath.Join(s.dir, ChunkFileName(i))
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: open chunk: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: open chunk: %w", err)
+	}
+	if fi.Size() == 0 {
+		// A zero-length mapping is an error on every platform; an empty
+		// image produces the same short-header diagnosis either way.
+		return nil, func() {}, nil
+	}
+	data, release, err := mmapChunk(f, int(fi.Size()))
+	if err != nil {
+		// The store-level probe passed, so this is a transient or
+		// per-file condition (e.g. resource limits): degrade to a copy.
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, nil, fmt.Errorf("trace: open chunk: %w", rerr)
+		}
+		return data, func() {}, nil
+	}
+	madviseSequential(data)
+	return data, release, nil
+}
+
+func (s mmapSource) Kind() string { return "mmap" }
+
+// newChunkSource selects the chunk source for a store per mode. In auto
+// mode a store with at least one chunk is probed by mapping its first
+// chunk; any failure — unsupported platform, filesystem without mmap,
+// permissions — silently selects the ReadFile fallback. Explicitly
+// requesting mmap is strict: probe failure is the caller's error.
+func newChunkSource(dir string, ix Index, mode ChunkSourceMode) (ChunkSource, error) {
+	switch mode {
+	case ChunkSourceReadFile:
+		return readFileSource{dir}, nil
+	case ChunkSourceMmap, ChunkSourceAuto:
+		err := probeMmap(dir, ix)
+		if err == nil {
+			return mmapSource{dir}, nil
+		}
+		if mode == ChunkSourceMmap {
+			return nil, fmt.Errorf("trace: mmap chunk source unavailable for %s: %w", dir, err)
+		}
+		return readFileSource{dir}, nil
+	default:
+		return nil, fmt.Errorf("trace: unknown chunk source mode %d", mode)
+	}
+}
+
+// probeMmap checks that chunk files in dir can actually be mapped by
+// mapping the first chunk and immediately releasing it. Chunk-less
+// stores probe the platform capability only.
+func probeMmap(dir string, ix Index) error {
+	if !mmapSupported {
+		return errMmapUnsupported
+	}
+	if len(ix.Chunks) == 0 {
+		return nil
+	}
+	f, err := os.Open(filepath.Join(dir, ChunkFileName(0)))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if fi.Size() == 0 {
+		return nil
+	}
+	_, release, err := mmapChunk(f, int(fi.Size()))
+	if err != nil {
+		return err
+	}
+	release()
+	return nil
+}

@@ -1,0 +1,15 @@
+//go:build linux
+
+package trace
+
+import "syscall"
+
+// madviseSequential hints the kernel that the mapping will be read
+// front-to-back, so readahead runs ahead of the decoder aggressively —
+// the mmap path's replacement for the StoreReader readahead goroutine.
+// Advice is best-effort; a kernel that refuses it costs nothing.
+func madviseSequential(b []byte) {
+	if len(b) > 0 {
+		syscall.Madvise(b, syscall.MADV_SEQUENTIAL)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package trace
+
+// madviseSequential is a no-op where the stdlib syscall package exposes
+// no Madvise (everywhere but linux); the kernel's default mapped-page
+// readahead still applies.
+func madviseSequential(b []byte) {}

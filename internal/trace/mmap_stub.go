@@ -1,0 +1,15 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package trace
+
+import "os"
+
+// mmapSupported reports whether this build can map chunk files at all;
+// auto-mode source selection short-circuits to ReadFile when false.
+const mmapSupported = false
+
+// mmapChunk always fails on platforms without a usable mmap syscall;
+// OpenStore's auto mode falls back to the ReadFile source.
+var mmapChunk = func(f *os.File, size int) ([]byte, func(), error) {
+	return nil, nil, errMmapUnsupported
+}

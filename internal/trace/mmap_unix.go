@@ -1,0 +1,24 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this build can map chunk files at all;
+// auto-mode source selection short-circuits to ReadFile when false.
+const mmapSupported = true
+
+// mmapChunk maps size bytes of f read-only and returns the mapping plus
+// its teardown. It is a variable so tests can force mapping failures
+// (exercising both the open-time fallback and the per-chunk degrade
+// path) without needing an unmappable filesystem.
+var mmapChunk = func(f *os.File, size int) ([]byte, func(), error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() { syscall.Munmap(data) }, nil
+}

@@ -422,32 +422,51 @@ func ReadIndex(dir string) (Index, error) {
 // version, ordinal (uint32 each) plus the base PC (uint64).
 const chunkHeaderSize = 3*4 + 8
 
-// ChunkReader decodes one chunk file. It implements Iterator and
+// ChunkReader decodes one chunk image. It implements Iterator and
 // BatchIterator, returning io.EOF after exactly the record count the index
 // promises; a chunk that ends early or holds extra records is reported as
-// corrupt. The whole chunk image is loaded into memory at open — chunks
-// are a few megabytes by construction — so decoding is a pure slice walk
-// with no reader abstraction or syscalls on the record path.
+// corrupt. The image comes from a ChunkSource — either a heap copy of the
+// chunk file or an mmap of it — so decoding is a pure slice walk with no
+// reader abstraction or syscalls on the record path. The reader owns the
+// image's release callback and invokes it exactly once, from Close; on
+// the mmap path that is the only point a mapping is torn down, so no
+// decode can ever touch an unmapped page while the reader is open.
 type ChunkReader struct {
 	buf       []byte // chunk payload (header stripped)
 	off       int
 	lastPC    isa.Addr
 	remaining uint64
 	ordinal   int
+	release   func() // returns the image to its source; nil after Close
 }
 
 // OpenChunk opens chunk i of the store described by ix at dir, validating
 // the chunk header against the index. The chunk file is read into memory
-// in full.
+// in full (the ReadFile source); use OpenChunkFrom to decode through a
+// specific ChunkSource.
 func OpenChunk(dir string, ix Index, i int) (*ChunkReader, error) {
+	return OpenChunkFrom(readFileSource{dir}, ix, i)
+}
+
+// OpenChunkFrom opens chunk i of the store described by ix through src,
+// validating the chunk header against the index.
+func OpenChunkFrom(src ChunkSource, ix Index, i int) (*ChunkReader, error) {
 	if i < 0 || i >= len(ix.Chunks) {
 		return nil, fmt.Errorf("trace: chunk %d out of range [0,%d)", i, len(ix.Chunks))
 	}
-	data, err := os.ReadFile(filepath.Join(dir, ChunkFileName(i)))
+	data, release, err := src.ChunkData(i)
 	if err != nil {
-		return nil, fmt.Errorf("trace: open chunk: %w", err)
+		return nil, err
 	}
-	return newChunkReader(data, ix, i)
+	c, err := newChunkReader(data, ix, i)
+	if err != nil {
+		if release != nil {
+			release()
+		}
+		return nil, err
+	}
+	c.release = release
+	return c, nil
 }
 
 // newChunkReader validates data as the image of chunk i and returns its
@@ -589,11 +608,18 @@ func (c *ChunkReader) NextBatch(dst []Record) (int, error) {
 // Records reports how many records the chunk can still supply.
 func (c *ChunkReader) Records() uint64 { return c.remaining }
 
-// Close releases the chunk image. Retained for compatibility with the
-// file-backed reader this type once was; the in-memory reader holds no
-// handle, so Close never fails.
+// Close releases the chunk image back to its source — on the mmap path
+// this unmaps the pages. The buffer is nilled first, so a use-after-
+// Close decodes an empty chunk (clean error surface) rather than
+// touching an unmapped page; calling Close again is a no-op. Close
+// never fails.
 func (c *ChunkReader) Close() error {
 	c.buf = nil
+	if c.release != nil {
+		rel := c.release
+		c.release = nil
+		rel()
+	}
 	return nil
 }
 
@@ -610,15 +636,21 @@ type raChunk struct {
 // peak memory is bounded by the chunk size, not the trace length. It
 // implements Iterator and BatchIterator.
 //
-// While chunk N is being decoded, a readahead goroutine loads chunk N+1
-// from disk, so file I/O overlaps decode instead of serializing with it.
-// The readahead channel is buffered (capacity 1) and the goroutine's only
-// action is a send into it, so an abandoned readahead — Seek away, Close,
-// or an error path — can never leak the goroutine; the chunk image is
-// simply dropped for the collector.
+// On the ReadFile path, while chunk N is being decoded a readahead
+// goroutine loads chunk N+1 from disk, so file I/O overlaps decode
+// instead of serializing with it. The readahead channel is buffered
+// (capacity 1) and the goroutine's only action is a send into it, so an
+// abandoned readahead — Seek away, Close, or an error path — can never
+// leak the goroutine; the chunk image is simply dropped for the
+// collector. On the mmap path the readahead goroutine never starts:
+// the kernel prefetches mapped pages (helped by madvise(SEQUENTIAL)),
+// and an abandoned readahead would otherwise strand a mapping no one
+// ever unmaps — readaheads are owned by nobody until consumed, which
+// only GC-managed images tolerate.
 type StoreReader struct {
 	dir      string
 	ix       Index
+	src      ChunkSource
 	next     int // next chunk ordinal to open
 	cur      *ChunkReader
 	consumed uint64       // records handed out (or skipped past) so far
@@ -626,13 +658,32 @@ type StoreReader struct {
 }
 
 // OpenStore opens the store directory at dir, positioned at record 0.
+// Chunks are decoded from mapped pages when the platform and filesystem
+// support it, falling back to per-chunk heap reads otherwise
+// (ChunkSourceAuto); use OpenStoreMode to pin a path.
 func OpenStore(dir string) (*StoreReader, error) {
+	return OpenStoreMode(dir, ChunkSourceAuto)
+}
+
+// OpenStoreMode opens the store directory at dir with an explicit chunk
+// source selection. ChunkSourceMmap fails where mapping is unavailable;
+// ChunkSourceAuto (what OpenStore uses) falls back to ReadFile.
+func OpenStoreMode(dir string, mode ChunkSourceMode) (*StoreReader, error) {
 	ix, err := ReadIndex(dir)
 	if err != nil {
 		return nil, err
 	}
-	return &StoreReader{dir: dir, ix: ix}, nil
+	src, err := newChunkSource(dir, ix, mode)
+	if err != nil {
+		return nil, err
+	}
+	return &StoreReader{dir: dir, ix: ix, src: src}, nil
 }
+
+// ChunkSourceKind reports which chunk source the store opened with:
+// "mmap" or "readfile". Benchmark artifacts record it so numbers are
+// comparable across machines.
+func (r *StoreReader) ChunkSourceKind() string { return r.src.Kind() }
 
 // Index returns the store's index.
 func (r *StoreReader) Index() Index { return r.ix }
@@ -644,15 +695,17 @@ func (r *StoreReader) Header() Header { return r.ix.Header() }
 func (r *StoreReader) Workload() string { return r.ix.Workload }
 
 // startReadahead kicks off a background load of the next chunk ordinal if
-// one exists and none is already in flight.
+// one exists and none is already in flight. Readahead runs only on the
+// ReadFile path: mapped chunks are prefetched by the kernel, and a
+// readahead mapping abandoned by Seek/Close would never be unmapped.
 func (r *StoreReader) startReadahead() {
-	if r.ra != nil || r.next >= len(r.ix.Chunks) {
+	if r.ra != nil || r.next >= len(r.ix.Chunks) || r.src.Kind() != "readfile" {
 		return
 	}
 	ch := make(chan raChunk, 1)
-	dir, ix, ord := r.dir, r.ix, r.next
+	src, ix, ord := r.src, r.ix, r.next
 	go func() {
-		c, err := OpenChunk(dir, ix, ord)
+		c, err := OpenChunkFrom(src, ix, ord)
 		ch <- raChunk{ordinal: ord, c: c, err: err}
 	}()
 	r.ra = ch
@@ -671,11 +724,15 @@ func (r *StoreReader) openNextChunk() error {
 		r.ra = nil
 		if ra.ordinal == ord && ra.err == nil {
 			c = ra.c
+		} else if ra.c != nil {
+			// A stale readahead's image goes back to its source
+			// immediately instead of waiting on the collector.
+			ra.c.Close()
 		}
 	}
 	if c == nil {
 		var err error
-		c, err = OpenChunk(r.dir, r.ix, ord)
+		c, err = OpenChunkFrom(r.src, r.ix, ord)
 		if err != nil {
 			return err
 		}
@@ -768,7 +825,7 @@ func (r *StoreReader) Seek(n uint64) error {
 	var cum uint64
 	for i, c := range r.ix.Chunks {
 		if n < cum+c.Records {
-			cr, err := OpenChunk(r.dir, r.ix, i)
+			cr, err := OpenChunkFrom(r.src, r.ix, i)
 			if err != nil {
 				return err
 			}
@@ -798,10 +855,14 @@ func (r *StoreReader) ReadAll() (Stream, error) {
 	return collect(r, r.Records())
 }
 
-// Close releases any open chunk and abandons any in-flight readahead. The
-// reader must not be used afterwards.
+// Close releases any open chunk (on the mmap path, unmapping it) and
+// abandons any in-flight readahead. The reader is pinned at end-of-
+// stream: later calls see io.EOF rather than reopening chunks, so a
+// use-after-Close can never race a released mapping.
 func (r *StoreReader) Close() error {
 	r.ra = nil
+	r.consumed = r.ix.Records()
+	r.next = len(r.ix.Chunks)
 	if r.cur == nil {
 		return nil
 	}

@@ -104,3 +104,17 @@ budget_args=(sweep -quick -name tuned-budget
 "$bin/experiments" diff "$work/budget-local" "$work/budget-remote"
 
 echo "remote smoke: tuned engine sweeps (history, budget axes) identical local vs remote"
+
+# Sharded sweep cells through the remote backend: -shards splits every
+# cell into window-shard jobs (wire v3 carries the measure offset), the
+# worker fleet runs the shards, and the stitched per-cell results must
+# diff clean against the unsharded sweep run locally (DESIGN.md §13).
+shard_args=(sweep -quick -warmup 1000000 -measure 1000000 -name sharded
+    -axis "workload=OLTP DB2" -axis engine=pif,tifs
+    -axis "source=store@$store")
+
+"$bin/experiments" "${shard_args[@]}" -out "$work/shard-local"
+"$bin/experiments" "${shard_args[@]}" -shards 3 -backend "remote@$addr" -out "$work/shard-remote"
+"$bin/experiments" diff "$work/shard-local" "$work/shard-remote"
+
+echo "remote smoke: sharded sweep cells (-shards 3) identical to unsharded local run"
