@@ -37,15 +37,27 @@
 //	experiments sweep -axis name=v1,v2,... [-axis ...] [-source SPEC]
 //	            [-shards K] [-quick] [-warmup N] [-measure N] [-parallel N]
 //	            [-tracedir DIR] [-out DIR] [-v]
-//	experiments diff [-abs X] [-rel Y] DIR_A DIR_B
+//	experiments diff [-abs X] [-rel Y] [-json] [-svc ADDR] A B
+//	experiments submit -svc ADDR -axis name=v1,v2,... [sweep flags] [-wait]
+//	experiments status -svc ADDR [-json] [RUN_ID ...]
 //
 // diff exit codes: 0 = within tolerance, 1 = metric drift beyond
 // tolerance, 2 = usage or load error, 3 = artifact/job sets differ (a
-// comparison-setup problem, not metric drift).
+// comparison-setup problem, not metric drift). -json emits the same
+// verdict as a machine-readable report on stdout.
+//
+// The submit, status, and diff -svc modes are thin clients of a pifexpd
+// experiment service: submit queues a sweep (the spec flags mean exactly
+// what they mean under `experiments sweep`) and prints the run ID alone
+// on stdout, status lists or follows runs, and diff -svc compares
+// service runs — or a service run against a local -out directory, which
+// is shipped inline — through the service's diff endpoint. -auth-token
+// authenticates against a token-protected service or coordinator.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -66,6 +78,10 @@ func main() {
 			os.Exit(diffMain(os.Args[2:]))
 		case "sweep":
 			os.Exit(sweepMain(os.Args[2:]))
+		case "submit":
+			os.Exit(submitMain(os.Args[2:]))
+		case "status":
+			os.Exit(statusMain(os.Args[2:]))
 		}
 	}
 	os.Exit(runMain())
@@ -77,12 +93,13 @@ func main() {
 // resolves store/slice record sources against it. The profiling flags
 // ride along too (-cpuprofile/-memprofile; callers Start after parsing
 // and defer Stop).
-func scaleFlags(fs *flag.FlagSet) (quick *bool, warmup, measure *uint64, parallel *int, traceDir, out, backend *string, verbose *bool, profile *prof.Flags) {
+func scaleFlags(fs *flag.FlagSet) (quick *bool, warmup, measure *uint64, parallel *int, traceDir, out, backend, authToken *string, verbose *bool, profile *prof.Flags) {
 	quick = fs.Bool("quick", false, "reduced-scale run (shorter warmup and measurement)")
 	warmup = fs.Uint64("warmup", 0, "override warmup instructions (0 = default)")
 	measure = fs.Uint64("measure", 0, "override measured instructions (0 = default)")
 	parallel = fs.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 	backend = fs.String("backend", "local", "execution backend: local, or remote@ADDR (a pifcoord coordinator; jobs must be registry-resolvable — plain engine names, live or @DIR sources)")
+	authToken = fs.String("auth-token", "", "bearer token for a token-protected remote coordinator (empty for an open one)")
 	traceDir = fs.String("tracedir", "", "trace-store pool: spill generated retire streams to sharded stores under this directory and replay them (bounded memory; stores are reused across runs; env-backed store/slice sources slice these stores instead of the in-memory stream)")
 	out = fs.String("out", "", "write structured JSON results into this directory (run.json + <artifact>.json + jobs/<key>.json)")
 	verbose = fs.Bool("v", false, "print per-job timing as jobs complete")
@@ -94,11 +111,11 @@ func scaleFlags(fs *flag.FlagSet) (quick *bool, warmup, measure *uint64, paralle
 // dialBackend resolves the -backend flag; a non-local backend is set on
 // opts and returned for the caller to Close (nil for local, which lets
 // the environment size private pools per grid).
-func dialBackend(spec string, parallel int, opts *pif.ExperimentOptions) (pif.Backend, error) {
+func dialBackend(spec string, parallel int, token string, opts *pif.ExperimentOptions) (pif.Backend, error) {
 	if spec == "" || spec == "local" {
 		return nil, nil
 	}
-	b, err := pif.DialBackend(spec, parallel)
+	b, err := pif.DialBackendAuth(spec, parallel, token)
 	if err != nil {
 		return nil, err
 	}
@@ -132,7 +149,7 @@ func buildOptions(quick bool, warmup, measure uint64, parallel int, storeDir str
 func runMain() int {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
 	runID := fs.String("run", "all", "artifact to regenerate: all, or one of "+strings.Join(pif.ExperimentIDs(), ", "))
-	quick, warmup, measure, parallel, traceDir, out, backend, verbose, profile := scaleFlags(fs)
+	quick, warmup, measure, parallel, traceDir, out, backend, authToken, verbose, profile := scaleFlags(fs)
 	fs.Parse(os.Args[1:])
 
 	if err := profile.Start(); err != nil {
@@ -142,7 +159,7 @@ func runMain() int {
 	defer profile.Stop()
 
 	opts := buildOptions(*quick, *warmup, *measure, *parallel, *traceDir, *verbose)
-	be, err := dialBackend(*backend, *parallel, &opts)
+	be, err := dialBackend(*backend, *parallel, *authToken, &opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		return 1
@@ -234,7 +251,7 @@ func sweepMain(args []string) int {
 	source := fs.String("source", "", "record source for every cell: live, store, slice@off:len, store@DIR, or slice@off:len@DIR (shorthand for a one-value source axis; store/slice without @DIR replay the workload's spilled store under -tracedir, or its in-memory stream when -tracedir is unset)")
 	shards := fs.Int("shards", 0, "split every cell's replay into K window-shard jobs (cells need a replayable source, e.g. -source store; keys and results are unchanged, so sharded runs diff exit-0 against unsharded ones)")
 	shardApprox := fs.Bool("shard-approx", false, "shard with fixed per-shard warmup instead of the exact offset scheme: linear total work, so shards speed the cell up, at the cost of approximate (not bit-exact) results")
-	quick, warmup, measure, parallel, traceDir, out, backend, verbose, profile := scaleFlags(fs)
+	quick, warmup, measure, parallel, traceDir, out, backend, authToken, verbose, profile := scaleFlags(fs)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: experiments sweep -axis name=v1,v2,... [-axis ...] [-engine SPEC ...] [-source SPEC] [-shards K] [flags]")
 		fs.PrintDefaults()
@@ -248,7 +265,7 @@ func sweepMain(args []string) int {
 	defer profile.Stop()
 
 	opts := buildOptions(*quick, *warmup, *measure, *parallel, *traceDir, *verbose)
-	be, err := dialBackend(*backend, *parallel, &opts)
+	be, err := dialBackend(*backend, *parallel, *authToken, &opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments sweep:", err)
 		return 1
@@ -341,12 +358,20 @@ func runName(dir string) string {
 // tolerance (the regression-gate code), 2 on usage or load errors, and 3
 // when the two runs hold different artifact or job sets (nothing to
 // compare for the missing entries — a setup problem, not drift).
+//
+// Without -svc both sides are local run directories. With -svc each side
+// is resolved independently: a path that loads as a run directory is
+// shipped inline, anything else is taken as a service run ID — so a
+// service run gates against a local -out baseline with one command.
 func diffMain(args []string) int {
 	fs := flag.NewFlagSet("experiments diff", flag.ExitOnError)
 	abs := fs.Float64("abs", 1e-12, "absolute tolerance per metric")
 	rel := fs.Float64("rel", 1e-9, "relative tolerance per metric")
+	jsonOut := fs.Bool("json", false, "emit the machine-readable diff report (code, sides, diff, rendered text) as JSON on stdout")
+	svc := fs.String("svc", "", "diff through the pifexpd experiment service at ADDR: each side is a service run ID, or a local run directory shipped inline")
+	authToken := fs.String("auth-token", "", "bearer token for a token-protected service")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: experiments diff [-abs X] [-rel Y] DIR_A DIR_B")
+		fmt.Fprintln(os.Stderr, "usage: experiments diff [-abs X] [-rel Y] [-json] [-svc ADDR [-auth-token T]] A B")
 		fmt.Fprintln(os.Stderr, "exit codes: 0 within tolerance, 1 metric drift, 2 usage/load error, 3 artifact/job sets differ")
 		fs.PrintDefaults()
 	}
@@ -355,43 +380,260 @@ func diffMain(args []string) int {
 		fs.Usage()
 		return 2
 	}
-	dirA, dirB := fs.Arg(0), fs.Arg(1)
-	_, aArts, err := pif.LoadResults(dirA)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments diff:", err)
-		return 2
-	}
-	_, bArts, err := pif.LoadResults(dirB)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments diff:", err)
-		return 2
-	}
-	aJobs, err := pif.LoadJobResults(dirA)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments diff:", err)
-		return 2
-	}
-	bJobs, err := pif.LoadJobResults(dirB)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments diff:", err)
-		return 2
-	}
+	nameA, nameB := fs.Arg(0), fs.Arg(1)
 	tol := pif.ResultsTolerances{Default: pif.ResultsTolerance{Abs: *abs, Rel: *rel}}
-	d := pif.DiffResults(aArts, bArts, tol)
-	d.Merge(pif.DiffJobResults(aJobs, bJobs, tol))
-	fmt.Print(d.Render())
+
+	var rep pif.ResultsDiffReport
+	if *svc != "" {
+		client, err := pif.DialExperimentService(*svc, *authToken)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments diff:", err)
+			return 2
+		}
+		sideA := diffSide(nameA)
+		sideB := diffSide(nameB)
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		rep, err = client.Diff(ctx, sideA, sideB, *abs, *rel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments diff:", err)
+			return 2
+		}
+	} else {
+		_, aArts, err := pif.LoadResults(nameA)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments diff:", err)
+			return 2
+		}
+		_, bArts, err := pif.LoadResults(nameB)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments diff:", err)
+			return 2
+		}
+		aJobs, err := pif.LoadJobResults(nameA)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments diff:", err)
+			return 2
+		}
+		bJobs, err := pif.LoadJobResults(nameB)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments diff:", err)
+			return 2
+		}
+		d := pif.DiffResults(aArts, bArts, tol)
+		d.Merge(pif.DiffJobResults(aJobs, bJobs, tol))
+		rep = pif.NewResultsDiffReport(nameA, nameB, d)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments diff:", err)
+			return 2
+		}
+		return rep.Code
+	}
+	d := rep.Diff
+	fmt.Print(rep.Text)
 	switch {
 	case d.HasMissing():
 		fmt.Printf("MISSING: %s and %s hold different artifact/job sets (%d only in A, %d only in B); rerun both sides with the same artifacts before gating on drift\n",
-			dirA, dirB, len(d.OnlyInA), len(d.OnlyInB))
+			nameA, nameB, len(d.OnlyInA), len(d.OnlyInB))
 		if d.HasDrift() {
 			fmt.Println("(the common artifacts also drift beyond tolerance; fix the set mismatch first)")
 		}
-		return 3
 	case d.HasDrift():
 		fmt.Printf("DRIFT: %s and %s differ beyond tolerance (abs %g, rel %g)\n",
-			dirA, dirB, *abs, *rel)
+			nameA, nameB, *abs, *rel)
+	}
+	return rep.Code
+}
+
+// diffSide resolves one diff argument for the service mode: a local run
+// directory (anything pif.LoadResults accepts) becomes an inline side,
+// anything else is passed through as a service run ID and resolved — or
+// rejected — by the service.
+func diffSide(arg string) pif.ServiceDiffSide {
+	_, arts, err := pif.LoadResults(arg)
+	if err != nil {
+		return pif.ServiceDiffSide{RunID: arg}
+	}
+	side := pif.ServiceDiffSide{Label: arg, Artifacts: arts}
+	if jobs, err := pif.LoadJobResults(arg); err == nil {
+		side.Jobs = jobs
+	}
+	return side
+}
+
+// submitMain queues one sweep on an experiment service. The sweep-spec
+// flags carry `experiments sweep` semantics verbatim — the service feeds
+// them through the same spec parser. The new run's ID is printed alone
+// on stdout (script-friendly); -wait follows the run to completion.
+func submitMain(args []string) int {
+	fs := flag.NewFlagSet("experiments submit", flag.ExitOnError)
+	svc := fs.String("svc", "", "experiment service address (required)")
+	authToken := fs.String("auth-token", "", "bearer token for a token-protected service")
+	var axes axisFlags
+	fs.Var(&axes, "axis", "sweep axis as name=v1,v2,... (workload, engine, history, budget, l1, source, shards); repeatable, crossed in flag order")
+	var engines axisFlags
+	fs.Var(&engines, "engine", "engine spec name[:param=value,...] for the engine axis (repeatable; mutually exclusive with -axis engine=...)")
+	name := fs.String("name", "sweep", "sweep name (prefixes cell keys and job labels)")
+	source := fs.String("source", "", "record source for every cell (shorthand for a one-value source axis)")
+	shards := fs.Int("shards", 0, "split every cell's replay into K window-shard jobs")
+	shardApprox := fs.Bool("shard-approx", false, "shard with fixed per-shard warmup (linear total work, approximate results)")
+	quick := fs.Bool("quick", false, "reduced-scale run (shorter warmup and measurement)")
+	warmup := fs.Uint64("warmup", 0, "override warmup instructions (0 = service default)")
+	measure := fs.Uint64("measure", 0, "override measured instructions (0 = service default)")
+	wait := fs.Bool("wait", false, "follow the run to completion (progress on stderr; exit 0 done, 1 failed)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: experiments submit -svc ADDR -axis name=v1,v2,... [-axis ...] [-engine SPEC ...] [flags] [-wait]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if *svc == "" {
+		fmt.Fprintln(os.Stderr, "experiments submit: -svc is required")
+		fs.Usage()
+		return 2
+	}
+
+	client, err := pif.DialExperimentService(*svc, *authToken)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments submit:", err)
+		return 2
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	st, err := client.Submit(ctx, pif.ServiceRequest{
+		Name:          *name,
+		Axes:          axes,
+		Engines:       engines,
+		Source:        *source,
+		Shards:        *shards,
+		ShardApprox:   *shardApprox,
+		Quick:         *quick,
+		WarmupInstrs:  *warmup,
+		MeasureInstrs: *measure,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments submit:", err)
+		return 2
+	}
+	fmt.Println(st.ID)
+	if !*wait {
+		return 0
+	}
+	return followRun(ctx, client, st.ID)
+}
+
+// followRun long-polls one run to a terminal state, streaming moves to
+// stderr; the exit code mirrors the run's outcome.
+func followRun(ctx context.Context, client *pif.ServiceClient, id string) int {
+	last := ""
+	st, err := client.WaitRun(ctx, id, func(st pif.ServiceRunStatus) {
+		line := fmt.Sprintf("%s %s", st.ID, st.State)
+		if st.Total > 0 {
+			line = fmt.Sprintf("%s [%d/%d]", line, st.Done, st.Total)
+		}
+		if line != last {
+			fmt.Fprintln(os.Stderr, line)
+			last = line
+		}
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 2
+	}
+	if st.Error != "" {
+		fmt.Fprintf(os.Stderr, "experiments: run %s failed: %s\n", st.ID, st.Error)
 		return 1
+	}
+	return 0
+}
+
+// statusMain lists a service's runs, or reports (and with -wait follows)
+// the named runs.
+func statusMain(args []string) int {
+	fs := flag.NewFlagSet("experiments status", flag.ExitOnError)
+	svc := fs.String("svc", "", "experiment service address (required)")
+	authToken := fs.String("auth-token", "", "bearer token for a token-protected service")
+	jsonOut := fs.Bool("json", false, "emit statuses as JSON on stdout")
+	wait := fs.Bool("wait", false, "follow the named runs to completion (exit 0 all done, 1 any failed)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: experiments status -svc ADDR [-json] [-wait RUN_ID ...]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if *svc == "" {
+		fmt.Fprintln(os.Stderr, "experiments status: -svc is required")
+		fs.Usage()
+		return 2
+	}
+	client, err := pif.DialExperimentService(*svc, *authToken)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments status:", err)
+		return 2
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var sts []pif.ServiceRunStatus
+	if fs.NArg() == 0 {
+		if *wait {
+			fmt.Fprintln(os.Stderr, "experiments status: -wait needs explicit run IDs")
+			return 2
+		}
+		sts, err = client.Runs(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments status:", err)
+			return 2
+		}
+	} else if *wait {
+		code := 0
+		for _, id := range fs.Args() {
+			if c := followRun(ctx, client, id); c > code {
+				code = c
+			}
+		}
+		return code
+	} else {
+		for _, id := range fs.Args() {
+			st, err := client.Run(ctx, id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments status:", err)
+				return 2
+			}
+			sts = append(sts, st)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sts); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments status:", err)
+			return 2
+		}
+		return 0
+	}
+	fmt.Printf("%-28s %-8s %-20s %9s %10s  %s\n", "run", "state", "created", "jobs", "elapsed", "detail")
+	for _, st := range sts {
+		jobs := "-"
+		if st.TotalJobs > 0 {
+			jobs = fmt.Sprintf("%d", st.TotalJobs)
+		} else if st.Total > 0 {
+			jobs = fmt.Sprintf("%d/%d", st.Done, st.Total)
+		}
+		elapsed := "-"
+		if st.ElapsedNanos > 0 {
+			elapsed = time.Duration(st.ElapsedNanos).Round(time.Millisecond).String()
+		}
+		detail := st.Request.Name
+		if st.Error != "" {
+			detail = st.Error
+		}
+		fmt.Printf("%-28s %-8s %-20s %9s %10s  %s\n",
+			st.ID, st.State, st.CreatedAt.UTC().Format("2006-01-02T15:04:05Z"), jobs, elapsed, detail)
 	}
 	return 0
 }

@@ -8,6 +8,7 @@
 //
 //	pifcoord -listen :8077
 //	pifcoord -listen :8077 -results results-remote -lease-ttl 15s -max-attempts 3
+//	pifcoord -listen :8077 -auth-token SECRET
 //
 // With -results DIR every accepted result is additionally persisted as it
 // lands, to DIR/<run-id>/jobs/<key>.json in the same schema-versioned,
@@ -40,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/httpapi"
 	"repro/internal/remote"
 	"repro/internal/report"
 )
@@ -49,6 +51,7 @@ func main() {
 	resultsDir := flag.String("results", "", "stream accepted results into DIR/<run-id>/jobs/<key>.json (empty = no persistence)")
 	leaseTTL := flag.Duration("lease-ttl", remote.DefaultLeaseTTL, "heartbeat deadline; a worker silent this long forfeits its leases")
 	maxAttempts := flag.Int("max-attempts", remote.DefaultMaxAttempts, "leases per task before it completes with a hard error")
+	authToken := flag.String("auth-token", "", "bearer token required on every API request — clients and workers must present it (empty = open API)")
 	flag.Parse()
 
 	opts := remote.CoreOptions{LeaseTTL: *leaseTTL, MaxAttempts: *maxAttempts}
@@ -61,7 +64,8 @@ func main() {
 	}
 	core := remote.NewCore(opts)
 
-	srv := &http.Server{Addr: *listen, Handler: remote.NewServer(core)}
+	handler := httpapi.RequireAuth(*authToken, remote.WireVersion, remote.NewServer(core), "/v1/healthz")
+	srv := &http.Server{Addr: *listen, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	shutdownDone := make(chan struct{})

@@ -68,6 +68,7 @@ func run() int {
 	window := flag.Int("window", 0, "PIF SAB window regions (0 = paper default 7)")
 	degree := flag.Int("degree", 4, "next-line prefetch degree")
 	backendSpec := flag.String("backend", "local", "execution backend: local, or remote@ADDR (a pifcoord coordinator; jobs run on its worker fleet)")
+	authToken := flag.String("auth-token", "", "bearer token for a token-protected remote coordinator (empty for an open one)")
 	shards := flag.Int("shards", 1, "split a store replay into N parallel windows and stitch the results (needs -trace)")
 	exact := flag.Bool("exact", false, "sharded replay: measure each shard as a clock delta on the full trace prefix, so every counter — timing included — matches sequential replay bit for bit (parity mode; the last shard replays the whole trace, so expect no speedup)")
 	verbose := flag.Bool("v", false, "print full result struct (single job) or per-job progress")
@@ -164,7 +165,7 @@ func run() int {
 		}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		if err := shardedRun(ctx, *traceDir, cfg, engines, *shards, *exact, *perfect, *verbose, *backendSpec, *parallel); err != nil {
+		if err := shardedRun(ctx, *traceDir, cfg, engines, *shards, *exact, *perfect, *verbose, *backendSpec, *authToken, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, "pifsim:", err)
 			return 1
 		}
@@ -211,7 +212,7 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	backend, err := pif.DialBackend(*backendSpec, *parallel)
+	backend, err := pif.DialBackendAuth(*backendSpec, *parallel, *authToken)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pifsim:", err)
 		return 1
@@ -271,7 +272,7 @@ func (e engine) job(label string, wl pif.Workload, cfg pif.SimConfig, src pif.So
 // one whole-run result (pif.ShardedReplay). The store names the workload
 // and must carry a phase split compatible with the requested
 // warmup/measure interval, exactly as a sequential store replay would.
-func shardedRun(ctx context.Context, dir string, cfg pif.SimConfig, engines []engine, shards int, exact, perfect, verbose bool, backendSpec string, parallel int) error {
+func shardedRun(ctx context.Context, dir string, cfg pif.SimConfig, engines []engine, shards int, exact, perfect, verbose bool, backendSpec, authToken string, parallel int) error {
 	ix, err := pif.ReadTraceIndex(dir)
 	if err != nil {
 		return err
@@ -280,7 +281,7 @@ func shardedRun(ctx context.Context, dir string, cfg pif.SimConfig, engines []en
 	// stays nil so ShardedReplay sizes a private pool per replay.
 	var backend pif.Backend
 	if backendSpec != "" && backendSpec != "local" {
-		backend, err = pif.DialBackend(backendSpec, parallel)
+		backend, err = pif.DialBackendAuth(backendSpec, parallel, authToken)
 		if err != nil {
 			return err
 		}

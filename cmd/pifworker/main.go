@@ -37,6 +37,7 @@ func main() {
 	coord := flag.String("coord", "localhost:8077", "coordinator address (host:port or http://host:port)")
 	name := flag.String("name", "", "worker name in coordinator diagnostics (default: hostname)")
 	parallel := flag.Int("parallel", 0, "tasks run concurrently (0 = GOMAXPROCS)")
+	authToken := flag.String("auth-token", "", "bearer token for a token-protected coordinator (empty for an open one)")
 	flag.Parse()
 
 	if *name == "" {
@@ -50,7 +51,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	w := &remote.Worker{Coord: *coord, Name: *name, Parallel: *parallel}
+	w := &remote.Worker{Coord: *coord, Name: *name, Parallel: *parallel, Token: *authToken}
 	fmt.Fprintf(os.Stderr, "pifworker: %s pulling from %s with %d slot(s)\n",
 		*name, *coord, runner.Workers(*parallel))
 	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {

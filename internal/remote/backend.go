@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/httpapi"
 	"repro/internal/runner"
 )
 
@@ -40,7 +41,12 @@ type Backend struct {
 
 // Dial connects to a coordinator at addr (host:port or http://host:port)
 // and opens a run on it. The returned Backend is ready for RunOn.
-func Dial(addr string) (*Backend, error) {
+func Dial(addr string) (*Backend, error) { return DialAuth(addr, "") }
+
+// DialAuth is Dial against a token-protected coordinator (pifcoord
+// -auth-token): every request carries the bearer token. An empty token
+// is plain Dial.
+func DialAuth(addr, token string) (*Backend, error) {
 	base := addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
@@ -48,7 +54,7 @@ func Dial(addr string) (*Backend, error) {
 	base = strings.TrimSuffix(base, "/")
 	b := &Backend{
 		base:    base,
-		hc:      &http.Client{},
+		hc:      httpapi.Client(token),
 		results: make(chan runner.Result, 64),
 		stop:    make(chan struct{}),
 	}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/httpapi"
 	"repro/internal/runner"
 )
 
@@ -32,6 +33,9 @@ type Worker struct {
 	// Parallel is the number of tasks run concurrently (and the worker
 	// pool size); <= 0 means GOMAXPROCS.
 	Parallel int
+	// Token authenticates against a token-protected coordinator
+	// (pifcoord -auth-token); "" for an open one.
+	Token string
 
 	hc   *http.Client
 	base string
@@ -58,7 +62,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		w.base = "http://" + w.base
 	}
 	w.base = strings.TrimSuffix(w.base, "/")
-	w.hc = &http.Client{}
+	w.hc = httpapi.Client(w.Token)
 	w.inflight = make(map[int]context.CancelFunc)
 
 	slots := runner.Workers(w.Parallel)

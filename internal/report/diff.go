@@ -63,29 +63,34 @@ func (ts Tolerances) For(path string) Tolerance {
 	return best
 }
 
-// MetricDiff is one numeric leaf that differs between two runs.
+// MetricDiff is one numeric leaf that differs between two runs. The JSON
+// field names are part of the machine-readable diff contract shared by
+// `experiments diff -json` and the experiment service's diff endpoint.
 type MetricDiff struct {
 	// Path locates the metric: "<artifact>.<field path>", e.g.
 	// "fig2.retire[3]".
-	Path string
-	A, B float64
+	Path string  `json:"path"`
+	A    float64 `json:"a"`
+	B    float64 `json:"b"`
 	// AbsDelta is |A-B|; RelDelta is |A-B| / max(|A|,|B|) (0 when both are
 	// zero).
-	AbsDelta, RelDelta float64
+	AbsDelta float64 `json:"abs_delta"`
+	RelDelta float64 `json:"rel_delta"`
 	// Within reports whether the governing tolerance accepts the pair.
-	Within bool
+	Within bool `json:"within"`
 }
 
 // Diff is the comparison of two artifact sets.
 type Diff struct {
 	// OnlyInA and OnlyInB list artifact IDs present on one side only.
-	OnlyInA, OnlyInB []string
+	OnlyInA []string `json:"only_in_a,omitempty"`
+	OnlyInB []string `json:"only_in_b,omitempty"`
 	// Metrics lists every numeric leaf that differs, in path order.
-	Metrics []MetricDiff
+	Metrics []MetricDiff `json:"metrics,omitempty"`
 	// Mismatches lists structural differences: metrics present on one side
 	// only, type changes, and non-numeric leaves (names, labels) that
 	// differ. Any entry is out of tolerance by definition.
-	Mismatches []string
+	Mismatches []string `json:"mismatches,omitempty"`
 }
 
 // OutOfTolerance reports whether the diff should fail a gate: any
@@ -119,6 +124,46 @@ func (d Diff) HasDrift() bool {
 func (d Diff) Clean() bool {
 	return len(d.OnlyInA) == 0 && len(d.OnlyInB) == 0 &&
 		len(d.Mismatches) == 0 && len(d.Metrics) == 0
+}
+
+// Code maps a computed diff onto the `experiments diff` exit-code
+// contract: 3 when the two sides regenerated different artifact/job sets
+// (comparison-setup problem), 1 on out-of-tolerance drift within matched
+// artifacts, 0 when everything agrees. Code 2 — failure to load or fetch
+// a side — never arises from a computed diff; callers report it as an
+// error before a Diff exists.
+func (d Diff) Code() int {
+	switch {
+	case d.HasMissing():
+		return 3
+	case d.HasDrift():
+		return 1
+	default:
+		return 0
+	}
+}
+
+// DiffReport is the machine-readable form of one comparison: the diff
+// plus its exit-code verdict and rendered text. It is the payload of
+// `experiments diff -json` and the experiment service's diff endpoint —
+// one struct, two transports.
+type DiffReport struct {
+	// Code is the `experiments diff` exit-code verdict for this diff
+	// (0 identical-within-tolerance, 1 drift, 3 missing artifacts/jobs).
+	Code int `json:"code"`
+	// A and B name the two sides (run IDs or local paths).
+	A string `json:"a"`
+	B string `json:"b"`
+	// Diff is the full structural comparison.
+	Diff Diff `json:"diff"`
+	// Text is the human-rendered report (Diff.Render), so JSON consumers
+	// can surface the same lines the CLI prints.
+	Text string `json:"text"`
+}
+
+// NewDiffReport packages a computed diff with its verdict and rendering.
+func NewDiffReport(a, b string, d Diff) DiffReport {
+	return DiffReport{Code: d.Code(), A: a, B: b, Diff: d, Text: d.Render()}
 }
 
 // Render formats the diff as a per-metric report. Out-of-tolerance rows

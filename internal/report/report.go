@@ -181,6 +181,13 @@ func writeFileAtomic(path string, b []byte) error {
 	return nil
 }
 
+// AtomicWriteFile exposes the store's atomic write primitive (temp file
+// + rename in the destination directory, dot-prefixed temps invisible to
+// Load and globs) for sibling stores layered on this package — the
+// experiment service persists its run-database index files with exactly
+// the crash-safety contract Save gives artifacts.
+func AtomicWriteFile(path string, b []byte) error { return writeFileAtomic(path, b) }
+
 // NewArtifact builds a schema-stamped artifact from a driver result. data
 // may be any JSON-marshalable value (or nil for text-only artifacts); it
 // is canonicalized to compact JSON so identical results are byte-identical
@@ -348,7 +355,9 @@ func (s Store) Load(runID string) (Run, []Artifact, error) {
 }
 
 // Runs lists the stored run IDs (directories containing run.json) in
-// sorted order.
+// lexical order — the directory-listing view. For a listing ordered the
+// way a human (or the experiment service's list endpoint) wants it — by
+// when each run started — use List.
 func (s Store) Runs() ([]string, error) {
 	entries, err := os.ReadDir(s.Root)
 	if err != nil {
@@ -368,4 +377,47 @@ func (s Store) Runs() ([]string, error) {
 	}
 	sort.Strings(ids)
 	return ids, nil
+}
+
+// RunInfo is one stored run's listing entry: its store address (the run
+// directory name), when it was created, and how many artifacts it holds.
+type RunInfo struct {
+	ID        string    `json:"id"`
+	CreatedAt time.Time `json:"created_at"`
+	Artifacts int       `json:"artifacts"`
+}
+
+// List describes every stored run, sorted by creation time (ties broken
+// by ID, so the order is total and stable). Unlike Load it reads only
+// each run's metadata sidecar, never the artifacts, so listing a large
+// corpus stays cheap. A run.json that fails to parse or carries a
+// foreign schema version is an error — a corpus with an unreadable run
+// should be noticed, not silently elided from listings.
+func (s Store) List() ([]RunInfo, error) {
+	ids, err := s.Runs()
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]RunInfo, 0, len(ids))
+	for _, id := range ids {
+		b, err := os.ReadFile(filepath.Join(s.Dir(id), runFile))
+		if err != nil {
+			return nil, fmt.Errorf("report: list %s: %w", id, err)
+		}
+		var run Run
+		if err := json.Unmarshal(b, &run); err != nil {
+			return nil, fmt.Errorf("report: list %s: parse run.json: %w", id, err)
+		}
+		if run.SchemaVersion != SchemaVersion {
+			return nil, fmt.Errorf("report: list %s: run.json has schema version %d, want %d", id, run.SchemaVersion, SchemaVersion)
+		}
+		infos = append(infos, RunInfo{ID: id, CreatedAt: run.CreatedAt, Artifacts: len(run.Artifacts)})
+	}
+	sort.Slice(infos, func(a, b int) bool {
+		if !infos[a].CreatedAt.Equal(infos[b].CreatedAt) {
+			return infos[a].CreatedAt.Before(infos[b].CreatedAt)
+		}
+		return infos[a].ID < infos[b].ID
+	})
+	return infos, nil
 }

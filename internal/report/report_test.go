@@ -337,3 +337,106 @@ func TestDiffIdenticalClean(t *testing.T) {
 		t.Errorf("clean render = %q", d.Render())
 	}
 }
+
+// TestStoreList covers the run-listing view: entries carry each run's
+// creation time and artifact count, sorted by creation time (ties by ID)
+// rather than the lexical order Runs keeps, and a directory whose
+// run.json cannot be parsed fails the listing loudly instead of being
+// silently skipped.
+func TestStoreList(t *testing.T) {
+	s := Store{Root: t.TempDir()}
+	arts := []Artifact{mustArtifact(t, "fig2", sample()), mustArtifact(t, "table1", sample())}
+	// IDs chosen so lexical order ("newest" < "oldest") inverts creation
+	// order: List must sort by time, Runs lexically.
+	times := map[string]time.Time{
+		"oldest": time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC),
+		"newest": time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC),
+	}
+	for id, at := range times {
+		if err := s.Save(Run{ID: id, CreatedAt: at}, arts[:1+len(id)%2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].ID != "oldest" || infos[1].ID != "newest" {
+		t.Fatalf("List() order = %+v, want oldest then newest", infos)
+	}
+	for _, info := range infos {
+		if !info.CreatedAt.Equal(times[info.ID]) {
+			t.Errorf("%s: CreatedAt = %v, want %v", info.ID, info.CreatedAt, times[info.ID])
+		}
+		if want := 1 + len(info.ID)%2; info.Artifacts != want {
+			t.Errorf("%s: Artifacts = %d, want %d", info.ID, info.Artifacts, want)
+		}
+	}
+	runs, err := s.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 || runs[0] != "newest" || runs[1] != "oldest" {
+		t.Errorf("Runs() = %v, want lexical order", runs)
+	}
+
+	// Directories without run.json (in-progress or foreign) are not runs
+	// and stay out of the listing.
+	if err := os.MkdirAll(filepath.Join(s.Root, "partial"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	infos, err = s.List()
+	if err != nil || len(infos) != 2 {
+		t.Fatalf("List() with partial dir = %+v, %v", infos, err)
+	}
+
+	// A torn run.json is an error, not a silent omission.
+	if err := os.WriteFile(filepath.Join(s.Root, "partial", "run.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.List(); err == nil {
+		t.Error("List() swallowed an unparseable run.json")
+	}
+}
+
+// TestDiffCodeAndReport pins the machine-readable diff contract to the
+// CLI exit codes: Code is 0/1/3 for clean/drift/missing (missing wins
+// when both hold — same precedence as `experiments diff`), 2 is reserved
+// for load/usage errors and never produced by a computed diff, and the
+// report serializes with the diff and rendering intact.
+func TestDiffCodeAndReport(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Diff
+		code int
+	}{
+		{"clean", Diff{}, 0},
+		{"drift", Diff{Metrics: []MetricDiff{{Path: "x.m", A: 1, B: 2}}}, 1},
+		{"mismatch", Diff{Mismatches: []string{"x.m: type changed"}}, 1},
+		{"missing", Diff{OnlyInA: []string{"x"}}, 3},
+		{"missing-and-drift", Diff{OnlyInB: []string{"y"}, Metrics: []MetricDiff{{Path: "x.m", A: 1, B: 2}}}, 3},
+	}
+	for _, tc := range cases {
+		if got := tc.d.Code(); got != tc.code {
+			t.Errorf("%s: Code() = %d, want %d", tc.name, got, tc.code)
+		}
+		rep := NewDiffReport("a", "b", tc.d)
+		if rep.Code != tc.code || rep.A != "a" || rep.B != "b" {
+			t.Errorf("%s: report = {Code %d A %q B %q}", tc.name, rep.Code, rep.A, rep.B)
+		}
+		if rep.Text != tc.d.Render() {
+			t.Errorf("%s: report text %q != render %q", tc.name, rep.Text, tc.d.Render())
+		}
+		blob, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back DiffReport
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.Code != tc.code || back.Diff.Code() != tc.code {
+			t.Errorf("%s: roundtrip code %d (diff %d), want %d", tc.name, back.Code, back.Diff.Code(), tc.code)
+		}
+	}
+}

@@ -61,6 +61,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/expsvc"
 	"repro/internal/prefetch"
 	"repro/internal/remote"
 	"repro/internal/report"
@@ -415,6 +416,13 @@ var ErrBackendClosed = runner.ErrBackendClosed
 // hook, an observer, a custom source — are refused at Submit with a
 // descriptive error.
 func DialBackend(spec string, workers int) (Backend, error) {
+	return DialBackendAuth(spec, workers, "")
+}
+
+// DialBackendAuth is DialBackend against a token-protected coordinator
+// (pifcoord -auth-token): remote requests carry the bearer token. An
+// empty token is plain DialBackend; local backends ignore the token.
+func DialBackendAuth(spec string, workers int, token string) (Backend, error) {
 	switch {
 	case spec == "" || spec == "local":
 		return NewLocalBackend(workers), nil
@@ -423,7 +431,7 @@ func DialBackend(spec string, workers int) (Backend, error) {
 		if addr == "" {
 			return nil, fmt.Errorf("pif: -backend remote@ADDR needs a coordinator address")
 		}
-		return remote.Dial(addr)
+		return remote.DialAuth(addr, token)
 	default:
 		return nil, fmt.Errorf("pif: unknown backend %q (have local, remote@ADDR)", spec)
 	}
@@ -687,4 +695,54 @@ func LoadJobResults(runDir string) ([]ResultsJobResult, error) {
 // under the given tolerances (metric paths rooted at "jobs/<key>").
 func DiffJobResults(a, b []ResultsJobResult, tol ResultsTolerances) ResultsDiff {
 	return report.DiffJobResults(a, b, tol)
+}
+
+// ResultsDiffReport is the machine-readable form of one comparison: the
+// diff plus its `experiments diff` exit-code verdict (0/1/3) and the
+// rendered text. It is the payload of `experiments diff -json` and of
+// the experiment service's diff endpoint — one struct, two transports.
+type ResultsDiffReport = report.DiffReport
+
+// NewResultsDiffReport packages a computed diff with its verdict and
+// rendering; a and b name the two sides (run IDs or local paths).
+func NewResultsDiffReport(a, b string, d ResultsDiff) ResultsDiffReport {
+	return report.NewDiffReport(a, b, d)
+}
+
+// ResultsRunInfo is one stored run's listing entry (ID, creation time,
+// artifact count).
+type ResultsRunInfo = report.RunInfo
+
+// ListResults describes every run stored under root, sorted by creation
+// time; it reads only each run's metadata sidecar, so listing a large
+// corpus stays cheap.
+func ListResults(root string) ([]ResultsRunInfo, error) {
+	return report.Store{Root: root}.List()
+}
+
+// ServiceRequest is one sweep submission to the experiment service
+// (cmd/pifexpd): the fields mirror the `experiments sweep` CLI flags and
+// feed the same spec parser, so axis/engine/shard semantics are
+// identical in both transports.
+type ServiceRequest = expsvc.Request
+
+// ServiceRunStatus is one service run as the API reports it: the
+// persisted database record (state machine queued → running →
+// done/failed) plus live job progress while running.
+type ServiceRunStatus = expsvc.Status
+
+// ServiceDiffSide names one side of a service diff: a run in the
+// service's database (RunID) or an inline artifact/job set — how the
+// CLI diffs a service run against a local -out directory.
+type ServiceDiffSide = expsvc.DiffSide
+
+// ServiceClient is the HTTP client of a pifexpd experiment service,
+// behind the `experiments submit|status|diff -svc` CLI modes.
+type ServiceClient = expsvc.Client
+
+// DialExperimentService connects to a pifexpd service at addr,
+// verifying reachability and wire version. token authenticates against
+// a -auth-token protected service ("" for an open one).
+func DialExperimentService(addr, token string) (*ServiceClient, error) {
+	return expsvc.DialService(addr, token)
 }
